@@ -1,0 +1,85 @@
+// Command freqtop finds the k most frequent objects in a generated
+// distributed stream with a selectable algorithm and reports accuracy
+// against the exact answer (Section 7 / Section 10.2 of the paper).
+//
+// Usage:
+//
+//	freqtop [-algo pac|ec|ecsbf|pec|naive|naivetree] [-p 16] [-perpe 1000000]
+//	        [-k 32] [-eps 0.001] [-delta 0.0001] [-zipf 1.0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/freq"
+	"commtopk/internal/gen"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+func main() {
+	algo := flag.String("algo", "ec", "algorithm: pac, ec, ecsbf, pec, naive, naivetree")
+	p := flag.Int("p", 16, "number of PEs")
+	perPE := flag.Int("perpe", 1_000_000, "elements per PE")
+	k := flag.Int("k", 32, "number of objects to report")
+	eps := flag.Float64("eps", 1e-3, "relative error bound ε")
+	delta := flag.Float64("delta", 1e-4, "failure probability δ")
+	zipf := flag.Float64("zipf", 1.0, "Zipf exponent of the workload")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	z := gen.NewZipf(1<<20, *zipf)
+	locals := make([][]uint64, *p)
+	exact := map[uint64]int64{}
+	for r := 0; r < *p; r++ {
+		locals[r] = gen.FrequencyInput(xrand.NewPE(*seed, r), z, *perPE)
+		for _, x := range locals[r] {
+			exact[x]++
+		}
+	}
+	n := int64(*p) * int64(*perPE)
+
+	params := freq.Params{K: *k, Eps: *eps, Delta: *delta}
+	m := comm.NewMachine(comm.DefaultConfig(*p))
+	var res freq.Result
+	m.MustRun(func(pe *comm.PE) {
+		rng := xrand.NewPE(*seed+1, pe.Rank())
+		var r freq.Result
+		switch *algo {
+		case "pac":
+			r = freq.PAC(pe, locals[pe.Rank()], params, rng)
+		case "ec":
+			r = freq.EC(pe, locals[pe.Rank()], params, rng)
+		case "ecsbf":
+			r = freq.ECSBF(pe, locals[pe.Rank()], params, rng)
+		case "pec":
+			r = freq.PEC(pe, locals[pe.Rank()], params, 10*(*eps), rng)
+		case "naive":
+			r = freq.Naive(pe, locals[pe.Rank()], params, rng)
+		case "naivetree":
+			r = freq.NaiveTree(pe, locals[pe.Rank()], params, rng)
+		default:
+			panic("unknown algorithm " + *algo)
+		}
+		if pe.Rank() == 0 {
+			res = r
+		}
+	})
+
+	keys := make([]uint64, len(res.Items))
+	fmt.Printf("top-%d most frequent (algo=%s, n=%d, p=%d, ε=%g, δ=%g)\n", *k, *algo, n, *p, *eps, *delta)
+	for i, it := range res.Items {
+		keys[i] = it.Key
+		marker := "≈"
+		if res.Exact {
+			marker = "="
+		}
+		fmt.Printf("  %2d. object %7d  count %s %d (exact %d)\n", i+1, it.Key, marker, it.Count, exact[it.Key])
+	}
+	s := m.Stats()
+	fmt.Printf("sample size %d (ρ=%.2g)  k*=%d  exact=%v\n", res.SampleSize, res.Rho, res.KStar, res.Exact)
+	fmt.Printf("realized error ε̃ = %.3g (bound %g)\n", stats.EpsTilde(exact, keys, n), *eps)
+	fmt.Printf("bottleneck words/PE %d, startups/PE %d\n", s.BottleneckWords(), s.MaxSends)
+}

@@ -1,0 +1,84 @@
+// Command topkbench regenerates the paper's evaluation tables and figures
+// (see EXPERIMENTS.md for the mapping to the paper).
+//
+// Usage:
+//
+//	topkbench -exp fig6|fig7a|fig7b|fig8|fig5|table1|amsbatch|pqflex|dht|redist|coll|all
+//	          [-pmax 64] [-perpe 1048576] [-k 32] [-seed 1]
+//
+// Larger -perpe / -pmax approach the paper's scales at the cost of run
+// time; the defaults finish in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"commtopk/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, all)")
+	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
+	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
+	k := flag.Int("k", 32, "output size k")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	pList := experiments.PList(*pmax)
+	var tables []experiments.Table
+
+	want := func(id string) bool { return *exp == id || *exp == "all" }
+
+	if want("fig6") {
+		// k values spread across the input as in the paper (2^10, 2^20, 2^26
+		// against n/p=2^28): here 2^10, and two larger ones scaled to n/p.
+		ks := []int64{1 << 10, int64(*perPE) / 64, int64(*perPE) / 4}
+		tables = append(tables, experiments.Fig6(*perPE, pList, ks, *seed))
+	}
+	if want("fig7a") {
+		tables = append(tables, experiments.Fig7(*perPE/4, pList, *k, 0.02, 1e-4, *seed))
+	}
+	if want("fig7b") {
+		tables = append(tables, experiments.Fig7(*perPE, pList, *k, 0.02, 1e-4, *seed))
+	}
+	if want("fig8") {
+		tables = append(tables, experiments.Fig8(*perPE, pList, *k, 5e-4, 1e-8, *seed))
+	}
+	if want("fig5") {
+		tables = append(tables, experiments.Fig5(min(8, *pmax), 6, *seed))
+	}
+	if want("table1") {
+		p := min(64, *pmax)
+		tables = append(tables, experiments.Table1(p, *perPE/4, *k, *seed))
+	}
+	if want("amsbatch") {
+		tables = append(tables, experiments.AblationAMSBatch(min(8, *pmax), *perPE/8,
+			int64(*perPE)/4, int64(*perPE)/4+int64(*perPE)/256, *seed))
+	}
+	if want("pqflex") {
+		tables = append(tables, experiments.AblationPQFlexible(min(8, *pmax), *perPE/8, int64(*k)*16, *seed))
+	}
+	if want("dht") {
+		tables = append(tables, experiments.AblationDHTRouting(min(16, *pmax), 4096, *seed))
+	}
+	if want("redist") {
+		tables = append(tables, experiments.AblationRedistribution(min(16, *pmax), *perPE/8, *seed))
+	}
+	if want("coll") {
+		tables = append(tables, experiments.CollectivesScaling(pList))
+	}
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var sb strings.Builder
+	for i := range tables {
+		tables[i].Render(&sb)
+	}
+	fmt.Print(sb.String())
+}

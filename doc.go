@@ -1,0 +1,14 @@
+// Package commtopk is a communication-efficient distributed top-k selection
+// library, reproducing "Communication Efficient Algorithms for Top-k
+// Selection Problems" (Hübschle-Schneider, Sanders, Müller; IPDPS 2016).
+//
+// The library runs the paper's algorithms on a simulated distributed machine
+// (internal/comm): p processing elements are goroutines exchanging messages
+// over channels, with every message metered in machine words and startups so
+// that the paper's cost model O(x + βy + αz) is directly observable.
+//
+// Entry points live in internal/core (high-level façade) and the per-problem
+// packages internal/sel, internal/bpq, internal/freq, internal/agg,
+// internal/mtopk and internal/redist. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduced evaluation.
+package commtopk

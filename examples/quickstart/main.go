@@ -1,0 +1,56 @@
+// Quickstart: create a simulated cluster, run the two headline queries —
+// top-k smallest (selection) and top-k most frequent — and read the
+// communication bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"commtopk/internal/core"
+	"commtopk/internal/freq"
+	"commtopk/internal/xrand"
+)
+
+func main() {
+	const p = 8       // processing elements (simulated as goroutines)
+	const n = 400_000 // global input size
+	const k = 10      // output size
+
+	// Generate a skewed global dataset and split it across the PEs.
+	rng := xrand.New(42)
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(rng.Intn(1000)) * uint64(rng.Intn(1000)) // skewed products
+	}
+
+	cluster := core.New(p, core.WithSeed(7))
+
+	// 1. The k globally smallest elements (Section 4.1 of the paper).
+	smallest, err := cluster.TopKSmallest(core.Split(data, p), k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d smallest elements: %v\n", k, smallest)
+
+	// 2. The k most frequent objects, approximated from a small sample with
+	// exact counting of the finalists (Section 7.2).
+	cluster.ResetStats()
+	res, err := cluster.TopKFrequent(core.Split(data, p), freq.Params{
+		K: k, Eps: 0.01, Delta: 0.001,
+	}, "ec")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%d most frequent objects (sampled %d of %d elements):\n", k, res.SampleSize, n)
+	for i, item := range res.Items {
+		fmt.Printf("  %2d. value %6d  count %d\n", i+1, item.Key, item.Count)
+	}
+
+	// 3. The communication bill: the whole query moved a few kilowords per
+	// PE — far below the n/p words a shuffle-based approach would need.
+	s := cluster.Stats()
+	fmt.Printf("\ncommunication: bottleneck %d words/PE, %d startups/PE (n/p = %d)\n",
+		s.BottleneckWords(), s.MaxSends, n/p)
+}

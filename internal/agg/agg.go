@@ -1,0 +1,274 @@
+// Package agg implements top-k sum aggregation (Section 8 of the paper):
+// the input is a multiset of (key, value) pairs with non-negative values,
+// and the query asks for the k keys with the largest value sums.
+//
+// The algorithms carry over from the frequent-objects case with a
+// different sampling procedure (Section 8.1): the local input is first
+// aggregated per key, and each aggregated value v yields ⌊v/v_avg⌋
+// deterministic samples plus one more with probability frac(v/v_avg),
+// where v_avg = m/s for total value m and target sample size s. Per key
+// and PE the sample count then deviates from its expectation by at most 1,
+// which is what the Hoeffding analysis of Theorem 15 needs.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/dht"
+	"commtopk/internal/sel"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+// Params configures a top-k sum aggregation query.
+type Params struct {
+	// K is the number of keys to return.
+	K int
+	// Eps is the relative error bound (relative to the total sum m).
+	Eps float64
+	// Delta is the failure probability.
+	Delta float64
+	// Route selects the DHT insertion routing.
+	Route dht.RouteMode
+	// KStarOverride fixes the exactly-summed candidate count for ECSum.
+	KStarOverride int
+}
+
+func (p Params) validate() {
+	if p.K < 1 || p.Eps <= 0 || p.Delta <= 0 || p.Delta >= 1 {
+		panic(fmt.Sprintf("agg: invalid params %+v", p))
+	}
+}
+
+// ItemSum is one key with its (estimated or exact) global value sum.
+type ItemSum struct {
+	Key uint64
+	Sum float64
+}
+
+// Result is the outcome of a sum-aggregation query; identical on all PEs.
+type Result struct {
+	// Items are the top-k keys by sum, largest first.
+	Items []ItemSum
+	// SampleSize is the realized global sample size (in sample units).
+	SampleSize int64
+	// VAvg is the value mass per sample unit.
+	VAvg float64
+	// Exact reports whether sums are exact.
+	Exact bool
+	// KStar is the exactly summed candidate count (ECSum only).
+	KStar int
+}
+
+// LocalAggregate sums values per key — the first step of Section 8.1 and
+// a useful public helper.
+func LocalAggregate(keys []uint64, values []float64) map[uint64]float64 {
+	if len(keys) != len(values) {
+		panic("agg: keys/values length mismatch")
+	}
+	m := make(map[uint64]float64, len(keys))
+	for i, k := range keys {
+		v := values[i]
+		if v < 0 {
+			panic("agg: negative value")
+		}
+		m[k] += v
+	}
+	return m
+}
+
+// sampleAggregated converts aggregated values into integer sample counts:
+// floor + Bernoulli residual (Section 8.1).
+func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) map[uint64]int64 {
+	out := make(map[uint64]int64, len(local))
+	for k, v := range local {
+		q := v / vavg
+		c := int64(q)
+		if rng.Bernoulli(q - float64(c)) {
+			c++
+		}
+		if c > 0 {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// PAC computes an (ε, δ)-approximation of the top-k highest-summing keys
+// (Theorem 15). Collective.
+func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	local := LocalAggregate(keys, values)
+	n := coll.SumAll(pe, int64(len(keys)))
+	mTotal := sumAllFloat(pe, totalOf(local))
+	if mTotal <= 0 {
+		return Result{}
+	}
+	s := stats.SumAggSampleSize(n, pe.P(), p.Eps, p.Delta)
+	vavg := mTotal / s
+
+	agg := sampleAggregated(local, vavg, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+	shard := dht.CountKeys(pe, agg, p.Route)
+	top := selectTopK(pe, shard, p.K, rng)
+	items := make([]ItemSum, len(top))
+	for i, kv := range top {
+		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) * vavg}
+	}
+	return Result{Items: items, SampleSize: sampleSize, VAvg: vavg}
+}
+
+// ECSum is the exact-summation variant (end of Section 8.2): like PAC,
+// but the k* highest-sampled candidates are summed exactly — and unlike
+// the frequent-objects case, no second input scan is needed: "a lookup in
+// the local aggregation result now suffices". Collective.
+func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	local := LocalAggregate(keys, values)
+	n := coll.SumAll(pe, int64(len(keys)))
+	mTotal := sumAllFloat(pe, totalOf(local))
+	if mTotal <= 0 {
+		return Result{}
+	}
+	kStar := p.KStarOverride
+	if kStar <= 0 {
+		kStar = stats.OptimalKStar(n, p.K, pe.P(), p.Eps, p.Delta)
+	}
+	// The exact-counting pass lets the sample shrink by the factor k*
+	// exactly as in Lemma 10; reuse the frequent-objects rate.
+	s := stats.SumAggSampleSize(n, pe.P(), p.Eps, p.Delta) / math.Sqrt(float64(kStar))
+	if s < float64(4*p.K) {
+		s = float64(4 * p.K)
+	}
+	vavg := mTotal / s
+
+	agg := sampleAggregated(local, vavg, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+	shard := dht.CountKeys(pe, agg, p.Route)
+	candidates := selectTopK(pe, shard, kStar, rng)
+
+	// Exact sums by local lookup + vector reduction.
+	ids := make([]uint64, len(candidates))
+	for i, kv := range candidates {
+		ids[i] = kv.Key
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sums := make([]float64, len(ids))
+	for i, id := range ids {
+		sums[i] = local[id]
+	}
+	var items []ItemSum
+	if len(ids) > 0 {
+		global := coll.AllReduce(pe, sums, func(a, b float64) float64 { return a + b })
+		items = make([]ItemSum, len(ids))
+		for i, id := range ids {
+			items[i] = ItemSum{Key: id, Sum: global[i]}
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Sum != items[j].Sum {
+				return items[i].Sum > items[j].Sum
+			}
+			return items[i].Key < items[j].Key
+		})
+		if len(items) > p.K {
+			items = items[:p.K]
+		}
+	}
+	return Result{Items: items, SampleSize: sampleSize, VAvg: vavg, Exact: true, KStar: kStar}
+}
+
+// ExactTopSums computes the exact answer through the DHT (ground truth
+// for tests; not communication-efficient). Collective.
+func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht.RouteMode, rng *xrand.RNG) []ItemSum {
+	local := LocalAggregate(keys, values)
+	// Scale to fixed point so the counting DHT can carry sums.
+	const scale = 1 << 20
+	fixed := make(map[uint64]int64, len(local))
+	for key, v := range local {
+		fixed[key] = int64(v * scale)
+	}
+	shard := dht.CountKeys(pe, fixed, route)
+	top := selectTopK(pe, shard, k, rng)
+	items := make([]ItemSum, len(top))
+	for i, kv := range top {
+		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) / scale}
+	}
+	return items
+}
+
+func totalOf(m map[uint64]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func mapSize(m map[uint64]int64) int64 {
+	var t int64
+	for _, c := range m {
+		t += c
+	}
+	return t
+}
+
+func sumAllFloat(pe *comm.PE, v float64) float64 {
+	return coll.AllReduceScalar(pe, v, func(a, b float64) float64 { return a + b })
+}
+
+// selectTopK mirrors freq.selectTopK for count shards (duplicated to keep
+// the packages independent; the selection itself is Section 4.1).
+func selectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []dht.KV {
+	items := make([]dht.KV, 0, len(shard))
+	ords := make([]uint64, 0, len(shard))
+	for key, c := range shard {
+		items = append(items, dht.KV{Key: key, Count: c})
+		ords = append(ords, ^uint64(c))
+	}
+	total := coll.SumAll(pe, int64(len(items)))
+	if total == 0 {
+		return nil
+	}
+	if total <= int64(k) {
+		all := coll.AllGatherConcat(pe, items)
+		sortKVDesc(all)
+		return all
+	}
+	thr := sel.Kth(pe, ords, int64(k), rng)
+	thrCount := int64(^thr)
+	var selected []dht.KV
+	var ties int64
+	for _, it := range items {
+		if it.Count > thrCount {
+			selected = append(selected, it)
+		} else if it.Count == thrCount {
+			ties++
+		}
+	}
+	nAbove := coll.SumAll(pe, int64(len(selected)))
+	needTies := int64(k) - nAbove
+	prevTies := coll.ExScanSum(pe, ties)
+	take := min(max(needTies-prevTies, 0), ties)
+	for _, it := range items {
+		if it.Count == thrCount && take > 0 {
+			selected = append(selected, it)
+			take--
+		}
+	}
+	out := coll.AllGatherConcat(pe, selected)
+	sortKVDesc(out)
+	return out
+}
+
+func sortKVDesc(items []dht.KV) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+}

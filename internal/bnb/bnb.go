@@ -1,0 +1,237 @@
+// Package bnb is a distributed best-first branch-and-bound driver on top
+// of the bulk-parallel priority queue — the application Section 5 of the
+// paper uses to motivate flexible batch sizes: "In iteration i of its main
+// loop, it deletes the smallest k_i = O(p) elements from the queue,
+// expands these nodes in parallel, and inserts newly generated elements."
+//
+// Newly generated nodes are inserted into the *local* queue (the
+// communication-efficient property: a typical computation inserts far
+// more nodes than it removes, and local insertion makes those free),
+// while deleteMin* keeps every PE working on globally best-first nodes.
+package bnb
+
+import (
+	"math"
+
+	"commtopk/internal/bpq"
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+// Problem defines a minimization branch-and-bound search over nodes of
+// type N. Bounds must be admissible (never exceed the true best objective
+// reachable from the node) for the search to be exact.
+type Problem[N any] interface {
+	// Root returns the initial node.
+	Root() N
+	// Expand returns the children of a (non-terminal) node.
+	Expand(n N) []N
+	// Bound returns a lower bound on any objective reachable from n.
+	Bound(n N) float64
+	// Solution returns (objective, true) if n is a complete solution.
+	Solution(n N) (float64, bool)
+}
+
+// Config tunes the driver.
+type Config struct {
+	// BatchMin/BatchMax bound the flexible deleteMin* batch size per
+	// iteration. Zero values default to p and 4p (the paper's k_i = O(p)).
+	BatchMin, BatchMax int64
+}
+
+// Result summarizes a finished search.
+type Result[N any] struct {
+	// Objective is the optimal objective value (+Inf if no solution).
+	Objective float64
+	// Best is the optimal node on the PE that found it; valid where
+	// Found is true (exactly one PE).
+	Best N
+	// Found reports whether this PE holds the optimal node.
+	Found bool
+	// Expanded is the global number of expanded nodes (the paper's K).
+	Expanded int64
+	// Iterations is the number of deleteMin* rounds.
+	Iterations int
+}
+
+// PrioFromFloat maps a float64 to a uint32 whose unsigned order matches
+// the float order (sign-flip trick), rounding *down* so that a node's
+// encoded priority never exceeds its true bound — guaranteeing the
+// termination test errs toward extra work, never toward premature stops.
+func PrioFromFloat(f float64) uint32 {
+	f32 := float32(f)
+	if float64(f32) > f {
+		f32 = math.Nextafter32(f32, float32(math.Inf(-1)))
+	}
+	u := math.Float32bits(f32)
+	if u&0x80000000 != 0 {
+		return ^u
+	}
+	return u | 0x80000000
+}
+
+// FloatFromPrio inverts PrioFromFloat (up to the downward rounding).
+func FloatFromPrio(u uint32) float64 {
+	if u&0x80000000 != 0 {
+		return float64(math.Float32frombits(u &^ 0x80000000))
+	}
+	return float64(math.Float32frombits(^u))
+}
+
+// Solve runs the distributed search. Collective: every PE must call it
+// with the same problem and seed. The returned Expanded/Objective/
+// Iterations agree on all PEs; Found is true on exactly one PE (if a
+// solution exists), whose Best holds the optimum.
+func Solve[N any](pe *comm.PE, prob Problem[N], seed int64, cfg Config) Result[N] {
+	p := int64(pe.P())
+	if cfg.BatchMin <= 0 {
+		cfg.BatchMin = p
+	}
+	if cfg.BatchMax <= cfg.BatchMin {
+		cfg.BatchMax = 4 * cfg.BatchMin
+	}
+
+	q := bpq.New[uint64](pe, seed)
+	store := make(map[uint64]N)
+	var seq uint32
+	push := func(n N, bound float64) {
+		key := bpq.MakeUnique(PrioFromFloat(bound), seq, pe.Rank(), pe.P())
+		seq++
+		store[key] = n
+		q.Insert(key)
+	}
+	if pe.Rank() == 0 {
+		root := prob.Root()
+		if v, ok := prob.Solution(root); ok {
+			return Result[N]{Objective: v, Best: root, Found: true}
+		}
+		push(root, prob.Bound(root))
+	}
+
+	incumbent := math.Inf(1)
+	var best N
+	found := false
+	var expanded int64
+	iter := 0
+	for {
+		iter++
+		globalInc := coll.MinAll(pe, incumbent)
+		minKey, ok := q.PeekMin()
+		if !ok {
+			break
+		}
+		// Downward-rounded priorities make this prune-or-stop test safe.
+		if FloatFromPrio(uint32(minKey>>32)) >= globalInc {
+			break
+		}
+		batch, _ := q.DeleteMinFlexible(cfg.BatchMin, cfg.BatchMax)
+		for _, key := range batch {
+			n := store[key]
+			delete(store, key)
+			if FloatFromPrio(uint32(key>>32)) >= globalInc {
+				continue // pruned: bound can no longer beat the incumbent
+			}
+			expanded++
+			for _, c := range prob.Expand(n) {
+				if v, ok := prob.Solution(c); ok {
+					if v < incumbent {
+						incumbent, best, found = v, c, true
+					}
+					continue
+				}
+				if b := prob.Bound(c); b < incumbent {
+					push(c, b)
+				}
+			}
+		}
+	}
+
+	objective := coll.MinAll(pe, incumbent)
+	// Exactly one PE claims the optimum (lowest rank among holders).
+	holder := pe.P()
+	if found && incumbent == objective {
+		holder = pe.Rank()
+	}
+	holder = coll.MinAll(pe, holder)
+	res := Result[N]{
+		Objective:  objective,
+		Expanded:   coll.SumAll(pe, expanded),
+		Iterations: iter,
+	}
+	if found && pe.Rank() == holder {
+		res.Best = best
+		res.Found = true
+	}
+	return res
+}
+
+// SolveSequential is the single-threaded best-first reference (the
+// paper's m in K = m + O(hp)): same problem interface, plain binary heap.
+func SolveSequential[N any](prob Problem[N]) (objective float64, best N, found bool, expanded int64) {
+	type entry struct {
+		bound float64
+		node  N
+	}
+	var heap []entry
+	pushH := func(e entry) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].bound <= heap[i].bound {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	popH := func() entry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && heap[l].bound < heap[smallest].bound {
+				smallest = l
+			}
+			if r < len(heap) && heap[r].bound < heap[smallest].bound {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+
+	incumbent := math.Inf(1)
+	root := prob.Root()
+	if v, ok := prob.Solution(root); ok {
+		return v, root, true, 0
+	}
+	pushH(entry{prob.Bound(root), root})
+	for len(heap) > 0 {
+		e := popH()
+		if e.bound >= incumbent {
+			break // best-first: everything else is worse
+		}
+		expanded++
+		for _, c := range prob.Expand(e.node) {
+			if v, ok := prob.Solution(c); ok {
+				if v < incumbent {
+					incumbent, best, found = v, c, true
+				}
+				continue
+			}
+			if b := prob.Bound(c); b < incumbent {
+				pushH(entry{b, c})
+			}
+		}
+	}
+	return incumbent, best, found, expanded
+}

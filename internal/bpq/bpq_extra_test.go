@@ -1,0 +1,88 @@
+package bpq
+
+import (
+	"slices"
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+func TestDeleteMinFlexibleDrainPaths(t *testing.T) {
+	// kmin/kmax exceeding the queue size must drain everything; an empty
+	// queue must return nothing; kmax <= 0 must be a no-op.
+	const p = 3
+	parts, sorted := uniqueValues(21, 50, p)
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	out := make([][]uint64, p)
+	m.MustRun(func(pe *comm.PE) {
+		q := New[uint64](pe, 22)
+		q.InsertBulk(parts[pe.Rank()])
+		if got, k := q.DeleteMinFlexible(0, 0); got != nil || k != 0 {
+			t.Errorf("kmax=0 returned %v/%d", got, k)
+		}
+		share, k := q.DeleteMinFlexible(100, 400) // larger than the 50 present
+		if k != 50 {
+			t.Errorf("oversized flexible delete removed %d", k)
+		}
+		out[pe.Rank()] = share
+		if got, k := q.DeleteMinFlexible(1, 10); got != nil || k != 0 {
+			t.Errorf("empty queue returned %v/%d", got, k)
+		}
+	})
+	var all []uint64
+	for _, s := range out {
+		all = append(all, s...)
+	}
+	slices.Sort(all)
+	if !slices.Equal(all, sorted) {
+		t.Error("drain lost elements")
+	}
+}
+
+func TestDeleteMinFlexibleKminClamped(t *testing.T) {
+	// kmin < 1 is clamped to 1, not treated as "may return zero".
+	const p = 2
+	parts, _ := uniqueValues(23, 40, p)
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	m.MustRun(func(pe *comm.PE) {
+		q := New[uint64](pe, 24)
+		q.InsertBulk(parts[pe.Rank()])
+		_, k := q.DeleteMinFlexible(0, 10)
+		if k < 1 || k > 10 {
+			t.Errorf("clamped flexible delete removed %d", k)
+		}
+	})
+}
+
+func TestTreapSeqAtOutOfRangePanics(t *testing.T) {
+	const p = 1
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	err := m.Run(func(pe *comm.PE) {
+		q := New[uint64](pe, 25)
+		q.Insert(5)
+		seq := treapSeq[uint64]{q.tree}
+		if seq.Len() != 1 || seq.At(0) != 5 {
+			t.Error("treapSeq accessors wrong")
+		}
+		if seq.CountLess(5) != 0 || seq.CountLE(5) != 1 {
+			t.Error("treapSeq counts wrong")
+		}
+		seq.At(3) // must panic
+	})
+	if err == nil {
+		t.Error("At out of range should panic")
+	}
+}
+
+func TestInsertDuplicateRejectedLocally(t *testing.T) {
+	m := comm.NewMachine(comm.DefaultConfig(1))
+	m.MustRun(func(pe *comm.PE) {
+		q := New[uint64](pe, 26)
+		if !q.Insert(9) || q.Insert(9) {
+			t.Error("duplicate insert semantics wrong")
+		}
+		if q.LocalLen() != 1 {
+			t.Errorf("LocalLen = %d", q.LocalLen())
+		}
+	})
+}

@@ -1,0 +1,478 @@
+// Package coll implements the collective communication operations of
+// Section 2 of the paper on top of the point-to-point primitives of
+// internal/comm: broadcast, (all-)reduction, prefix sums, gather, scatter,
+// all-gather, all-to-all, and the hypercube all-to-all with per-step
+// combining used for distributed hash table insertion.
+//
+// All collectives are implemented with binomial trees, recursive doubling
+// or hypercube exchanges, so their measured startup counts are O(log p)
+// and their measured volumes match the O(βm + α log p) bounds the paper
+// assumes. Every collective must be entered by all PEs (SPMD discipline);
+// tags are drawn from the synchronized per-PE sequence.
+package coll
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"unsafe"
+
+	"commtopk/internal/comm"
+)
+
+// WordsOf returns the size of T in 64-bit machine words (rounded up),
+// used to meter messages in the paper's unit of account.
+func WordsOf[T any]() int64 {
+	var zero T
+	sz := int64(unsafe.Sizeof(zero))
+	if sz == 0 {
+		return 0
+	}
+	return (sz + 7) / 8
+}
+
+func sliceWords[T any](s []T) int64 { return int64(len(s)) * WordsOf[T]() }
+
+// Barrier synchronizes all PEs (a zero-word all-reduce).
+func Barrier(pe *comm.PE) {
+	AllReduce(pe, []int64{0}, func(a, b int64) int64 { return a + b })
+}
+
+// Broadcast distributes root's data to all PEs along a binomial tree and
+// returns it everywhere. Non-root inputs are ignored. The returned slice
+// is shared between PEs in-process and must be treated as read-only; use
+// slices.Clone if mutation is needed.
+func Broadcast[T any](pe *comm.PE, root int, data []T) []T {
+	p := pe.P()
+	if p == 1 {
+		return data
+	}
+	tag := pe.NextCollTag()
+	vr := (pe.Rank() - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			rx, _ := pe.Recv(parent, tag)
+			data = rx.([]T)
+			break
+		}
+		mask <<= 1
+	}
+	// mask is now the position at which we received (or ≥p for the root);
+	// children sit at vr|m for all m below it.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		child := vr | mask
+		if child < p && child != vr {
+			pe.Send((child+root)%p, tag, data, sliceWords(data))
+		}
+	}
+	return data
+}
+
+// BroadcastScalar broadcasts a single value from root.
+func BroadcastScalar[T any](pe *comm.PE, root int, v T) T {
+	return Broadcast(pe, root, []T{v})[0]
+}
+
+func combineInto[T any](op func(a, b T) T, acc, rx []T) []T {
+	if len(acc) != len(rx) {
+		panic(fmt.Sprintf("coll: reduction vector length mismatch: %d vs %d", len(acc), len(rx)))
+	}
+	out := make([]T, len(acc))
+	for i := range acc {
+		out[i] = op(acc[i], rx[i])
+	}
+	return out
+}
+
+// Reduce combines the vectors x elementwise with op along a binomial tree;
+// the result lands on root (nil elsewhere). op must be associative and
+// commutative.
+func Reduce[T any](pe *comm.PE, root int, x []T, op func(a, b T) T) []T {
+	p := pe.P()
+	if p == 1 {
+		return slices.Clone(x)
+	}
+	tag := pe.NextCollTag()
+	vr := (pe.Rank() - root + p) % p
+	acc := x
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			pe.Send(parent, tag, acc, sliceWords(acc))
+			return nil
+		}
+		src := vr | mask
+		if src < p {
+			rx, _ := pe.Recv((src+root)%p, tag)
+			acc = combineInto(op, acc, rx.([]T))
+		}
+		mask <<= 1
+	}
+	if vr != 0 {
+		return nil
+	}
+	if &acc[0] == &x[0] { // no child contributed; do not alias caller data
+		acc = slices.Clone(x)
+	}
+	return acc
+}
+
+// AllReduce combines x elementwise with op and returns the result on all
+// PEs. Short vectors use recursive doubling (volume m·log p, minimal
+// latency); long vectors switch to reduce-scatter + all-gather
+// (Rabenseifner), whose volume is O(m) independent of p — the
+// full-bandwidth regime of the collectives the paper cites [33]. Both
+// paths fold non-power-of-two stragglers onto partners first.
+func AllReduce[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
+	p := pe.P()
+	if p == 1 {
+		return slices.Clone(x)
+	}
+	tag := pe.NextCollTag()
+	rank := pe.Rank()
+	r := 1
+	for r*2 <= p {
+		r *= 2
+	}
+	extra := p - r
+	acc := slices.Clone(x)
+	if rank >= r {
+		pe.Send(rank-r, tag, acc, sliceWords(acc))
+		rx, _ := pe.Recv(rank-r, tag)
+		return rx.([]T)
+	}
+	if rank < extra {
+		rx, _ := pe.Recv(rank+r, tag)
+		acc = combineInto(op, acc, rx.([]T))
+	}
+	if int64(len(acc))*WordsOf[T]() >= int64(4*r) && r > 2 {
+		allReduceLong(pe, rank, r, tag, acc, op)
+	} else {
+		for mask := 1; mask < r; mask <<= 1 {
+			partner := rank ^ mask
+			rx, _ := pe.SendRecv(partner, acc, sliceWords(acc), partner, tag)
+			acc = combineInto(op, acc, rx.([]T))
+		}
+	}
+	if rank < extra {
+		pe.Send(rank+r, tag, acc, sliceWords(acc))
+	}
+	return acc
+}
+
+// allReduceLong is the Rabenseifner path among the r (power of two)
+// low ranks: recursive-halving reduce-scatter followed by
+// recursive-doubling all-gather, mutating acc in place. Volume per PE is
+// ≈ 2·m·(1−1/r) words in 2·log r startups.
+func allReduceLong[T any](pe *comm.PE, rank, r int, tag comm.Tag, acc []T, op func(a, b T) T) {
+	lo, hi := 0, len(acc)
+	type level struct {
+		partner int
+		keptLow bool
+		mid     int
+		lowLen  int
+		highLen int
+	}
+	var hist []level
+	// Reduce-scatter by recursive halving.
+	for mask := r / 2; mask >= 1; mask >>= 1 {
+		partner := rank ^ mask
+		mid := lo + (hi-lo)/2
+		keepLow := rank&mask == 0
+		var sendSeg []T
+		if keepLow {
+			sendSeg = slices.Clone(acc[mid:hi])
+		} else {
+			sendSeg = slices.Clone(acc[lo:mid])
+		}
+		rx, _ := pe.SendRecv(partner, sendSeg, sliceWords(sendSeg), partner, tag)
+		rseg := rx.([]T)
+		if keepLow {
+			for i, v := range rseg {
+				acc[lo+i] = op(acc[lo+i], v)
+			}
+			hist = append(hist, level{partner, true, mid, mid - lo, hi - mid})
+			hi = mid
+		} else {
+			for i, v := range rseg {
+				acc[mid+i] = op(acc[mid+i], v)
+			}
+			hist = append(hist, level{partner, false, mid, mid - lo, hi - mid})
+			lo = mid
+		}
+	}
+	// All-gather by retracing the halving in reverse.
+	for i := len(hist) - 1; i >= 0; i-- {
+		lv := hist[i]
+		sendSeg := slices.Clone(acc[lo:hi])
+		rx, _ := pe.SendRecv(lv.partner, sendSeg, sliceWords(sendSeg), lv.partner, tag)
+		rseg := rx.([]T)
+		if lv.keptLow {
+			copy(acc[hi:hi+len(rseg)], rseg)
+			hi += lv.highLen
+		} else {
+			copy(acc[lo-len(rseg):lo], rseg)
+			lo -= lv.lowLen
+		}
+	}
+}
+
+// AllReduceScalar is AllReduce for a single value.
+func AllReduceScalar[T any](pe *comm.PE, v T, op func(a, b T) T) T {
+	return AllReduce(pe, []T{v}, op)[0]
+}
+
+// SumAll returns the global sum of v across PEs on all PEs.
+func SumAll[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
+	return AllReduceScalar(pe, v, func(a, b T) T { return a + b })
+}
+
+// MinAll returns the global minimum of v across PEs on all PEs.
+func MinAll[T cmp.Ordered](pe *comm.PE, v T) T {
+	return AllReduceScalar(pe, v, func(a, b T) T { return min(a, b) })
+}
+
+// MaxAll returns the global maximum of v across PEs on all PEs.
+func MaxAll[T cmp.Ordered](pe *comm.PE, v T) T {
+	return AllReduceScalar(pe, v, func(a, b T) T { return max(a, b) })
+}
+
+// InScan returns the inclusive prefix combination of x: PE j receives
+// op(x@0, ..., x@j) elementwise (Hillis–Steele dissemination, O(log p)
+// rounds).
+func InScan[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
+	p := pe.P()
+	acc := slices.Clone(x)
+	if p == 1 {
+		return acc
+	}
+	tag := pe.NextCollTag()
+	rank := pe.Rank()
+	for d := 1; d < p; d <<= 1 {
+		// acc currently covers ranks (rank-d, rank]; exchange to extend.
+		if rank+d < p {
+			pe.Send(rank+d, tag, acc, sliceWords(acc))
+		}
+		if rank-d >= 0 {
+			rx, _ := pe.Recv(rank-d, tag)
+			acc = combineInto(op, rx.([]T), acc)
+		}
+	}
+	return acc
+}
+
+// ExScan returns the exclusive prefix combination of x: PE j receives
+// op(x@0, ..., x@(j-1)), and PE 0 receives identity.
+func ExScan[T any](pe *comm.PE, x []T, op func(a, b T) T, identity []T) []T {
+	p := pe.P()
+	if p == 1 {
+		return slices.Clone(identity)
+	}
+	incl := InScan(pe, x, op)
+	tag := pe.NextCollTag()
+	rank := pe.Rank()
+	if rank+1 < p {
+		pe.Send(rank+1, tag, incl, sliceWords(incl))
+	}
+	if rank == 0 {
+		return slices.Clone(identity)
+	}
+	rx, _ := pe.Recv(rank-1, tag)
+	return rx.([]T)
+}
+
+// ExScanSum returns the exclusive prefix sum of a scalar.
+func ExScanSum[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
+	return ExScan(pe, []T{v}, func(a, b T) T { return a + b }, []T{0})[0]
+}
+
+// rankedBlock carries a PE's contribution through a gather tree.
+type rankedBlock[T any] struct {
+	rank int
+	data []T
+}
+
+// Gatherv collects every PE's slice on root: the returned slice of slices
+// is indexed by rank on root, nil elsewhere. Contributions may have
+// different lengths. Uses a binomial tree (O(α log p) startups; each tree
+// edge carries its whole subtree, so volume is O(β·total) at the root's
+// incoming edges, matching the model).
+func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
+	p := pe.P()
+	if p == 1 {
+		return [][]T{data}
+	}
+	tag := pe.NextCollTag()
+	vr := (pe.Rank() - root + p) % p
+	hold := []rankedBlock[T]{{rank: pe.Rank(), data: data}}
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			dst := ((vr &^ mask) + root) % p
+			var words int64
+			for _, b := range hold {
+				words += sliceWords(b.data)
+			}
+			pe.Send(dst, tag, hold, words)
+			return nil
+		}
+		src := vr | mask
+		if src < p {
+			rx, _ := pe.Recv((src+root)%p, tag)
+			hold = append(hold, rx.([]rankedBlock[T])...)
+		}
+		mask <<= 1
+	}
+	out := make([][]T, p)
+	for _, b := range hold {
+		out[b.rank] = b.data
+	}
+	return out
+}
+
+// Scatterv distributes parts[i] from root to PE i along a binomial tree and
+// returns the local part on every PE. parts is only read on root.
+func Scatterv[T any](pe *comm.PE, root int, parts [][]T) []T {
+	p := pe.P()
+	if p == 1 {
+		return parts[0]
+	}
+	if pe.Rank() == root && len(parts) != p {
+		panic(fmt.Sprintf("coll: Scatterv needs %d parts, got %d", p, len(parts)))
+	}
+	tag := pe.NextCollTag()
+	vr := (pe.Rank() - root + p) % p
+
+	// mySpan is the power of two covering my subtree in vr-space.
+	mySpan := 1
+	if vr == 0 {
+		for mySpan < p {
+			mySpan <<= 1
+		}
+	} else {
+		mySpan = vr & (-vr)
+	}
+
+	var hold []rankedBlock[T]
+	if vr == 0 {
+		for i, part := range parts {
+			hold = append(hold, rankedBlock[T]{rank: (i - root + p) % p, data: part})
+		}
+	} else {
+		parent := ((vr - mySpan) + root) % p
+		rx, _ := pe.Recv(parent, tag)
+		hold = rx.([]rankedBlock[T])
+	}
+	var mine []T
+	for mask := mySpan >> 1; mask >= 1; mask >>= 1 {
+		child := vr | mask
+		if child >= p {
+			continue
+		}
+		var block []rankedBlock[T]
+		var words int64
+		for _, b := range hold {
+			if b.rank >= child && b.rank < child+mask {
+				block = append(block, b)
+				words += sliceWords(b.data)
+			}
+		}
+		pe.Send((child+root)%p, tag, block, words)
+		// Keep only what remains in my half.
+		var rest []rankedBlock[T]
+		for _, b := range hold {
+			if b.rank < child || b.rank >= child+mask {
+				rest = append(rest, b)
+			}
+		}
+		hold = rest
+	}
+	for _, b := range hold {
+		if b.rank == vr {
+			mine = b.data
+		}
+	}
+	return mine
+}
+
+// AllGatherv collects every PE's slice on all PEs (indexed by rank). It is
+// realized as a gather to PE 0 followed by a broadcast of the flattened
+// assembly, which preserves the O(β·total + α log p) bound (with a
+// factor-2 volume constant; the paper's gossiping achieves the same
+// asymptotics). The flattening keeps the word metering honest: the
+// broadcast carries the actual payload, not slice headers.
+func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
+	parts := Gatherv(pe, 0, data)
+	p := pe.P()
+	var flat []T
+	var lens []int64
+	if pe.Rank() == 0 {
+		lens = make([]int64, p)
+		for i, part := range parts {
+			lens[i] = int64(len(part))
+			flat = append(flat, part...)
+		}
+	}
+	lens = Broadcast(pe, 0, lens)
+	flat = Broadcast(pe, 0, flat)
+	out := make([][]T, p)
+	var off int64
+	for i := range out {
+		out[i] = flat[off : off+lens[i]]
+		off += lens[i]
+	}
+	return out
+}
+
+// AllGatherConcat collects every PE's slice concatenated in rank order.
+func AllGatherConcat[T any](pe *comm.PE, data []T) []T {
+	parts := AllGatherv(pe, data)
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// AllToAll delivers parts[i] from every PE to PE i; the result is indexed
+// by source rank. Direct point-to-point delivery: p-1 startups per PE,
+// pairwise-staggered to avoid hot spots.
+func AllToAll[T any](pe *comm.PE, parts [][]T) [][]T {
+	p := pe.P()
+	if len(parts) != p {
+		panic(fmt.Sprintf("coll: AllToAll needs %d parts, got %d", p, len(parts)))
+	}
+	out := make([][]T, p)
+	out[pe.Rank()] = parts[pe.Rank()]
+	if p == 1 {
+		return out
+	}
+	tag := pe.NextCollTag()
+	rank := pe.Rank()
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		src := (rank - i + p) % p
+		pe.Send(dst, tag, parts[dst], sliceWords(parts[dst]))
+		rx, _ := pe.Recv(src, tag)
+		out[src] = rx.([]T)
+	}
+	return out
+}
+
+// SortedSample realizes the paper's "fast inefficient sorting" of a small
+// distributed sample (O(√p) objects): the sample is all-gathered and each
+// PE sorts it locally, so afterwards every PE knows the globally sorted
+// sample. Volume O(β|S|) per PE and O(α log p) startups, the same cost
+// class as the brute-force comparison sort of [2].
+func SortedSample[K cmp.Ordered](pe *comm.PE, local []K) []K {
+	all := AllGatherConcat(pe, local)
+	slices.Sort(all)
+	return all
+}

@@ -1,0 +1,410 @@
+package coll
+
+import (
+	"slices"
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+// peCounts covers the interesting topology cases: 1, powers of two, odd,
+// and non-power-of-two composites.
+var peCounts = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17}
+
+func runOn(t *testing.T, p int, body func(pe *comm.PE)) *comm.Machine {
+	t.Helper()
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	if err := m.Run(body); err != nil {
+		t.Fatalf("p=%d: %v", p, err)
+	}
+	return m
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range peCounts {
+		for root := 0; root < p; root += max(1, p/3) {
+			runOn(t, p, func(pe *comm.PE) {
+				var data []int64
+				if pe.Rank() == root {
+					data = []int64{10, 20, 30}
+				}
+				got := Broadcast(pe, root, data)
+				if !slices.Equal(got, []int64{10, 20, 30}) {
+					t.Errorf("p=%d root=%d rank=%d: got %v", p, root, pe.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestBroadcastLogStartups(t *testing.T) {
+	// Bottleneck startups must be O(log p), not O(p).
+	m := comm.NewMachine(comm.DefaultConfig(64))
+	m.MustRun(func(pe *comm.PE) {
+		Broadcast(pe, 0, []int64{1})
+	})
+	if s := m.Stats(); s.MaxSends > 6 { // log2(64) = 6
+		t.Errorf("broadcast bottleneck startups = %d, want <= 6", s.MaxSends)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for _, p := range peCounts {
+		root := p / 2
+		runOn(t, p, func(pe *comm.PE) {
+			x := []int64{int64(pe.Rank()), 1}
+			got := Reduce(pe, root, x, func(a, b int64) int64 { return a + b })
+			if pe.Rank() == root {
+				wantSum := int64(p * (p - 1) / 2)
+				if got[0] != wantSum || got[1] != int64(p) {
+					t.Errorf("p=%d: reduce got %v, want [%d %d]", p, got, wantSum, p)
+				}
+			} else if got != nil {
+				t.Errorf("p=%d rank=%d: non-root got %v", p, pe.Rank(), got)
+			}
+		})
+	}
+}
+
+func TestReduceDoesNotAliasInput(t *testing.T) {
+	runOn(t, 1, func(pe *comm.PE) {
+		x := []int64{5}
+		got := Reduce(pe, 0, x, func(a, b int64) int64 { return a + b })
+		got[0] = 99
+		if x[0] != 5 {
+			t.Error("Reduce result aliases caller input")
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			x := []int64{int64(pe.Rank()), int64(pe.Rank() * 2)}
+			got := AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+			wantSum := int64(p * (p - 1) / 2)
+			if got[0] != wantSum || got[1] != 2*wantSum {
+				t.Errorf("p=%d rank=%d: got %v, want [%d %d]", p, pe.Rank(), got, wantSum, 2*wantSum)
+			}
+		})
+	}
+}
+
+func TestAllReduceMinMax(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			if got := MinAll(pe, pe.Rank()+5); got != 5 {
+				t.Errorf("MinAll got %d", got)
+			}
+			if got := MaxAll(pe, pe.Rank()); got != p-1 {
+				t.Errorf("MaxAll got %d, want %d", got, p-1)
+			}
+			if got := SumAll(pe, int64(1)); got != int64(p) {
+				t.Errorf("SumAll got %d, want %d", got, p)
+			}
+		})
+	}
+}
+
+func TestScans(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			r := int64(pe.Rank())
+			incl := InScan(pe, []int64{r + 1}, func(a, b int64) int64 { return a + b })
+			wantIncl := (r + 1) * (r + 2) / 2
+			if incl[0] != wantIncl {
+				t.Errorf("p=%d rank=%d: InScan got %d, want %d", p, pe.Rank(), incl[0], wantIncl)
+			}
+			excl := ExScanSum(pe, r+1)
+			if excl != wantIncl-(r+1) {
+				t.Errorf("p=%d rank=%d: ExScan got %d, want %d", p, pe.Rank(), excl, wantIncl-(r+1))
+			}
+		})
+	}
+}
+
+func TestGatherv(t *testing.T) {
+	for _, p := range peCounts {
+		root := p - 1
+		runOn(t, p, func(pe *comm.PE) {
+			// Varying lengths: rank i contributes i+1 copies of i.
+			data := make([]int, pe.Rank()+1)
+			for i := range data {
+				data[i] = pe.Rank()
+			}
+			got := Gatherv(pe, root, data)
+			if pe.Rank() != root {
+				if got != nil {
+					t.Errorf("non-root got %v", got)
+				}
+				return
+			}
+			for r := 0; r < p; r++ {
+				if len(got[r]) != r+1 || (len(got[r]) > 0 && got[r][0] != r) {
+					t.Errorf("p=%d: gathered[%d] = %v", p, r, got[r])
+				}
+			}
+		})
+	}
+}
+
+func TestScatterv(t *testing.T) {
+	for _, p := range peCounts {
+		for _, root := range []int{0, p - 1} {
+			runOn(t, p, func(pe *comm.PE) {
+				var parts [][]int
+				if pe.Rank() == root {
+					parts = make([][]int, p)
+					for i := range parts {
+						parts[i] = []int{i * 10, i}
+					}
+				}
+				got := Scatterv(pe, root, parts)
+				if len(got) != 2 || got[0] != pe.Rank()*10 || got[1] != pe.Rank() {
+					t.Errorf("p=%d root=%d rank=%d: got %v", p, root, pe.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestAllGatherv(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			got := AllGatherv(pe, []int{pe.Rank() * 3})
+			for r := 0; r < p; r++ {
+				if len(got[r]) != 1 || got[r][0] != r*3 {
+					t.Errorf("p=%d rank=%d: allgather[%d] = %v", p, pe.Rank(), r, got[r])
+				}
+			}
+		})
+	}
+}
+
+func TestAllGatherConcat(t *testing.T) {
+	runOn(t, 4, func(pe *comm.PE) {
+		got := AllGatherConcat(pe, []int{pe.Rank(), pe.Rank()})
+		want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+		if !slices.Equal(got, want) {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			parts := make([][]int, p)
+			for i := range parts {
+				parts[i] = []int{pe.Rank()*100 + i}
+			}
+			got := AllToAll(pe, parts)
+			for src := 0; src < p; src++ {
+				want := src*100 + pe.Rank()
+				if len(got[src]) != 1 || got[src][0] != want {
+					t.Errorf("p=%d rank=%d: from %d got %v, want [%d]", p, pe.Rank(), src, got[src], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	runOn(t, 8, func(pe *comm.PE) { Barrier(pe) })
+}
+
+func TestSortedSample(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			local := []uint64{uint64(100 - pe.Rank()), uint64(pe.Rank())}
+			got := SortedSample(pe, local)
+			if len(got) != 2*p {
+				t.Fatalf("p=%d: sample size %d, want %d", p, len(got), 2*p)
+			}
+			if !slices.IsSorted(got) {
+				t.Errorf("p=%d: sample not sorted: %v", p, got)
+			}
+		})
+	}
+}
+
+func TestWordsOf(t *testing.T) {
+	if w := WordsOf[uint64](); w != 1 {
+		t.Errorf("WordsOf[uint64] = %d", w)
+	}
+	if w := WordsOf[struct{ A, B uint64 }](); w != 2 {
+		t.Errorf("WordsOf[pair] = %d", w)
+	}
+	if w := WordsOf[byte](); w != 1 {
+		t.Errorf("WordsOf[byte] = %d", w)
+	}
+}
+
+func TestAllToAllCombine(t *testing.T) {
+	type kv struct {
+		Key   uint64
+		Count int64
+	}
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			// Every PE sends one item to every dest; dest d should end with
+			// p items (or fewer after combining) summing to p * (d+1).
+			items := make([]Routed[kv], 0, p)
+			for d := 0; d < p; d++ {
+				items = append(items, Routed[kv]{Dest: d, Payload: kv{Key: uint64(d), Count: int64(d + 1)}})
+			}
+			combine := func(held []Routed[kv]) []Routed[kv] {
+				type dk struct {
+					dest int
+					key  uint64
+				}
+				agg := map[dk]int64{}
+				for _, it := range held {
+					agg[dk{it.Dest, it.Payload.Key}] += it.Payload.Count
+				}
+				out := make([]Routed[kv], 0, len(agg))
+				for k, c := range agg {
+					out = append(out, Routed[kv]{Dest: k.dest, Payload: kv{k.key, c}})
+				}
+				return out
+			}
+			got := AllToAllCombine(pe, items, combine)
+			var total int64
+			for _, it := range got {
+				if it.Dest != pe.Rank() {
+					t.Errorf("p=%d rank=%d: received item for dest %d", p, pe.Rank(), it.Dest)
+				}
+				if it.Payload.Key != uint64(pe.Rank()) {
+					t.Errorf("p=%d rank=%d: received key %d", p, pe.Rank(), it.Payload.Key)
+				}
+				total += it.Payload.Count
+			}
+			want := int64(p) * int64(pe.Rank()+1)
+			if total != want {
+				t.Errorf("p=%d rank=%d: total %d, want %d", p, pe.Rank(), total, want)
+			}
+		})
+	}
+}
+
+func TestAllToAllCombineNoCombineHook(t *testing.T) {
+	for _, p := range peCounts {
+		runOn(t, p, func(pe *comm.PE) {
+			items := []Routed[int]{{Dest: (pe.Rank() + 1) % p, Payload: pe.Rank()}}
+			got := AllToAllCombine(pe, items, nil)
+			wantFrom := (pe.Rank() - 1 + p) % p
+			if len(got) != 1 || got[0].Payload != wantFrom {
+				t.Errorf("p=%d rank=%d: got %v, want payload %d", p, pe.Rank(), got, wantFrom)
+			}
+		})
+	}
+}
+
+func TestAllToAllCombineLogStartups(t *testing.T) {
+	m := comm.NewMachine(comm.DefaultConfig(64))
+	m.MustRun(func(pe *comm.PE) {
+		items := make([]Routed[uint64], 64)
+		for d := range items {
+			items[d] = Routed[uint64]{Dest: d, Payload: uint64(d)}
+		}
+		AllToAllCombine(pe, items, nil)
+	})
+	if s := m.Stats(); s.MaxSends > 8 {
+		t.Errorf("hypercube bottleneck startups = %d, want <= 8 (log p + fold)", s.MaxSends)
+	}
+}
+
+func TestAllReduceLongVectors(t *testing.T) {
+	// Exercise the Rabenseifner path (len ≥ 4p) on all topology shapes,
+	// including lengths that do not divide evenly.
+	for _, p := range peCounts {
+		for _, n := range []int{4 * p, 4*p + 3, 257, 1024} {
+			runOn(t, p, func(pe *comm.PE) {
+				x := make([]int64, n)
+				for i := range x {
+					x[i] = int64(pe.Rank()*n + i)
+				}
+				got := AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+				for i := range got {
+					var want int64
+					for r := 0; r < p; r++ {
+						want += int64(r*n + i)
+					}
+					if got[i] != want {
+						t.Fatalf("p=%d n=%d: elem %d = %d, want %d", p, n, i, got[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllReduceLongVolumeIndependentOfP(t *testing.T) {
+	// The Rabenseifner path must cost ~2m words per PE, not m·log p.
+	const n = 4096
+	vol := func(p int) int64 {
+		m := comm.NewMachine(comm.DefaultConfig(p))
+		m.MustRun(func(pe *comm.PE) {
+			x := make([]int64, n)
+			AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+		})
+		return m.Stats().MaxSentWords
+	}
+	v8, v64 := vol(8), vol(64)
+	if v64 > v8*3/2 {
+		t.Errorf("long allreduce volume grew from %d (p=8) to %d (p=64); should be ~flat", v8, v64)
+	}
+	if v64 > 3*n {
+		t.Errorf("long allreduce volume %d exceeds ~2m = %d", v64, 2*n)
+	}
+}
+
+func TestBitonicMergePositions(t *testing.T) {
+	// Compare against a local sort for a spread of topologies and inputs.
+	for _, p := range peCounts {
+		for seed := int64(0); seed < 3; seed++ {
+			// Build two globally ascending unique sequences.
+			aKeys := make([]uint64, p)
+			bKeys := make([]uint64, p)
+			cur := uint64(seed * 7)
+			rngStep := func(i int64) uint64 { return uint64((i*2654435761)%13) + 1 }
+			for i := 0; i < p; i++ {
+				cur += rngStep(int64(i) + seed)
+				aKeys[i] = cur * 2
+			}
+			cur = uint64(seed * 3)
+			for i := 0; i < p; i++ {
+				cur += rngStep(int64(i) + 5*seed)
+				bKeys[i] = cur*2 + 1 // odd: disjoint from aKeys
+			}
+			all := append(slices.Clone(aKeys), bKeys...)
+			slices.Sort(all)
+			wantPos := map[uint64]int{}
+			for i, k := range all {
+				wantPos[k] = i
+			}
+			m := comm.NewMachine(comm.DefaultConfig(p))
+			m.MustRun(func(pe *comm.PE) {
+				pa, pb := BitonicMergePositions(pe, aKeys[pe.Rank()], bKeys[pe.Rank()])
+				if pa != wantPos[aKeys[pe.Rank()]] {
+					t.Errorf("p=%d seed=%d rank=%d: posA=%d want %d", p, seed, pe.Rank(), pa, wantPos[aKeys[pe.Rank()]])
+				}
+				if pb != wantPos[bKeys[pe.Rank()]] {
+					t.Errorf("p=%d seed=%d rank=%d: posB=%d want %d", p, seed, pe.Rank(), pb, wantPos[bKeys[pe.Rank()]])
+				}
+			})
+		}
+	}
+}
+
+func TestBitonicMergeLogStartups(t *testing.T) {
+	const p = 64
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	m.MustRun(func(pe *comm.PE) {
+		BitonicMergePositions(pe, uint64(pe.Rank())*2, uint64(pe.Rank())*2+1+128)
+	})
+	// log2(2p)=7 stages × ≤2 slots + position routing (≈log p): well under 64.
+	if s := m.Stats(); s.MaxSends > 40 {
+		t.Errorf("bitonic merge used %d startups at p=64", s.MaxSends)
+	}
+}

@@ -1,0 +1,121 @@
+package coll
+
+import (
+	"fmt"
+
+	"commtopk/internal/comm"
+)
+
+// Routed is an item travelling through the hypercube all-to-all: Dest is
+// the final destination rank, Payload the application data.
+type Routed[T any] struct {
+	Dest    int
+	Payload T
+}
+
+// AllToAllCombine routes items to their destination PEs through a
+// hypercube (indirect delivery, Section 7.1: "the elements are communicated
+// using indirect delivery to maintain logarithmic latency ... incoming
+// sample counts are merged in each step"). After every exchange step the
+// combine hook is applied to the held buffer, letting the application
+// re-aggregate (e.g. sum counts with equal keys) so message sizes stay
+// bounded. combine may be nil for plain routing.
+func AllToAllCombine[T any](pe *comm.PE, items []Routed[T], combine func([]Routed[T]) []Routed[T]) []Routed[T] {
+	return RouteCombine(pe, items, func(it Routed[T]) int { return it.Dest }, combine)
+}
+
+// RouteCombine is the hypercube router underneath AllToAllCombine for
+// items whose destination is derivable from the item itself (e.g. a
+// hashed key): nothing but the payload travels, saving the explicit
+// destination word. dest must be pure; combine (optional) re-aggregates
+// the held buffer after every exchange and must preserve destinations.
+//
+// O(log p) startups per PE. Non-power-of-two p is handled by folding the
+// top p−r ranks onto their partners before routing and unfolding at the
+// end (two extra exchanges).
+func RouteCombine[T any](pe *comm.PE, items []T, dest func(T) int, combine func([]T) []T) []T {
+	p := pe.P()
+	rank := pe.Rank()
+	for _, it := range items {
+		if d := dest(it); d < 0 || d >= p {
+			panic(fmt.Sprintf("coll: RouteCombine item with invalid dest %d", d))
+		}
+	}
+	if p == 1 {
+		if combine != nil {
+			items = combine(items)
+		}
+		return items
+	}
+	tag := pe.NextCollTag()
+	r := 1
+	dims := 0
+	for r*2 <= p {
+		r *= 2
+		dims++
+	}
+	extra := p - r
+	w := WordsOf[T]()
+
+	hold := items
+	// Fold-in: high ranks hand everything to their low partner and then
+	// wait for their final batch.
+	if rank >= r {
+		pe.Send(rank-r, tag, hold, int64(len(hold))*w)
+		rx, _ := pe.Recv(rank-r, tag)
+		hold = rx.([]T)
+		if combine != nil {
+			hold = combine(hold)
+		}
+		return hold
+	}
+	if rank < extra {
+		rx, _ := pe.Recv(rank+r, tag)
+		hold = append(hold, rx.([]T)...)
+		if combine != nil {
+			hold = combine(hold)
+		}
+	}
+
+	// Hypercube routing among the r low ranks; an item for dest d travels
+	// toward d mod r (its "carrier"), resolving its true dest at unfold.
+	for bit := 0; bit < dims; bit++ {
+		maskBit := 1 << bit
+		partner := rank ^ maskBit
+		var keep, ship []T
+		for _, it := range hold {
+			carrier := dest(it)
+			if carrier >= r {
+				carrier -= r
+			}
+			if carrier&maskBit != rank&maskBit {
+				ship = append(ship, it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		rx, _ := pe.SendRecv(partner, ship, int64(len(ship))*w, partner, tag)
+		hold = append(keep, rx.([]T)...)
+		if combine != nil {
+			hold = combine(hold)
+		}
+	}
+
+	// Unfold: everything for rank+r goes back out.
+	if rank < extra {
+		var mine, theirs []T
+		for _, it := range hold {
+			if dest(it) == rank+r {
+				theirs = append(theirs, it)
+			} else {
+				mine = append(mine, it)
+			}
+		}
+		pe.Send(rank+r, tag, theirs, int64(len(theirs))*w)
+		hold = mine
+	}
+	if combine != nil {
+		hold = combine(hold)
+	}
+	return hold
+}

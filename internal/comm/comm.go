@@ -1,0 +1,351 @@
+// Package comm provides the distributed-machine substrate the paper's
+// algorithms run on: p processing elements (PEs) executing the same SPMD
+// program as goroutines, exchanging point-to-point messages over channels.
+//
+// The package meters every message in machine words and startups, and keeps
+// a per-PE "LogP-lite" virtual clock so the paper's cost model
+// O(x + βy + αz) is directly observable: x (local work) is wall time,
+// y (bottleneck communication volume) and z (startups) are counters, and
+// the virtual clock approximates the α/β critical path.
+//
+// Cost model (Section 2 of the paper): single-ported full-duplex
+// communication; sending a message of m machine words takes time α + mβ.
+// Send advances the sender's virtual clock by α+βm and stamps the message
+// with the resulting time; Recv advances the receiver's clock to the
+// maximum of its own clock and the stamp. Local computation is not added
+// to the virtual clock.
+package comm
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Tag identifies the protocol step a message belongs to. Collectives draw
+// tags from a per-PE sequence that stays synchronized because every PE
+// enters every collective (SPMD); point-to-point protocols use explicit
+// tags. A tag mismatch on receive indicates a desynchronized program and
+// panics immediately rather than silently mismatching payloads.
+type Tag uint64
+
+// Config describes the simulated machine.
+type Config struct {
+	// P is the number of processing elements.
+	P int
+	// Alpha is the modeled message startup cost (arbitrary time units).
+	Alpha float64
+	// Beta is the modeled per-word transfer cost (same units as Alpha).
+	Beta float64
+	// ChanCap is the per-ordered-pair channel buffer capacity.
+	ChanCap int
+	// Seed seeds the per-PE deterministic RNG streams (see NewPERandSeed).
+	Seed int64
+}
+
+// DefaultConfig returns a machine configuration with p PEs and the default
+// α/β ratio used throughout the benchmarks (α = 1000β, a typical
+// cluster-interconnect ratio of startup latency to per-word bandwidth).
+func DefaultConfig(p int) Config {
+	return Config{P: p, Alpha: 1000, Beta: 1, ChanCap: 64, Seed: 1}
+}
+
+type message struct {
+	tag    Tag
+	words  int64
+	depart float64 // sender's virtual clock after the send completed
+	data   any
+}
+
+// Machine is a simulated cluster of PEs. Create one with NewMachine, run
+// SPMD programs with Run, and read aggregate statistics with Stats.
+type Machine struct {
+	cfg   Config
+	chans [][]chan message // chans[src][dst]
+	pes   []*PE
+
+	abortOnce sync.Once
+	abort     chan struct{}
+	errMu     sync.Mutex
+	err       error
+}
+
+// NewMachine creates a machine with cfg.P PEs. It panics if cfg.P < 1.
+func NewMachine(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic(fmt.Sprintf("comm: invalid PE count %d", cfg.P))
+	}
+	if cfg.ChanCap <= 0 {
+		cfg.ChanCap = 64
+	}
+	m := &Machine{
+		cfg:   cfg,
+		chans: make([][]chan message, cfg.P),
+		pes:   make([]*PE, cfg.P),
+		abort: make(chan struct{}),
+	}
+	for i := 0; i < cfg.P; i++ {
+		m.chans[i] = make([]chan message, cfg.P)
+		for j := 0; j < cfg.P; j++ {
+			m.chans[i][j] = make(chan message, cfg.ChanCap)
+		}
+	}
+	for i := 0; i < cfg.P; i++ {
+		m.pes[i] = &PE{m: m, rank: i, p: cfg.P}
+	}
+	return m
+}
+
+// P returns the number of PEs.
+func (m *Machine) P() int { return m.cfg.P }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// abortErr records the first error and releases all blocked PEs.
+func (m *Machine) abortErr(err error) {
+	m.errMu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.errMu.Unlock()
+	m.abortOnce.Do(func() { close(m.abort) })
+}
+
+// ErrAborted is the panic value delivered to PEs blocked in Send/Recv when
+// another PE has failed; it unwinds the SPMD program cleanly.
+type abortedError struct{}
+
+func (abortedError) Error() string { return "comm: aborted because another PE failed" }
+
+// Run executes body on every PE concurrently (SPMD) and blocks until all
+// PEs return. If any PE panics, all PEs are unblocked and Run returns the
+// first panic as an error. Run may be called repeatedly on the same
+// machine; communication state must be drained (which it is whenever a
+// run completes without error, since tags are checked).
+func (m *Machine) Run(body func(pe *PE)) error {
+	var wg sync.WaitGroup
+	wg.Add(m.cfg.P)
+	for i := 0; i < m.cfg.P; i++ {
+		pe := m.pes[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortedError); ok {
+						return // secondary failure; first cause already recorded
+					}
+					m.abortErr(fmt.Errorf("comm: PE %d panicked: %v\n%s", pe.rank, r, debug.Stack()))
+				}
+			}()
+			body(pe)
+		}()
+	}
+	wg.Wait()
+	m.errMu.Lock()
+	err := m.err
+	m.err = nil
+	m.errMu.Unlock()
+	if err != nil {
+		// The machine's channels may hold stale messages after an abort;
+		// drain them so a subsequent Run starts clean.
+		for i := range m.chans {
+			for j := range m.chans[i] {
+				for len(m.chans[i][j]) > 0 {
+					<-m.chans[i][j]
+				}
+			}
+		}
+		m.abort = make(chan struct{})
+		m.abortOnce = sync.Once{}
+	}
+	return err
+}
+
+// MustRun is Run but panics on error. Intended for examples and benches.
+func (m *Machine) MustRun(body func(pe *PE)) {
+	if err := m.Run(body); err != nil {
+		panic(err)
+	}
+}
+
+// ResetStats zeroes all per-PE counters and virtual clocks. Call between
+// measured phases. Must not be called while a Run is in progress. The
+// collective tag sequence is deliberately left untouched — it is protocol
+// state, not a statistic.
+func (m *Machine) ResetStats() {
+	for _, pe := range m.pes {
+		pe.sentWords, pe.recvWords, pe.sends, pe.recvs = 0, 0, 0, 0
+		pe.clock = 0
+		pe.waitNs = 0
+	}
+}
+
+// Stats aggregates communication counters across PEs after a Run.
+type Stats struct {
+	// TotalWords is the sum of all words sent.
+	TotalWords int64
+	// MaxSentWords / MaxRecvWords are the bottleneck communication volumes
+	// (the paper's h: max over PEs of words sent resp. received).
+	MaxSentWords int64
+	MaxRecvWords int64
+	// TotalSends is the total number of messages (startups paid somewhere).
+	TotalSends int64
+	// MaxSends is the bottleneck startup count (max over PEs of messages sent).
+	MaxSends int64
+	// MaxClock is the modeled α/β critical-path time (max PE virtual clock).
+	MaxClock float64
+}
+
+// BottleneckWords is the paper's h: the maximum over PEs of words sent or
+// received.
+func (s Stats) BottleneckWords() int64 {
+	return max(s.MaxSentWords, s.MaxRecvWords)
+}
+
+// Stats returns aggregate counters. Only meaningful between Runs.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, pe := range m.pes {
+		s.TotalWords += pe.sentWords
+		s.TotalSends += pe.sends
+		s.MaxSentWords = max(s.MaxSentWords, pe.sentWords)
+		s.MaxRecvWords = max(s.MaxRecvWords, pe.recvWords)
+		s.MaxSends = max(s.MaxSends, pe.sends)
+		if pe.clock > s.MaxClock {
+			s.MaxClock = pe.clock
+		}
+	}
+	return s
+}
+
+// PE is one processing element's handle, valid only inside the goroutine
+// Run started for it. All fields are goroutine-local; no synchronization
+// is needed to update counters.
+type PE struct {
+	m    *Machine
+	rank int
+	p    int
+
+	clock     float64
+	sentWords int64
+	recvWords int64
+	sends     int64
+	recvs     int64
+	waitNs    int64
+
+	collSeq uint64
+}
+
+// WaitTime returns how long this PE has been blocked waiting for messages
+// (or for channel space). Harness code subtracts it from a phase's wall
+// time to estimate pure local work.
+func (pe *PE) WaitTime() time.Duration { return time.Duration(pe.waitNs) }
+
+// Rank returns this PE's rank in 0..P-1.
+func (pe *PE) Rank() int { return pe.rank }
+
+// P returns the number of PEs.
+func (pe *PE) P() int { return pe.p }
+
+// Alpha returns the modeled startup cost.
+func (pe *PE) Alpha() float64 { return pe.m.cfg.Alpha }
+
+// Beta returns the modeled per-word cost.
+func (pe *PE) Beta() float64 { return pe.m.cfg.Beta }
+
+// Clock returns this PE's modeled communication-time clock.
+func (pe *PE) Clock() float64 { return pe.clock }
+
+// SentWords returns the number of machine words this PE has sent.
+func (pe *PE) SentWords() int64 { return pe.sentWords }
+
+// RecvWords returns the number of machine words this PE has received.
+func (pe *PE) RecvWords() int64 { return pe.recvWords }
+
+// Sends returns the number of messages this PE has sent.
+func (pe *PE) Sends() int64 { return pe.sends }
+
+// NextCollTag returns the next collective-operation tag. Every PE must call
+// it the same number of times in the same order (SPMD discipline); the
+// returned tags then agree across PEs without communication.
+func (pe *PE) NextCollTag() Tag {
+	pe.collSeq++
+	return Tag(1<<32 | pe.collSeq)
+}
+
+// Send transmits data (words machine words) to PE dst with the given tag.
+// The payload is passed by reference; the sender must not mutate it after
+// sending (collectives in package coll copy where required). Send never
+// blocks indefinitely: if the machine aborts, Send unwinds via panic.
+func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
+	if dst < 0 || dst >= pe.p {
+		panic(fmt.Sprintf("comm: PE %d: send to invalid rank %d", pe.rank, dst))
+	}
+	if dst == pe.rank {
+		panic(fmt.Sprintf("comm: PE %d: self-send is not modeled; keep data local", pe.rank))
+	}
+	pe.clock += pe.m.cfg.Alpha + pe.m.cfg.Beta*float64(words)
+	pe.sentWords += words
+	pe.sends++
+	msg := message{tag: tag, words: words, depart: pe.clock, data: data}
+	select {
+	case pe.m.chans[pe.rank][dst] <- msg:
+	default:
+		t0 := time.Now()
+		select {
+		case pe.m.chans[pe.rank][dst] <- msg:
+		case <-pe.m.abort:
+			panic(abortedError{})
+		}
+		pe.waitNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// Recv receives the next message from PE src, which must carry the given
+// tag. It returns the payload and its size in words.
+func (pe *PE) Recv(src int, tag Tag) (any, int64) {
+	if src < 0 || src >= pe.p {
+		panic(fmt.Sprintf("comm: PE %d: recv from invalid rank %d", pe.rank, src))
+	}
+	var msg message
+	select {
+	case msg = <-pe.m.chans[src][pe.rank]:
+	default:
+		t0 := time.Now()
+		select {
+		case msg = <-pe.m.chans[src][pe.rank]:
+		case <-pe.m.abort:
+			panic(abortedError{})
+		}
+		pe.waitNs += time.Since(t0).Nanoseconds()
+	}
+	if msg.tag != tag {
+		panic(fmt.Sprintf("comm: PE %d: tag mismatch receiving from %d: got %d want %d (desynchronized SPMD program)",
+			pe.rank, src, msg.tag, tag))
+	}
+	// Single-ported receive: the transfer occupies this PE for α+βm,
+	// starting no earlier than when the sender started transmitting and
+	// no earlier than the PE's own clock. A coordinator draining p−1
+	// messages therefore pays Θ(p·(α+βm)) of modeled time — the
+	// bottleneck the paper's master–worker comparisons hinge on.
+	cost := pe.m.cfg.Alpha + pe.m.cfg.Beta*float64(msg.words)
+	avail := msg.depart - cost
+	if avail < pe.clock {
+		avail = pe.clock
+	}
+	pe.clock = avail + cost
+	pe.recvWords += msg.words
+	pe.recvs++
+	return msg.data, msg.words
+}
+
+// SendRecv sends to dst and receives from src in one full-duplex step
+// (the common exchange pattern of recursive doubling). Buffered channels
+// make the send non-blocking in practice; the simultaneous exchange is
+// deadlock-free for any pairing as long as ChanCap ≥ 1.
+func (pe *PE) SendRecv(dst int, sendData any, sendWords int64, src int, tag Tag) (any, int64) {
+	pe.Send(dst, tag, sendData, sendWords)
+	return pe.Recv(src, tag)
+}

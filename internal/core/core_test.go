@@ -1,0 +1,181 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"commtopk/internal/agg"
+	"commtopk/internal/comm"
+	"commtopk/internal/freq"
+	"commtopk/internal/mtopk"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+func TestSplit(t *testing.T) {
+	global := make([]int, 10)
+	parts := Split(global, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Errorf("split lost elements: %d", total)
+	}
+	// Near-even.
+	for _, p := range parts {
+		if len(p) < 3 || len(p) > 4 {
+			t.Errorf("uneven split: %d", len(p))
+		}
+	}
+	// p > len.
+	parts2 := Split([]int{1, 2}, 5)
+	total2 := 0
+	for _, p := range parts2 {
+		total2 += len(p)
+	}
+	if total2 != 2 {
+		t.Error("oversplit lost elements")
+	}
+}
+
+func TestTopKSmallest(t *testing.T) {
+	rng := xrand.New(1)
+	global := make([]uint64, 5000)
+	for i := range global {
+		global[i] = rng.Uint64() % 100000
+	}
+	sorted := slices.Clone(global)
+	slices.Sort(sorted)
+
+	c := New(6, WithSeed(7))
+	got, err := c.TopKSmallest(Split(global, 6), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, sorted[:100]) {
+		t.Error("TopKSmallest mismatch")
+	}
+}
+
+func TestTopKFrequentAllAlgorithms(t *testing.T) {
+	rng := xrand.New(2)
+	global := make([]uint64, 20000)
+	for i := range global {
+		global[i] = uint64(rng.Intn(50)) * uint64(rng.Intn(50)) // skewed
+	}
+	exact := stats.Count(global)
+	n := int64(len(global))
+	params := freq.Params{K: 5, Eps: 0.02, Delta: 0.01}
+	for _, algo := range []string{"pac", "ec", "ecsbf", "naive", "naivetree"} {
+		c := New(4, WithSeed(11))
+		res, err := c.TopKFrequent(Split(global, 4), params, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Items) != 5 {
+			t.Fatalf("%s: %d items", algo, len(res.Items))
+		}
+		keys := make([]uint64, len(res.Items))
+		for i, it := range res.Items {
+			keys[i] = it.Key
+		}
+		if e := stats.EpsTilde(exact, keys, n); e > params.Eps {
+			t.Errorf("%s: ε̃=%v", algo, e)
+		}
+	}
+	c := New(2)
+	if _, err := c.TopKFrequent(Split(global, 2), params, "bogus"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestTopKSums(t *testing.T) {
+	rng := xrand.New(3)
+	n := 10000
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	exact := map[uint64]float64{}
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100))
+		vals[i] = rng.Float64()
+		if keys[i] == 7 {
+			vals[i] += 5 // make key 7 dominate
+		}
+		exact[keys[i]] += vals[i]
+	}
+	c := New(4, WithSeed(13))
+	res, err := c.TopKSums(Split(keys, 4), Split(vals, 4), agg.Params{K: 3, Eps: 0.01, Delta: 0.01}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 || res.Items[0].Key != 7 {
+		t.Errorf("TopKSums = %+v", res.Items)
+	}
+}
+
+func TestTopKMulticriteria(t *testing.T) {
+	var objs []mtopk.Object
+	for r := 0; r < 4; r++ {
+		objs = append(objs, mtopk.GenObjects(xrand.NewPE(5, r), 200, 3, uint64(r)<<32)...)
+	}
+	globalData := mtopk.NewData(objs, 3)
+	want := mtopk.BruteForceTopK(globalData, mtopk.SumScore, 7)
+
+	c := New(4, WithSeed(17))
+	got, err := c.TopKMulticriteria(Split(objs, 4), 3, mtopk.SumScore, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("got %d hits", len(got))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Errorf("rank %d: id %d, want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestBalanceLoad(t *testing.T) {
+	locals := [][]uint64{make([]uint64, 100), nil, nil, nil}
+	for i := range locals[0] {
+		locals[0][i] = uint64(i)
+	}
+	c := New(4)
+	out, err := c.BalanceLoad(locals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, l := range out {
+		if len(l) > 25 {
+			t.Errorf("PE %d holds %d > 25", r, len(l))
+		}
+	}
+}
+
+func TestClusterOptionsAndStats(t *testing.T) {
+	c := New(2, WithCosts(5, 2), WithSeed(99))
+	if c.P() != 2 {
+		t.Fatal("P wrong")
+	}
+	c.MustRun(func(pe *comm.PE) {})
+	_ = c.Stats()
+	c.ResetStats()
+	if s := c.Stats(); s.TotalWords != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPartsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched parts should panic")
+		}
+	}()
+	c := New(3)
+	c.TopKSmallest([][]uint64{nil}, 1)
+}

@@ -1,0 +1,188 @@
+// Package dht provides the distributed counting hash table of Section 7.1
+// and the distributed single-shot Bloom filter (dSBF) refinement of
+// Section 7.4. Keys are assigned to PEs by a mixing hash assumed to behave
+// like a random function; counts are routed to the owner either directly
+// (all-to-all) or through the hypercube with per-step aggregation
+// ("indirect delivery to maintain logarithmic latency ... the incoming
+// sample counts are merged with a hash table in each step").
+package dht
+
+import (
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+// KV is one key's (partial or global) count.
+type KV struct {
+	Key   uint64
+	Count int64
+}
+
+// RouteMode selects the delivery strategy for count insertion.
+type RouteMode int
+
+const (
+	// RouteHypercube uses indirect hypercube delivery with per-step count
+	// aggregation: O(log p) startups per PE (the paper's default).
+	RouteHypercube RouteMode = iota
+	// RouteDirect uses direct all-to-all delivery: O(p) startups.
+	RouteDirect
+)
+
+// Mix is the hash assigning keys to PEs (and to Bloom-filter cells); a
+// SplitMix64-style finalizer, modelling the paper's random hash function.
+func Mix(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Owner returns the PE owning key.
+func Owner(key uint64, p int) int { return int(Mix(key) % uint64(p)) }
+
+// CountKeys inserts every PE's locally aggregated counts and returns, on
+// each PE, the global counts of the keys it owns. Collective.
+func CountKeys(pe *comm.PE, local map[uint64]int64, mode RouteMode) map[uint64]int64 {
+	p := pe.P()
+	switch mode {
+	case RouteDirect:
+		parts := make([][]KV, p)
+		for k, c := range local {
+			d := Owner(k, p)
+			parts[d] = append(parts[d], KV{k, c})
+		}
+		recv := coll.AllToAll(pe, parts)
+		out := make(map[uint64]int64)
+		for _, part := range recv {
+			for _, kv := range part {
+				out[kv.Key] += kv.Count
+			}
+		}
+		return out
+	case RouteHypercube:
+		items := make([]KV, 0, len(local))
+		for k, c := range local {
+			items = append(items, KV{k, c})
+		}
+		// The destination is derivable from the key, so only the
+		// (key, count) pair travels; counts for equal keys merge at
+		// every routing step.
+		destFn := func(kv KV) int { return Owner(kv.Key, p) }
+		combine := func(held []KV) []KV {
+			agg := make(map[uint64]int64, len(held))
+			for _, kv := range held {
+				agg[kv.Key] += kv.Count
+			}
+			out := make([]KV, 0, len(agg))
+			for k, c := range agg {
+				out = append(out, KV{k, c})
+			}
+			return out
+		}
+		held := coll.RouteCombine(pe, items, destFn, combine)
+		out := make(map[uint64]int64, len(held))
+		for _, kv := range held {
+			out[kv.Key] += kv.Count
+		}
+		return out
+	default:
+		panic("dht: unknown route mode")
+	}
+}
+
+// HC is a hashed cell count: the dSBF wire format. Hash and Count are
+// 32-bit so one cell costs a single machine word — half the volume of a
+// KV pair, which is the refinement's point.
+type HC struct {
+	Hash  uint32
+	Count uint32
+}
+
+// SBF is a distributed single-shot Bloom filter over counted keys: each
+// PE holds the summed counts of the hash cells it owns, plus its local
+// per-key contributions for later resolution of collisions.
+type SBF struct {
+	pe *comm.PE
+	// Cells maps owned 32-bit hash cells to their global summed counts.
+	Cells map[uint32]int64
+	// local is this PE's own contribution by cell, kept for Resolve.
+	local map[uint32][]KV
+}
+
+// cellOf hashes a key into the 32-bit cell space.
+func cellOf(key uint64) uint32 { return uint32(Mix(key) >> 32) }
+
+// cellOwner distributes cells over PEs by range-ish hashing.
+func cellOwner(cell uint32, p int) int { return int(uint64(cell) % uint64(p)) }
+
+// BuildSBF inserts locally aggregated counts as (hash, count) cells.
+// Counts are saturated at 2^32−1 per message (ample for sample counts).
+// Collective.
+func BuildSBF(pe *comm.PE, local map[uint64]int64) *SBF {
+	p := pe.P()
+	s := &SBF{pe: pe, Cells: map[uint32]int64{}, local: map[uint32][]KV{}}
+	cellAgg := make(map[uint32]int64)
+	for k, c := range local {
+		cell := cellOf(k)
+		s.local[cell] = append(s.local[cell], KV{k, c})
+		cellAgg[cell] += c
+	}
+	items := make([]HC, 0, len(cellAgg))
+	for cell, c := range cellAgg {
+		cc := c
+		if cc > 0xffffffff {
+			cc = 0xffffffff
+		}
+		items = append(items, HC{cell, uint32(cc)})
+	}
+	destFn := func(hc HC) int { return cellOwner(hc.Hash, p) }
+	combine := func(held []HC) []HC {
+		agg := make(map[uint32]int64, len(held))
+		for _, hc := range held {
+			agg[hc.Hash] += int64(hc.Count)
+		}
+		out := make([]HC, 0, len(agg))
+		for cell, c := range agg {
+			if c > 0xffffffff {
+				c = 0xffffffff
+			}
+			out = append(out, HC{cell, uint32(c)})
+		}
+		return out
+	}
+	for _, hc := range coll.RouteCombine(pe, items, destFn, combine) {
+		s.Cells[hc.Hash] += int64(hc.Count)
+	}
+	return s
+}
+
+// Resolve splits the given hash cells back into per-key global counts
+// ("we request the keys of all elements with higher rank, and replace the
+// (hash, value) pairs with (key, value) pairs, splitting them where hash
+// collisions occurred"). cells must be identical on all PEs (e.g. from an
+// all-gather of owners' selections). The result — global per-key counts
+// for every key falling in one of the cells — is returned on all PEs.
+// Collective.
+func (s *SBF) Resolve(cells []uint32) []KV {
+	want := make(map[uint32]bool, len(cells))
+	for _, c := range cells {
+		want[c] = true
+	}
+	var mine []KV
+	for cell, kvs := range s.local {
+		if want[cell] {
+			mine = append(mine, kvs...)
+		}
+	}
+	all := coll.AllGatherConcat(s.pe, mine)
+	agg := make(map[uint64]int64, len(all))
+	for _, kv := range all {
+		agg[kv.Key] += kv.Count
+	}
+	out := make([]KV, 0, len(agg))
+	for k, c := range agg {
+		out = append(out, KV{k, c})
+	}
+	return out
+}

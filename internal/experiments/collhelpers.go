@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+// Small collective bodies used by CollectivesScaling.
+
+func collBroadcast(pe *comm.PE) {
+	coll.Broadcast(pe, 0, []int64{1, 2, 3, 4})
+}
+
+func collAllReduce(pe *comm.PE) {
+	coll.AllReduce(pe, []int64{int64(pe.Rank())}, func(a, b int64) int64 { return a + b })
+}
+
+func collScan(pe *comm.PE) {
+	coll.ExScanSum(pe, int64(pe.Rank()))
+}
+
+func collAllGather(pe *comm.PE) {
+	coll.AllGatherConcat(pe, []int64{int64(pe.Rank())})
+}
+
+func collHyperA2A(pe *comm.PE) {
+	items := make([]coll.Routed[int64], pe.P())
+	for d := range items {
+		items[d] = coll.Routed[int64]{Dest: d, Payload: int64(pe.Rank())}
+	}
+	coll.AllToAllCombine(pe, items, nil)
+}

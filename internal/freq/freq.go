@@ -1,0 +1,436 @@
+// Package freq implements the top-k most frequent objects algorithms of
+// Section 7 of the paper and the two centralized baselines of the
+// evaluation (Section 10.2):
+//
+//   - PAC — the basic probably-approximately-correct algorithm
+//     (Section 7.1, Theorem 7): Bernoulli sampling, distributed hashing,
+//     unsorted selection on sample counts. Sample size Θ(ε⁻² log(k/δ)).
+//   - EC — exact counting of the k* most frequently sampled objects
+//     (Section 7.2, Theorem 11): sample size Θ(ε⁻¹ ...) with the
+//     communication-optimal k*.
+//   - PEC — probably exactly correct for gapped distributions
+//     (Section 7.3, Lemma 12/Theorem 13) and the Zipf closed form
+//     (Theorem 14).
+//   - Naive / NaiveTree — the evaluation's centralized baselines: same
+//     sample, but gathered at a coordinator (directly, resp. via an
+//     aggregating tree reduction).
+//
+// All algorithms are SPMD collectives over the machine in internal/comm.
+package freq
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/dht"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+// Params configures a frequent-objects query.
+type Params struct {
+	// K is the number of objects to return.
+	K int
+	// Eps is the relative error bound ε (error is measured in units of n,
+	// the paper's ε̃ definition).
+	Eps float64
+	// Delta is the failure probability δ.
+	Delta float64
+	// Route selects DHT insertion routing (default hypercube).
+	Route dht.RouteMode
+	// KStarOverride, if positive, fixes EC's exactly-counted candidate
+	// count instead of the volume-optimal choice of Theorem 11.
+	KStarOverride int
+}
+
+func (p Params) validate() {
+	if p.K < 1 || p.Eps <= 0 || p.Delta <= 0 || p.Delta >= 1 {
+		panic(fmt.Sprintf("freq: invalid params %+v", p))
+	}
+}
+
+// Result is the outcome of a frequent-objects query; identical on all PEs.
+type Result struct {
+	// Items are the top-k objects, most frequent first. Counts are
+	// estimates scaled by 1/ρ unless Exact is true.
+	Items []dht.KV
+	// SampleSize is the realized global sample size.
+	SampleSize int64
+	// Rho is the sampling probability used.
+	Rho float64
+	// KStar is the exactly counted candidate count (EC/PEC; 0 for PAC).
+	KStar int
+	// Exact reports whether Items carry exact global counts.
+	Exact bool
+}
+
+// sampleCounts draws a Bernoulli(rho) sample of the local input and
+// aggregates it by key (the Section 7.4 local-aggregation refinement).
+func sampleCounts(local []uint64, rho float64, rng *xrand.RNG) map[uint64]int64 {
+	agg := make(map[uint64]int64)
+	if rho >= 1 {
+		for _, x := range local {
+			agg[x]++
+		}
+		return agg
+	}
+	s := xrand.NewSkipSampler(rng, rho)
+	for idx := s.Next(); idx < int64(len(local)); idx = s.Next() {
+		agg[local[idx]]++
+	}
+	return agg
+}
+
+func mapSize(m map[uint64]int64) int64 {
+	var t int64
+	for _, c := range m {
+		t += c
+	}
+	return t
+}
+
+// sortKVDesc orders by count descending, key ascending (deterministic).
+func sortKVDesc(items []dht.KV) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+}
+
+// selectTopK returns the k objects with the highest counts from the
+// DHT-sharded count table, on all PEs, using the unsorted selection
+// algorithm of Section 4.1 on the counts (descending order is realized by
+// complementing the count). Ties at the threshold are split
+// deterministically with a prefix sum so exactly k items are returned
+// (fewer if fewer exist globally). Collective.
+func selectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []dht.KV {
+	items := make([]dht.KV, 0, len(shard))
+	ords := make([]uint64, 0, len(shard))
+	for key, c := range shard {
+		items = append(items, dht.KV{Key: key, Count: c})
+		ords = append(ords, ^uint64(c))
+	}
+	total := coll.SumAll(pe, int64(len(items)))
+	if total == 0 {
+		return nil
+	}
+	if total <= int64(k) {
+		all := coll.AllGatherConcat(pe, items)
+		sortKVDesc(all)
+		return all
+	}
+	thr := sel.Kth(pe, ords, int64(k), rng)
+	thrCount := int64(^thr)
+
+	var selected []dht.KV
+	var ties int64
+	for _, it := range items {
+		if it.Count > thrCount {
+			selected = append(selected, it)
+		} else if it.Count == thrCount {
+			ties++
+		}
+	}
+	nAbove := coll.SumAll(pe, int64(len(selected)))
+	needTies := int64(k) - nAbove
+	prevTies := coll.ExScanSum(pe, ties)
+	take := min(max(needTies-prevTies, 0), ties)
+	if take > 0 {
+		for _, it := range items {
+			if it.Count == thrCount && take > 0 {
+				selected = append(selected, it)
+				take--
+			}
+		}
+	}
+	out := coll.AllGatherConcat(pe, selected)
+	sortKVDesc(out)
+	return out
+}
+
+// PAC computes an (ε, δ)-approximation of the top-k most frequent objects
+// (Section 7.1). Expected time O(n/p·ρ + β·(log p/(pε²))·log(k/δ) + α log n).
+// Collective.
+func PAC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	n := coll.SumAll(pe, int64(len(local)))
+	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
+	agg := sampleCounts(local, rho, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+	shard := dht.CountKeys(pe, agg, p.Route)
+	top := selectTopK(pe, shard, p.K, rng)
+	for i := range top {
+		top[i].Count = int64(float64(top[i].Count)/rho + 0.5)
+	}
+	sortKVDesc(top)
+	return Result{Items: top, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
+}
+
+// EC computes an (ε, δ)-approximation using exact counting of the k* most
+// frequently sampled objects (Section 7.2, Theorem 11): smaller sample
+// (linear in 1/ε), two extra all-gather/reduction rounds, local counting
+// pass. Collective.
+func EC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	n := coll.SumAll(pe, int64(len(local)))
+	kStar := p.KStarOverride
+	if kStar <= 0 {
+		kStar = stats.OptimalKStar(n, p.K, pe.P(), p.Eps, p.Delta)
+	}
+	rho := min(1, stats.ECSampleSize(n, kStar, p.Eps, p.Delta)/float64(n))
+	return ecCore(pe, local, p, kStar, rho, rng)
+}
+
+// ecCore is the shared EC machinery: sample at rho, select the kStar most
+// sampled, count them exactly, return the exact top-k among them.
+func ecCore(pe *comm.PE, local []uint64, p Params, kStar int, rho float64, rng *xrand.RNG) Result {
+	agg := sampleCounts(local, rho, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+	shard := dht.CountKeys(pe, agg, p.Route)
+	candidates := selectTopK(pe, shard, kStar, rng)
+
+	exact := countExactly(pe, local, candidateKeys(candidates))
+	if len(exact) > p.K {
+		exact = exact[:p.K]
+	}
+	return Result{Items: exact, SampleSize: sampleSize, Rho: rho, KStar: kStar, Exact: true}
+}
+
+func candidateKeys(items []dht.KV) []uint64 {
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	slices.Sort(keys)
+	return slices.Compact(keys)
+}
+
+// countExactly counts the given candidate keys exactly over the whole
+// input: the identities travel by all-gather (already done by the caller's
+// selection), each PE scans its local input once (O(n/p)), and a
+// vector-valued sum reduction produces global counts on all PEs —
+// O(β·k* + α log p) communication. The keys slice must be identical on
+// all PEs. Results are sorted by count descending.
+func countExactly(pe *comm.PE, local []uint64, keys []uint64) []dht.KV {
+	if len(keys) == 0 {
+		return nil
+	}
+	index := make(map[uint64]int, len(keys))
+	for i, k := range keys {
+		index[k] = i
+	}
+	counts := make([]int64, len(keys))
+	for _, x := range local {
+		if i, ok := index[x]; ok {
+			counts[i]++
+		}
+	}
+	global := coll.AllReduce(pe, counts, func(a, b int64) int64 { return a + b })
+	out := make([]dht.KV, len(keys))
+	for i, k := range keys {
+		out[i] = dht.KV{Key: k, Count: global[i]}
+	}
+	sortKVDesc(out)
+	return out
+}
+
+// PEC computes a probably exactly correct result for distributions with a
+// frequency gap (Section 7.3): a first small sample (error tolerance
+// eps0) estimates the distribution, Lemma 12 chooses k*, and the EC
+// machinery counts those candidates exactly. If no usable gap is detected
+// the first-stage sample is returned as a PAC-quality approximation
+// (Exact=false), per the Section 7.4 adaptive-two-pass refinement.
+// Collective.
+func PEC(pe *comm.PE, local []uint64, p Params, eps0 float64, rng *xrand.RNG) Result {
+	p.validate()
+	if eps0 <= 0 {
+		panic("freq: PEC needs a positive first-stage tolerance eps0")
+	}
+	n := coll.SumAll(pe, int64(len(local)))
+	rho0 := min(1, stats.PACSampleSize(n, p.K, eps0, p.Delta)/float64(n))
+	agg := sampleCounts(local, rho0, rng)
+	stage1Size := coll.SumAll(pe, mapSize(agg))
+	shard := dht.CountKeys(pe, agg, p.Route)
+
+	// Inspect the head of the sampled frequency distribution.
+	m := max(4*p.K, 64)
+	head := selectTopK(pe, shard, m, rng)
+	countsDesc := make([]int64, len(head))
+	for i, it := range head {
+		countsDesc[i] = it.Count
+	}
+	kStar, ok := stats.PECKStarFromSample(countsDesc, p.K, p.Delta)
+	if !ok {
+		// No exploitable gap: return the first-stage estimate.
+		top := head
+		if len(top) > p.K {
+			top = top[:p.K]
+		}
+		items := make([]dht.KV, len(top))
+		for i, it := range top {
+			items[i] = dht.KV{Key: it.Key, Count: int64(float64(it.Count)/rho0 + 0.5)}
+		}
+		return Result{Items: items, SampleSize: stage1Size, Rho: rho0, Exact: rho0 >= 1}
+	}
+	// Gap found: exactly count the k* head candidates (they are already
+	// selected from the first sample; no second sampling pass is needed
+	// because stage 1 used the conservative PAC rate).
+	if kStar > len(head) {
+		kStar = len(head)
+	}
+	exact := countExactly(pe, local, candidateKeys(head[:kStar]))
+	if len(exact) > p.K {
+		exact = exact[:p.K]
+	}
+	return Result{Items: exact, SampleSize: stage1Size, Rho: rho0, KStar: kStar, Exact: true}
+}
+
+// PECZipf is the Theorem 14 closed form: for inputs known to follow
+// Zipf(s) over the given universe, the first sample is unnecessary — the
+// sample size 4·k^s·H_{N,s}·ln(k/δ) and k* = (2+√2)^(1/s)·k are computed
+// directly. Collective.
+func PECZipf(pe *comm.PE, local []uint64, k int, s float64, universe int64, delta float64, rng *xrand.RNG) Result {
+	if k < 1 || s <= 0 || delta <= 0 || delta >= 1 {
+		panic("freq: invalid PECZipf parameters")
+	}
+	n := coll.SumAll(pe, int64(len(local)))
+	hns := gen.HarmonicGeneralized(universe, s)
+	rho := min(1, stats.ZipfPECSampleSize(k, s, hns, delta)/float64(n))
+	kStar := int(float64(k)*math.Pow(2+math.Sqrt2, 1/s)) + 1
+	p := Params{K: k, Eps: 1, Delta: delta} // Eps unused on this path
+	return ecCore(pe, local, p, kStar, rho, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Centralized baselines (Section 10.2)
+// ---------------------------------------------------------------------------
+
+// Naive is the first baseline: every PE sends its aggregated local sample
+// directly to a coordinator, which selects the top-k and broadcasts it.
+// The coordinator receives p−1 messages — the Θ(p) bottleneck the
+// evaluation exposes. Collective.
+func Naive(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	n := coll.SumAll(pe, int64(len(local)))
+	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
+	agg := sampleCounts(local, rho, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+
+	// Direct delivery to the coordinator: rank 0 receives p-1 messages.
+	tag := pe.NextCollTag()
+	var top []dht.KV
+	if pe.Rank() == 0 {
+		merged := make(map[uint64]int64, len(agg))
+		for k, c := range agg {
+			merged[k] += c
+		}
+		for src := 1; src < pe.P(); src++ {
+			rx, _ := pe.Recv(src, tag)
+			for _, kv := range rx.([]dht.KV) {
+				merged[kv.Key] += kv.Count
+			}
+		}
+		top = topKLocal(merged, p.K)
+	} else {
+		out := make([]dht.KV, 0, len(agg))
+		for k, c := range agg {
+			out = append(out, dht.KV{Key: k, Count: c})
+		}
+		pe.Send(0, tag, out, int64(len(out))*coll.WordsOf[dht.KV]())
+	}
+	top = coll.Broadcast(pe, 0, top)
+	items := make([]dht.KV, len(top))
+	for i, it := range top {
+		items[i] = dht.KV{Key: it.Key, Count: int64(float64(it.Count)/rho + 0.5)}
+	}
+	return Result{Items: items, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
+}
+
+// NaiveTree is the second baseline: identical sample, but the aggregated
+// counts flow to the coordinator along a binomial tree that merges count
+// tables at every step (latency O(log p), but the volume near the root
+// still grows with the distinct-key count). Collective.
+func NaiveTree(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	n := coll.SumAll(pe, int64(len(local)))
+	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
+	agg := sampleCounts(local, rho, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+
+	merged := treeReduceCounts(pe, agg)
+	var top []dht.KV
+	if pe.Rank() == 0 {
+		top = topKLocal(merged, p.K)
+	}
+	top = coll.Broadcast(pe, 0, top)
+	items := make([]dht.KV, len(top))
+	for i, it := range top {
+		items[i] = dht.KV{Key: it.Key, Count: int64(float64(it.Count)/rho + 0.5)}
+	}
+	return Result{Items: items, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
+}
+
+// treeReduceCounts merges count tables up a binomial tree rooted at 0;
+// the root returns the global table, others nil.
+func treeReduceCounts(pe *comm.PE, local map[uint64]int64) map[uint64]int64 {
+	p := pe.P()
+	acc := make(map[uint64]int64, len(local))
+	for k, c := range local {
+		acc[k] = c
+	}
+	if p == 1 {
+		return acc
+	}
+	tag := pe.NextCollTag()
+	vr := pe.Rank()
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			out := make([]dht.KV, 0, len(acc))
+			for k, c := range acc {
+				out = append(out, dht.KV{Key: k, Count: c})
+			}
+			pe.Send(vr&^mask, tag, out, int64(len(out))*coll.WordsOf[dht.KV]())
+			return nil
+		}
+		src := vr | mask
+		if src < p {
+			rx, _ := pe.Recv(src, tag)
+			for _, kv := range rx.([]dht.KV) {
+				acc[kv.Key] += kv.Count
+			}
+		}
+	}
+	return acc
+}
+
+func topKLocal(m map[uint64]int64, k int) []dht.KV {
+	all := make([]dht.KV, 0, len(m))
+	for key, c := range m {
+		all = append(all, dht.KV{Key: key, Count: c})
+	}
+	sortKVDesc(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// ExactTopK computes the exact top-k by fully counting every key through
+// the DHT — the ground truth used by tests and experiment scoring (not
+// communication-efficient; Θ(distinct keys) volume). Collective.
+func ExactTopK(pe *comm.PE, local []uint64, k int, route dht.RouteMode, rng *xrand.RNG) []dht.KV {
+	agg := make(map[uint64]int64, len(local))
+	for _, x := range local {
+		agg[x]++
+	}
+	shard := dht.CountKeys(pe, agg, route)
+	return selectTopK(pe, shard, k, rng)
+}

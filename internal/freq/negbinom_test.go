@@ -1,0 +1,111 @@
+package freq
+
+import (
+	"testing"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+// The paper's second Section 10.2 workload: a negative binomial
+// distribution (r=1000, p=0.05) with "a rather wide plateau, resulting in
+// the most frequent objects and their surrounding elements all being of
+// very similar frequency". The paper found it "an easy case for
+// selection" because the aggregated samples have few distinct elements;
+// the algorithms must remain correct within ε even though the top-k set
+// itself is ambiguous.
+func negBinomWorkload(seed int64, p, perPE int) ([][]uint64, map[uint64]int64) {
+	locals := make([][]uint64, p)
+	exact := map[uint64]int64{}
+	for r := 0; r < p; r++ {
+		locals[r] = gen.NegBinomialInput(xrand.NewPE(seed, r), perPE, 1000, 0.05)
+		for _, x := range locals[r] {
+			exact[x]++
+		}
+	}
+	return locals, exact
+}
+
+func TestAlgorithmsOnNegativeBinomialPlateau(t *testing.T) {
+	const p = 4
+	const perPE = 8000
+	locals, exact := negBinomWorkload(43, p, perPE)
+	n := int64(p * perPE)
+	params := Params{K: 8, Eps: 0.005, Delta: 0.01}
+	for _, a := range allAlgos {
+		m := comm.NewMachine(comm.DefaultConfig(p))
+		var res Result
+		m.MustRun(func(pe *comm.PE) {
+			r := a.run(pe, locals[pe.Rank()], params, xrand.NewPE(47, pe.Rank()))
+			if pe.Rank() == 0 {
+				res = r
+			}
+		})
+		if len(res.Items) != params.K {
+			t.Errorf("%s: %d items", a.name, len(res.Items))
+			continue
+		}
+		// On a plateau the exact top-k is ambiguous, but the ε̃ error (the
+		// count gap across the boundary) must stay within ε — and is in
+		// fact tiny because near-ties make swaps cheap.
+		if e := stats.EpsTilde(exact, keysOf(res.Items), n); e > params.Eps {
+			t.Errorf("%s: ε̃=%v on plateau input", a.name, e)
+		}
+	}
+}
+
+func TestPECHonestOnPlateau(t *testing.T) {
+	// The negative-binomial bell is not literally flat — Lemma 12's
+	// criterion may legitimately find a k* on its slope. What must hold:
+	// whenever PEC claims exactness, the answer really is exact (ε̃ = 0).
+	const p = 4
+	locals, exact := negBinomWorkload(53, p, 20000)
+	n := int64(p * 20000)
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	var res Result
+	m.MustRun(func(pe *comm.PE) {
+		r := PEC(pe, locals[pe.Rank()], Params{K: 8, Eps: 0.02, Delta: 0.01}, 0.05, xrand.NewPE(59, pe.Rank()))
+		if pe.Rank() == 0 {
+			res = r
+		}
+	})
+	if res.Exact {
+		if e := stats.EpsTilde(exact, keysOf(res.Items), n); e != 0 {
+			t.Errorf("PEC claimed exactness but ε̃=%v", e)
+		}
+		for _, it := range res.Items {
+			if exact[it.Key] != it.Count {
+				t.Errorf("key %d count %d, true %d", it.Key, it.Count, exact[it.Key])
+			}
+		}
+	}
+}
+
+func TestPlateauAggregatedSamplesAreSmall(t *testing.T) {
+	// The paper's observation: "the aggregated samples have much fewer
+	// elements than in a Zipfian distribution — an easy case for
+	// selection". Compare distinct sampled keys.
+	const p = 4
+	const perPE = 8000
+	nbLocals, _ := negBinomWorkload(61, p, perPE)
+	z := gen.NewZipf(1<<16, 1)
+	zipfLocals := make([][]uint64, p)
+	for r := 0; r < p; r++ {
+		zipfLocals[r] = gen.FrequencyInput(xrand.NewPE(61, r), z, perPE)
+	}
+	distinct := func(locals [][]uint64) int {
+		seen := map[uint64]bool{}
+		for _, l := range locals {
+			for _, x := range l {
+				seen[x] = true
+			}
+		}
+		return len(seen)
+	}
+	nb, zipf := distinct(nbLocals), distinct(zipfLocals)
+	if nb*4 > zipf {
+		t.Errorf("negative binomial distinct keys %d not far below Zipf's %d", nb, zipf)
+	}
+}

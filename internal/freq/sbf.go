@@ -1,0 +1,78 @@
+package freq
+
+import (
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/dht"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+// ECSBF is EC with the distributed single-shot Bloom filter refinement of
+// Section 7.4: the sample is counted as (hash, count) cells (one machine
+// word each instead of two), the top k*+κ cells are selected, their keys
+// are resolved (splitting hash collisions), and the top k* resolved keys
+// are counted exactly. If the resolved set is too small because of
+// collisions, κ is doubled and the selection retried, as the paper
+// prescribes. Collective.
+func ECSBF(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
+	p.validate()
+	n := coll.SumAll(pe, int64(len(local)))
+	kStar := p.KStarOverride
+	if kStar <= 0 {
+		kStar = stats.OptimalKStar(n, p.K, pe.P(), p.Eps, p.Delta)
+	}
+	rho := min(1, stats.ECSampleSize(n, kStar, p.Eps, p.Delta)/float64(n))
+
+	agg := sampleCounts(local, rho, rng)
+	sampleSize := coll.SumAll(pe, mapSize(agg))
+	sbf := dht.BuildSBF(pe, agg)
+
+	kappa := kStar/2 + 8
+	var resolved []dht.KV
+	for attempt := 0; attempt < 4; attempt++ {
+		cells := selectTopCells(pe, sbf.Cells, kStar+kappa, rng)
+		resolved = sbf.Resolve(cells)
+		if len(resolved) >= kStar || len(cells) < kStar+kappa {
+			// Enough keys resolved, or the filter is exhausted.
+			break
+		}
+		kappa *= 2
+	}
+	sort.Slice(resolved, func(i, j int) bool {
+		if resolved[i].Count != resolved[j].Count {
+			return resolved[i].Count > resolved[j].Count
+		}
+		return resolved[i].Key < resolved[j].Key
+	})
+	if len(resolved) > kStar {
+		resolved = resolved[:kStar]
+	}
+	exact := countExactly(pe, local, candidateKeys(resolved))
+	if len(exact) > p.K {
+		exact = exact[:p.K]
+	}
+	return Result{Items: exact, SampleSize: sampleSize, Rho: rho, KStar: kStar, Exact: true}
+}
+
+// selectTopCells picks the m cells with the highest counts from the
+// distributed cell table (all PEs receive the same cell list). Collective.
+func selectTopCells(pe *comm.PE, cells map[uint32]int64, m int, rng *xrand.RNG) []uint32 {
+	asKeys := make(map[uint64]int64, len(cells))
+	for cell, c := range cells {
+		asKeys[uint64(cell)] = c
+	}
+	// selectTopK hashes by dht.Owner; ownership differs from cellOwner but
+	// correctness only needs *some* consistent sharding, which re-sharding
+	// through CountKeys would provide — yet the counts here are already
+	// global (each cell lives on exactly one PE), so selection can run
+	// directly on the local tables.
+	top := selectTopK(pe, asKeys, m, rng)
+	out := make([]uint32, len(top))
+	for i, kv := range top {
+		out[i] = uint32(kv.Key)
+	}
+	return out
+}

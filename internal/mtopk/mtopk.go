@@ -1,0 +1,525 @@
+// Package mtopk implements the multicriteria top-k algorithms of
+// Section 6 of the paper: the sequential threshold algorithm of Fagin
+// (TA) as the reference, RDTA for randomly distributed objects, and DTA
+// (Algorithm 3) for arbitrary distribution.
+//
+// Data model: every object lives wholly on one PE together with its m
+// scores; each PE keeps m lists ranking its local objects by each score
+// (the paper's distributed setting: "each PE has a subset of the objects
+// and m sorted lists ranking its locally present objects"). Overall
+// relevance is a monotone scoring function t(x₁,...,x_m).
+package mtopk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// ScoreFunc maps the m per-criterion scores to an overall relevance; it
+// must be monotone in every argument (Fagin's requirement).
+type ScoreFunc func(scores []float64) float64
+
+// SumScore is the canonical monotone aggregate.
+func SumScore(scores []float64) float64 {
+	var s float64
+	for _, x := range scores {
+		s += x
+	}
+	return s
+}
+
+// Object is one item with its per-criterion scores.
+type Object struct {
+	ID     uint64
+	Scores []float64
+}
+
+// Hit is a scored result object.
+type Hit struct {
+	ID    uint64
+	Score float64
+}
+
+// listEntry is one row of a score list.
+type listEntry struct {
+	score float64
+	id    uint64
+}
+
+// Data is one PE's share of the dataset: objects plus m local rankings.
+type Data struct {
+	m       int
+	objects map[uint64][]float64
+	lists   [][]listEntry    // per criterion, sorted by score descending
+	ranks   []map[uint64]int // per criterion: id → local rank (0-based)
+	ords    [][]uint64       // per criterion: ascending OrdDesc keys for selection
+}
+
+// NewData indexes a PE's local objects. Every object must carry exactly m
+// scores; IDs must be globally unique (they identify objects across PEs).
+func NewData(objects []Object, m int) *Data {
+	d := &Data{
+		m:       m,
+		objects: make(map[uint64][]float64, len(objects)),
+		lists:   make([][]listEntry, m),
+		ranks:   make([]map[uint64]int, m),
+		ords:    make([][]uint64, m),
+	}
+	for _, o := range objects {
+		if len(o.Scores) != m {
+			panic(fmt.Sprintf("mtopk: object %d has %d scores, want %d", o.ID, len(o.Scores), m))
+		}
+		if _, dup := d.objects[o.ID]; dup {
+			panic(fmt.Sprintf("mtopk: duplicate object id %d", o.ID))
+		}
+		d.objects[o.ID] = o.Scores
+	}
+	for i := 0; i < m; i++ {
+		list := make([]listEntry, 0, len(objects))
+		for _, o := range objects {
+			list = append(list, listEntry{score: o.Scores[i], id: o.ID})
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].score != list[b].score {
+				return list[a].score > list[b].score
+			}
+			return list[a].id < list[b].id
+		})
+		d.lists[i] = list
+		d.ranks[i] = make(map[uint64]int, len(list))
+		d.ords[i] = make([]uint64, len(list))
+		for r, e := range list {
+			d.ranks[i][e.id] = r
+			d.ords[i][r] = OrdDesc(e.score)
+		}
+	}
+	return d
+}
+
+// NumObjects returns the local object count.
+func (d *Data) NumObjects() int { return len(d.objects) }
+
+// M returns the number of criteria.
+func (d *Data) M() int { return d.m }
+
+// Score evaluates t on an object's local score vector ("random access").
+func (d *Data) Score(id uint64, t ScoreFunc) (float64, bool) {
+	s, ok := d.objects[id]
+	if !ok {
+		return 0, false
+	}
+	return t(s), true
+}
+
+// OrdDesc maps a float score to a uint64 whose ascending order equals
+// descending score order — the packing that lets the generic ascending
+// selection algorithms of internal/sel run on score lists. Lossless.
+func OrdDesc(score float64) uint64 {
+	u := math.Float64bits(score)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return ^u
+}
+
+// FromOrdDesc inverts OrdDesc.
+func FromOrdDesc(u uint64) float64 {
+	u = ^u
+	if u&(1<<63) != 0 {
+		u &^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
+// ---------------------------------------------------------------------------
+// Sequential threshold algorithm (Fagin) — the reference DTA approximates
+// ---------------------------------------------------------------------------
+
+// SequentialTA runs the original threshold algorithm on a single dataset:
+// scan one object per list per iteration, random-access its full score,
+// stop once the k-th best seen reaches the threshold t(x₁..x_m) of the
+// last scanned scores. Returns the top-k hits (best first) and K, the
+// number of scanned list rows.
+func SequentialTA(d *Data, t ScoreFunc, k int) ([]Hit, int) {
+	seen := map[uint64]float64{}
+	K := 0
+	n := 0
+	for i := 0; i < d.m; i++ {
+		if len(d.lists[i]) > n {
+			n = len(d.lists[i])
+		}
+	}
+	xs := make([]float64, d.m)
+	for row := 0; row < n; row++ {
+		K++
+		for i := 0; i < d.m; i++ {
+			if row >= len(d.lists[i]) {
+				continue
+			}
+			e := d.lists[i][row]
+			xs[i] = e.score
+			if _, ok := seen[e.id]; !ok {
+				seen[e.id], _ = d.Score(e.id, t)
+			}
+		}
+		if len(seen) >= k {
+			tau := t(xs)
+			if kthBest(seen, k) >= tau {
+				break
+			}
+		}
+	}
+	return topHits(seen, k), K
+}
+
+func kthBest(seen map[uint64]float64, k int) float64 {
+	scores := make([]float64, 0, len(seen))
+	for _, s := range seen {
+		scores = append(scores, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[k-1]
+}
+
+func topHits(seen map[uint64]float64, k int) []Hit {
+	hits := make([]Hit, 0, len(seen))
+	for id, s := range seen {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// BruteForceTopK scores every object — exact ground truth for tests.
+func BruteForceTopK(d *Data, t ScoreFunc, k int) []Hit {
+	seen := make(map[uint64]float64, len(d.objects))
+	for id, scores := range d.objects {
+		seen[id] = t(scores)
+	}
+	return topHits(seen, k)
+}
+
+// ---------------------------------------------------------------------------
+// DTA — Algorithm 3 (arbitrary data distribution)
+// ---------------------------------------------------------------------------
+
+// DTAResult is the outcome of the distributed threshold algorithm.
+type DTAResult struct {
+	// Threshold is t(x₁..x_m), the final stopping threshold.
+	Threshold float64
+	// K is the final per-list scan depth guess.
+	K int64
+	// PrefixLens are this PE's local prefix lengths |L'_i| per list.
+	PrefixLens []int
+	// Hits are this PE's local objects from the prefixes with overall
+	// score ≥ Threshold (deduplicated locally). Their union over PEs
+	// contains the true top-k with high probability.
+	Hits []Hit
+	// Rounds is the number of exponential-search rounds.
+	Rounds int
+	// EstimatedHits is the final sampling-based hit estimate H.
+	EstimatedHits float64
+}
+
+// DTA runs Algorithm 3: exponential search on the TA scan depth K, with
+// the approximate multisequence selection of Section 4.3 approximating
+// the globally K-th largest score of every list and a sampling-based
+// truthful estimator of the number of hits. Expected time
+// O(m² log²K + βm logK + α log p logK) — Theorem 6. Collective.
+func DTA(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) DTAResult {
+	return DTAProbed(pe, d, t, k, 1, rng)
+}
+
+// DTAProbed is DTA with the Section 6 refinement "we can further reduce
+// the latency of DTA by trying several values of K in each iteration":
+// each round evaluates `probes` scan depths K, 4K, 16K, ... concurrently
+// and jumps directly to the smallest depth whose hit estimate suffices,
+// cutting the number of exponential-search rounds by the probe factor at
+// the cost of O(probes) extra selections of small prefixes per round.
+// probes = 1 is plain DTA. Collective.
+func DTAProbed(pe *comm.PE, d *Data, t ScoreFunc, k int, probes int, rng *xrand.RNG) DTAResult {
+	if k < 1 {
+		panic("mtopk: k must be positive")
+	}
+	if probes < 1 {
+		panic("mtopk: probes must be positive")
+	}
+	m := d.m
+	nGlobal := coll.SumAll(pe, int64(d.NumObjects()))
+	if nGlobal == 0 {
+		return DTAResult{PrefixLens: make([]int, m)}
+	}
+	K := int64(k)/(int64(m)*int64(pe.P())) + 1
+
+	res := DTAResult{}
+	for {
+		res.Rounds++
+		// Probe depths K, 4K, 16K, ... in this round.
+		probe := K
+		var lastProbe int64
+		found := false
+		for j := 0; j < probes && !found; j++ {
+			lens, xs, est := dtaRound(pe, d, t, probe, nGlobal, rng)
+			res.PrefixLens = lens
+			res.Threshold = t(xs)
+			res.EstimatedHits = est
+			res.K = probe
+			lastProbe = probe
+			if est >= 2*float64(k) || probe >= nGlobal {
+				found = true
+			}
+			probe *= 4
+		}
+		if found {
+			break
+		}
+		K = lastProbe * 2 // continue the exponential search past the probes
+	}
+	res.Hits = d.collectHits(t, res.Threshold, res.PrefixLens)
+	return res
+}
+
+// dtaRound performs one scan-depth evaluation: approximate the K-th
+// largest score of every list, form the threshold, and estimate the hit
+// count by prefix sampling with duplicate rejection. Collective.
+func dtaRound(pe *comm.PE, d *Data, t ScoreFunc, K, nGlobal int64, rng *xrand.RNG) ([]int, []float64, float64) {
+	m := d.m
+	lens := make([]int, m)
+	xs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if K >= nGlobal {
+			lens[i] = len(d.ords[i])
+			xs[i] = minListScore(pe, d, i)
+			continue
+		}
+		r := sel.AMSSelect[uint64](pe, sel.SliceSeq[uint64](d.ords[i]), K, 2*K, rng)
+		lens[i] = min(r.LocalLen, len(d.lists[i]))
+		xs[i] = FromOrdDesc(r.Threshold)
+	}
+	thr := t(xs)
+
+	// Estimate the number of hits by sampling each prefix (rejecting
+	// objects already present in an earlier list's prefix to avoid
+	// double counting).
+	y := 4 * int(math.Log2(float64(K)+2))
+	var localEst float64
+	for i := 0; i < m; i++ {
+		pl := lens[i]
+		if pl == 0 {
+			continue
+		}
+		var rejected, hits int
+		for s := 0; s < y; s++ {
+			e := d.lists[i][rng.Intn(pl)]
+			if d.inEarlierPrefix(e.id, i, lens) {
+				rejected++
+				continue
+			}
+			if sc, _ := d.Score(e.id, t); sc >= thr {
+				hits++
+			}
+		}
+		localEst += float64(pl) * (1 - float64(rejected)/float64(y)) * (float64(hits) / float64(y))
+	}
+	est := coll.AllReduceScalar(pe, localEst, func(a, b float64) float64 { return a + b })
+	return lens, xs, est
+}
+
+// minListScore returns the global minimum score of list i (prefix = whole
+// list). Collective.
+func minListScore(pe *comm.PE, d *Data, i int) float64 {
+	v := math.Inf(1)
+	if n := len(d.lists[i]); n > 0 {
+		v = d.lists[i][n-1].score
+	}
+	return coll.AllReduceScalar(pe, v, math.Min)
+}
+
+// inEarlierPrefix reports whether the object also appears in the prefix of
+// an earlier list — purely local, since all of an object's list entries
+// live on its home PE.
+func (d *Data) inEarlierPrefix(id uint64, i int, prefixLens []int) bool {
+	for j := 0; j < i; j++ {
+		if r, ok := d.ranks[j][id]; ok && r < prefixLens[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectHits scans the local prefixes and returns deduplicated objects
+// with overall score at least thr.
+func (d *Data) collectHits(t ScoreFunc, thr float64, prefixLens []int) []Hit {
+	seen := map[uint64]bool{}
+	var hits []Hit
+	for i := 0; i < d.m; i++ {
+		for r := 0; r < prefixLens[i] && r < len(d.lists[i]); r++ {
+			id := d.lists[i][r].id
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if sc, _ := d.Score(id, t); sc >= thr {
+				hits = append(hits, Hit{ID: id, Score: sc})
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	return hits
+}
+
+// TopK completes DTA into an exact top-k query: it collects the DTA hits
+// and runs the unsorted selection of Section 4.1 on their scores to
+// identify the k most relevant; ties at the boundary are split by a
+// prefix sum. Returns this PE's share of the top-k. Collective.
+func TopK(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) ([]Hit, DTAResult) {
+	res := DTA(pe, d, t, k, rng)
+	ords := make([]uint64, len(res.Hits))
+	for i, h := range res.Hits {
+		ords[i] = OrdDesc(h.Score)
+	}
+	selected := sel.SmallestK(pe, ords, min(int64(k), coll.SumAll(pe, int64(len(ords)))), rng)
+	// Map the selected ord keys back to local hits (ords may contain
+	// duplicates across PEs only for exactly equal scores; SmallestK has
+	// already split those fairly — keep as many local hits per ord value
+	// as SmallestK granted us).
+	grant := map[uint64]int{}
+	for _, o := range selected {
+		grant[o]++
+	}
+	var out []Hit
+	for _, h := range res.Hits {
+		o := OrdDesc(h.Score)
+		if grant[o] > 0 {
+			grant[o]--
+			out = append(out, h)
+		}
+	}
+	return out, res
+}
+
+// ---------------------------------------------------------------------------
+// RDTA — randomly distributed objects
+// ---------------------------------------------------------------------------
+
+// RDTA exploits random object placement: each PE runs the sequential TA
+// locally for k̂ = c·(k/p + log p) results, the global threshold is the
+// max of the local thresholds, and the candidate count above it is
+// verified; on failure k̂ doubles (Section 6, "Random Data Distribution").
+// Returns this PE's share of the top-k. Collective.
+func RDTA(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) []Hit {
+	p := pe.P()
+	kHat := k/p + 2*bitLen(p) + 1
+	nLocal := d.NumObjects()
+	for {
+		if kHat > nLocal {
+			kHat = nLocal
+		}
+		localHits, _ := SequentialTA(d, t, max(kHat, 1))
+		// Local threshold: worst score this PE can still vouch for.
+		tau := math.Inf(-1)
+		if len(localHits) == kHat && kHat > 0 {
+			tau = localHits[len(localHits)-1].Score
+		} else if nLocal > 0 {
+			// Entire local set scanned: local threshold is -inf (we have
+			// everything), which never constrains the global threshold.
+			tau = math.Inf(-1)
+		}
+		globalTau := coll.AllReduceScalar(pe, tau, math.Max)
+
+		var above int64
+		for _, h := range localHits {
+			if h.Score >= globalTau {
+				above++
+			}
+		}
+		total := coll.SumAll(pe, above)
+		if total >= int64(k) || int64(nLocal*p) <= int64(k) || kHat >= nLocal {
+			// Verified (or exhausted): select the top-k among candidates.
+			ords := make([]uint64, 0, len(localHits))
+			for _, h := range localHits {
+				ords = append(ords, OrdDesc(h.Score))
+			}
+			take := min(int64(k), coll.SumAll(pe, int64(len(ords))))
+			selected := sel.SmallestK(pe, ords, take, rng)
+			grant := map[uint64]int{}
+			for _, o := range selected {
+				grant[o]++
+			}
+			var out []Hit
+			for _, h := range localHits {
+				o := OrdDesc(h.Score)
+				if grant[o] > 0 {
+					grant[o]--
+					out = append(out, h)
+				}
+			}
+			return out
+		}
+		kHat *= 2
+	}
+}
+
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// GenObjects generates n objects with m independent uniform scores — the
+// standard threshold-algorithm benchmark workload.
+func GenObjects(rng *xrand.RNG, n, m int, idOffset uint64) []Object {
+	out := make([]Object, n)
+	for i := range out {
+		scores := make([]float64, m)
+		for j := range scores {
+			scores[j] = rng.Float64()
+		}
+		out[i] = Object{ID: idOffset + uint64(i), Scores: scores}
+	}
+	return out
+}
+
+// GenCorrelatedObjects generates objects whose criteria are positively
+// correlated (an easier TA instance, used by the ablation benches).
+func GenCorrelatedObjects(rng *xrand.RNG, n, m int, idOffset uint64) []Object {
+	out := make([]Object, n)
+	for i := range out {
+		base := rng.Float64()
+		scores := make([]float64, m)
+		for j := range scores {
+			scores[j] = 0.7*base + 0.3*rng.Float64()
+		}
+		out[i] = Object{ID: idOffset + uint64(i), Scores: scores}
+	}
+	return out
+}

@@ -1,0 +1,604 @@
+// Package sel implements the paper's selection algorithms (Section 4 and
+// Appendix A):
+//
+//   - Kth / SmallestK: communication-efficient selection from unsorted
+//     input (Algorithm 1, Theorem 1) — distributed Floyd–Rivest with
+//     Bernoulli pivot sampling that does not require randomly distributed
+//     data.
+//   - MSSelect: exact multisequence selection from locally sorted input
+//     (Algorithm 9, Theorem 16), O(α log² kp).
+//   - AMSSelect: approximate multisequence selection with flexible output
+//     size k ∈ [k̲, k̄] (Algorithm 2, Theorem 3), O(log k̄ + α log p)
+//     expected.
+//   - AMSSelectBatched: the d-concurrent-trials refinement (Theorem 4).
+//
+// All functions are SPMD collectives: every PE must call them with its
+// local share of the data. Keys must have a unique total order for the
+// exact algorithms (tie-break by composing position into the key, as the
+// paper's (v, x) trick does); SmallestK additionally handles duplicates
+// directly by splitting ties with a prefix sum.
+package sel
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
+)
+
+// tagged carries an optional value through min/max reductions (the
+// sentinel for "this PE has no candidate").
+type tagged[K any] struct {
+	Has bool
+	Val K
+}
+
+func minTagged[K cmp.Ordered](a, b tagged[K]) tagged[K] {
+	if !a.Has {
+		return b
+	}
+	if !b.Has {
+		return a
+	}
+	if b.Val < a.Val {
+		return b
+	}
+	return a
+}
+
+func maxTagged[K cmp.Ordered](a, b tagged[K]) tagged[K] {
+	if !a.Has {
+		return b
+	}
+	if !b.Has {
+		return a
+	}
+	if b.Val > a.Val {
+		return b
+	}
+	return a
+}
+
+// firstTagged returns whichever operand has a value (owner broadcast).
+func firstTagged[K any](a, b tagged[K]) tagged[K] {
+	if a.Has {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Unsorted selection (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+// baseCaseLimit returns the remaining-size threshold below which the
+// recursion gathers the residual problem on PE 0 and solves it locally;
+// the gathered volume is O(√p + base) words, preserving Theorem 1.
+func baseCaseLimit(p int) int64 {
+	return max(64, 4*int64(math.Sqrt(float64(p))))
+}
+
+// Kth returns the element of global rank k (1-based) among the union of
+// all PEs' local slices, on every PE. The local slices are not modified.
+// rng must be a per-PE stream (independent across PEs). Panics if k is out
+// of range — a programming error surfaced through Machine.Run.
+func Kth[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) K {
+	n := coll.SumAll(pe, int64(len(local)))
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("sel: rank %d out of range 1..%d", k, n))
+	}
+	work := slices.Clone(local)
+	return kthRec(pe, work, k, n, rng, 0)
+}
+
+func kthRec[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG, depth int) K {
+	p := pe.P()
+	if k == 1 {
+		// Base case of Algorithm 1: a single min-reduction.
+		var cand tagged[K]
+		if len(s) > 0 {
+			cand = tagged[K]{Has: true, Val: slices.Min(s)}
+		}
+		return coll.AllReduceScalar(pe, cand, minTagged[K]).Val
+	}
+	if n <= baseCaseLimit(p) || depth > 120 {
+		return gatherSolve(pe, s, k)
+	}
+
+	lo, hi := pickPivots(pe, s, k, n, rng)
+
+	// Partition into a < lo, lo ≤ b ≤ hi, c > hi.
+	var a, b, c []K
+	for _, e := range s {
+		switch {
+		case e < lo:
+			a = append(a, e)
+		case e > hi:
+			c = append(c, e)
+		default:
+			b = append(b, e)
+		}
+	}
+	counts := coll.AllReduce(pe, []int64{int64(len(a)), int64(len(b))},
+		func(x, y int64) int64 { return x + y })
+	na, nb := counts[0], counts[1]
+	switch {
+	case na >= k:
+		return kthRec(pe, a, k, na, rng, depth+1)
+	case na+nb < k:
+		return kthRec(pe, c, k-na-nb, n-na-nb, rng, depth+1)
+	case lo == hi:
+		// Equal pivots: b is one big tie group and the k-th element falls
+		// inside it — the answer is the pivot itself. (Crucial for heavily
+		// duplicated inputs, where the tie group can be Θ(n).)
+		return lo
+	case nb == n:
+		// No shrinkage (pivots straddle all remaining values — tiny
+		// samples or very few distinct values). Peel the boundary tie
+		// group of the lower pivot arithmetically: either the answer is
+		// lo itself or the recursion continues on the strictly larger
+		// elements, which excludes at least the lo group.
+		var eqLo int64
+		var gt []K
+		for _, e := range b {
+			if e == lo {
+				eqLo++
+			} else {
+				gt = append(gt, e)
+			}
+		}
+		nEq := coll.SumAll(pe, eqLo)
+		if k-na <= nEq {
+			return lo
+		}
+		return kthRec(pe, gt, k-na-nEq, nb-nEq, rng, depth+1)
+	default:
+		return kthRec(pe, b, k-na, nb, rng, depth+1)
+	}
+}
+
+// pickPivots draws the Bernoulli sample of expected size Θ(√p) (Theorem 1;
+// a small additive constant keeps the sample usable at low PE counts),
+// sorts it with the fast inefficient sorting collective, and returns the
+// two Floyd–Rivest pivots at sample ranks k|S|/n ± Δ. Δ follows the
+// Floyd–Rivest rule Δ = m^(1/2+δ) on the realized sample size m with
+// δ = 1/10, which specializes to the paper's p^(1/4+δ) when m = Θ(√p) and
+// keeps the rank window a constant fraction of the sample, so the
+// candidate range shrinks geometrically per level.
+func pickPivots[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG) (lo, hi K) {
+	p := float64(pe.P())
+	target := 4 * (math.Sqrt(p) + 8)
+	rho := target / float64(n)
+	if rho > 1 {
+		rho = 1
+	}
+	var sample []K
+	sk := xrand.NewSkipSampler(rng, rho)
+	for idx := sk.Next(); idx < int64(len(s)); idx = sk.Next() {
+		sample = append(sample, s[idx])
+	}
+	// Sort the sample at the root and ship back only the two pivots: the
+	// sorted sample itself is never needed beyond pivot extraction, so the
+	// return volume is 2 words instead of |S| (the gather side still obeys
+	// the paper's O(β√p + α log p) sample-sorting budget).
+	parts := coll.Gatherv(pe, 0, sample)
+	var pivots []K
+	if pe.Rank() == 0 {
+		var sorted []K
+		for _, part := range parts {
+			sorted = append(sorted, part...)
+		}
+		slices.Sort(sorted)
+		if m := int64(len(sorted)); m > 0 {
+			r := k * m / n
+			delta := int64(math.Ceil(math.Pow(float64(m), 0.5+0.1)))
+			iLo := clamp(r-delta, 0, m-1)
+			iHi := clamp(r+delta, 0, m-1)
+			pivots = []K{sorted[iLo], sorted[iHi]}
+		}
+	}
+	pivots = coll.Broadcast(pe, 0, pivots)
+	if len(pivots) == 0 {
+		// Extremely unlucky sample; fall back to the global extremes so the
+		// next round keeps everything (then n ≤ base case soon, or a fresh
+		// sample succeeds).
+		loT := coll.AllReduceScalar(pe, localMinTagged(s), minTagged[K])
+		hiT := coll.AllReduceScalar(pe, localMaxTagged(s), maxTagged[K])
+		return loT.Val, hiT.Val
+	}
+	return pivots[0], pivots[1]
+}
+
+func localMinTagged[K cmp.Ordered](s []K) tagged[K] {
+	if len(s) == 0 {
+		return tagged[K]{}
+	}
+	return tagged[K]{Has: true, Val: slices.Min(s)}
+}
+
+func localMaxTagged[K cmp.Ordered](s []K) tagged[K] {
+	if len(s) == 0 {
+		return tagged[K]{}
+	}
+	return tagged[K]{Has: true, Val: slices.Max(s)}
+}
+
+func clamp(x, lo, hi int64) int64 { return min(max(x, lo), hi) }
+
+// gatherSolve solves a small residual selection problem exactly: gather on
+// PE 0, sort, broadcast the k-th element.
+func gatherSolve[K cmp.Ordered](pe *comm.PE, s []K, k int64) K {
+	parts := coll.Gatherv(pe, 0, s)
+	var kth K
+	if pe.Rank() == 0 {
+		var all []K
+		for _, part := range parts {
+			all = append(all, part...)
+		}
+		slices.Sort(all)
+		if k < 1 || k > int64(len(all)) {
+			panic(fmt.Sprintf("sel: internal rank %d out of residual range %d", k, len(all)))
+		}
+		kth = all[k-1]
+	}
+	return coll.BroadcastScalar(pe, 0, kth)
+}
+
+// SmallestK returns this PE's share of the k globally smallest elements
+// (exactly k in total across PEs, duplicates split by a prefix sum over
+// ranks). The order of the returned slice is unspecified.
+func SmallestK[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) []K {
+	n := coll.SumAll(pe, int64(len(local)))
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("sel: k %d out of range 0..%d", k, n))
+	}
+	if k == 0 {
+		return nil
+	}
+	if k == n {
+		return slices.Clone(local)
+	}
+	v := Kth(pe, local, k, rng)
+	var below, equal int64
+	for _, e := range local {
+		switch {
+		case e < v:
+			below++
+		case e == v:
+			equal++
+		}
+	}
+	globBelow := coll.SumAll(pe, below)
+	needEqual := k - globBelow // how many copies of v belong to the result
+	prevEqual := coll.ExScanSum(pe, equal)
+	takeEqual := clamp(needEqual-prevEqual, 0, equal)
+
+	out := make([]K, 0, below+takeEqual)
+	for _, e := range local {
+		switch {
+		case e < v:
+			out = append(out, e)
+		case e == v && takeEqual > 0:
+			out = append(out, e)
+			takeEqual--
+		}
+	}
+	return out
+}
+
+// KthRandomized is the pre-paper baseline ([31], Table 1 "old"): it first
+// redistributes all elements to random PEs (the assumption the old
+// analysis needs) and then selects. The redistribution costs Θ(n/p) words
+// per PE — exactly the overhead Theorem 1 removes; Table 1 benches
+// measure the difference.
+func KthRandomized[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) K {
+	p := pe.P()
+	parts := make([][]K, p)
+	for _, e := range local {
+		d := rng.Intn(p)
+		parts[d] = append(parts[d], e)
+	}
+	recv := coll.AllToAll(pe, parts)
+	var shuffled []K
+	for _, part := range recv {
+		shuffled = append(shuffled, part...)
+	}
+	return Kth(pe, shuffled, k, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Sorted sequences: the Seq abstraction
+// ---------------------------------------------------------------------------
+
+// Seq is a locally sorted sequence accessed by rank and by key — the
+// interface both sorted slices and the bulk priority queue's search trees
+// implement, so the multisequence selection algorithms below run on
+// either representation (Section 5: "the only difference is that instead
+// of sorted arrays, we are now working on search trees").
+type Seq[K cmp.Ordered] interface {
+	// Len returns the number of elements.
+	Len() int
+	// At returns the i-th smallest element, 0-based; i must be in range.
+	At(i int) K
+	// CountLess returns the number of elements with key < v.
+	CountLess(v K) int
+	// CountLE returns the number of elements with key ≤ v.
+	CountLE(v K) int
+}
+
+// SliceSeq adapts an ascending-sorted slice to Seq.
+type SliceSeq[K cmp.Ordered] []K
+
+// Len implements Seq.
+func (s SliceSeq[K]) Len() int { return len(s) }
+
+// At implements Seq.
+func (s SliceSeq[K]) At(i int) K { return s[i] }
+
+// CountLess implements Seq.
+func (s SliceSeq[K]) CountLess(v K) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
+}
+
+// CountLE implements Seq.
+func (s SliceSeq[K]) CountLE(v K) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] > v })
+}
+
+// ---------------------------------------------------------------------------
+// Exact multisequence selection (Algorithm 9)
+// ---------------------------------------------------------------------------
+
+// MSSelect returns the element of global rank k (1-based) from locally
+// sorted sequences, together with the number of local elements ≤ that
+// element (this PE's share of the selected prefix). Keys must be globally
+// unique. shared must be a cross-PE synchronized stream: construct it with
+// the same seed on every PE and use it only inside lockstep collectives.
+//
+// O((α log p + log min(n/p, k)) · log min(kp, n)) expected — Theorem 16.
+func MSSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], k int64, shared *xrand.RNG) (K, int) {
+	// Restrict to the first k elements of each local sequence (Appendix A).
+	lo, hi := 0, s.Len()
+	if int64(hi) > k {
+		hi = int(k)
+	}
+	n := coll.SumAll(pe, int64(hi-lo))
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("sel: MSSelect rank %d out of range 1..%d", k, n))
+	}
+	kRem := k
+	for {
+		total := coll.SumAll(pe, int64(hi-lo))
+		if total == 1 {
+			var cand tagged[K]
+			if hi-lo == 1 {
+				cand = tagged[K]{Has: true, Val: s.At(lo)}
+			}
+			v := coll.AllReduceScalar(pe, cand, firstTagged[K]).Val
+			return v, s.CountLE(v)
+		}
+		// Same random number on all PEs selects the pivot position among
+		// the remaining candidates; its owner publishes the key.
+		r := shared.Int63n(total)
+		prev := coll.ExScanSum(pe, int64(hi-lo))
+		var cand tagged[K]
+		if r >= prev && r < prev+int64(hi-lo) {
+			cand = tagged[K]{Has: true, Val: s.At(lo + int(r-prev))}
+		}
+		v := coll.AllReduceScalar(pe, cand, firstTagged[K]).Val
+
+		jLess := clampInt(s.CountLess(v), lo, hi) - lo
+		jLE := clampInt(s.CountLE(v), lo, hi) - lo
+		sums := coll.AllReduce(pe, []int64{int64(jLess), int64(jLE)},
+			func(a, b int64) int64 { return a + b })
+		globLess, globLE := sums[0], sums[1]
+		switch {
+		case kRem <= globLess:
+			hi = lo + jLess
+		case kRem <= globLE:
+			// Unique keys: the pivot itself is the answer.
+			return v, s.CountLE(v)
+		default:
+			lo += jLE
+			kRem -= globLE
+		}
+	}
+}
+
+func clampInt(x, lo, hi int) int { return min(max(x, lo), hi) }
+
+// ---------------------------------------------------------------------------
+// Approximate multisequence selection, flexible k (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+// AMSResult is the outcome of approximate multisequence selection.
+type AMSResult[K cmp.Ordered] struct {
+	// Threshold is the selection threshold v: the selected set is exactly
+	// the elements ≤ v.
+	Threshold K
+	// Count is the global number of selected elements, in [kmin, kmax].
+	Count int64
+	// LocalLen is this PE's number of selected elements (its prefix length).
+	LocalLen int
+	// Rounds is the number of estimation rounds used (1 expected).
+	Rounds int
+}
+
+// amsRho returns the min-based sampling probability that maximizes
+// P[rank of min sample ∈ [kmin, kmax]]: the maximizer of
+// q^(kmin-1) − q^kmax over q = 1−ρ is q* = ((kmin−1)/kmax)^(1/(kmax−kmin+1)).
+func amsRho(kmin, kmax int64) float64 {
+	if kmin <= 1 {
+		return 1 // the global minimum always has rank 1 ∈ [kmin, kmax]
+	}
+	q := math.Pow(float64(kmin-1)/float64(kmax), 1/float64(kmax-kmin+1))
+	rho := 1 - q
+	return clampFloat(rho, 1e-12, 1)
+}
+
+func clampFloat(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }
+
+// AMSSelect selects the k̲ ≤ k ≤ k̄ globally smallest elements from locally
+// sorted sequences (Algorithm 2). Keys must be globally unique. rng is the
+// per-PE stream (geometric deviates are drawn locally and independently).
+// Expected time O(log k̄ + α log p) when k̄ − k̲ = Ω(k̄) — Theorem 3.
+//
+// If the flexible search does not land in [k̲, k̄] within maxRounds
+// (possible for very tight intervals), it falls back to exact MSSelect at
+// rank k̲ using a shared stream derived from round counts; the fallback
+// preserves correctness at the cost of the Theorem-16 latency.
+func AMSSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xrand.RNG) AMSResult[K] {
+	return amsSelect(pe, s, kmin, kmax, rng, 1)
+}
+
+// AMSSelectBatched is AMSSelect with d concurrent Bernoulli trials per
+// round (Theorem 4): the d candidate pivots share one vector-valued
+// reduction, trading O(βd) volume for a constant expected round count
+// already when k̄ − k̲ = Ω(k̄/d).
+func AMSSelectBatched[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, d int, rng *xrand.RNG) AMSResult[K] {
+	if d < 1 {
+		panic("sel: AMSSelectBatched needs d >= 1")
+	}
+	return amsSelect(pe, s, kmin, kmax, rng, d)
+}
+
+func amsSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xrand.RNG, d int) AMSResult[K] {
+	if kmin < 1 || kmax < kmin {
+		panic(fmt.Sprintf("sel: AMSSelect invalid range [%d, %d]", kmin, kmax))
+	}
+	n := coll.SumAll(pe, int64(s.Len()))
+	if kmin > n {
+		panic(fmt.Sprintf("sel: AMSSelect k̲=%d exceeds input size %d", kmin, n))
+	}
+
+	lo, hi := 0, s.Len()
+	var accepted int64 // globally accepted elements (all < current window)
+	kminR, kmaxR := kmin, kmax
+	nR := n
+	const maxRounds = 60
+	for round := 1; round <= maxRounds; round++ {
+		if kmaxR >= nR {
+			// Everything remaining fits: threshold is the global max.
+			var cand tagged[K]
+			if hi-lo > 0 {
+				cand = tagged[K]{Has: true, Val: s.At(hi - 1)}
+			}
+			v := coll.AllReduceScalar(pe, cand, maxTagged[K]).Val
+			return AMSResult[K]{Threshold: v, Count: accepted + nR, LocalLen: hi, Rounds: round}
+		}
+
+		// Draw d candidate thresholds. The paper's dual estimator: when the
+		// target is in the lower half use the min-based estimator, else the
+		// max-based one (both shown here; the min variant samples low ranks).
+		useMin := kmaxR < nR-kmaxR
+		cands := make([]tagged[K], d)
+		for t := 0; t < d; t++ {
+			if useMin {
+				rho := amsRho(kminR, kmaxR)
+				x := rng.Geometric(rho)
+				if x <= int64(hi-lo) {
+					cands[t] = tagged[K]{Has: true, Val: s.At(lo + int(x) - 1)}
+				}
+			} else {
+				rho := amsRho(nR-kmaxR+1, nR-kminR+1)
+				x := rng.Geometric(rho)
+				if x <= int64(hi-lo) {
+					cands[t] = tagged[K]{Has: true, Val: s.At(hi - int(x))}
+				}
+			}
+		}
+		var vs []tagged[K]
+		if useMin {
+			vs = coll.AllReduce(pe, cands, minTagged[K])
+		} else {
+			vs = coll.AllReduce(pe, cands, maxTagged[K])
+		}
+
+		// Rank all candidates with one vector-valued sum.
+		js := make([]int64, d)
+		for t := 0; t < d; t++ {
+			if vs[t].Has {
+				js[t] = int64(clampInt(s.CountLE(vs[t].Val), lo, hi) - lo)
+			} else {
+				// No PE produced a candidate (all deviates overshot): treat
+				// as "everything ≤ v", forcing the window logic below to
+				// keep the full window and retry.
+				js[t] = int64(hi - lo)
+			}
+		}
+		ks := coll.AllReduce(pe, js, func(a, b int64) int64 { return a + b })
+
+		// Success check, then narrow to (largest under, smallest over).
+		bestUnder := int64(-1)
+		bestUnderJ := 0
+		bestOver := nR
+		bestOverJ := hi - lo
+		for t := 0; t < d; t++ {
+			if !vs[t].Has {
+				continue
+			}
+			k := ks[t]
+			switch {
+			case k >= kminR && k <= kmaxR:
+				return AMSResult[K]{
+					Threshold: vs[t].Val,
+					Count:     accepted + k,
+					LocalLen:  lo + int(js[t]),
+					Rounds:    round,
+				}
+			case k < kminR && k > bestUnder:
+				bestUnder, bestUnderJ = k, int(js[t])
+			case k > kmaxR && k < bestOver:
+				bestOver, bestOverJ = k, int(js[t])
+			}
+		}
+		nROld := nR
+		if bestUnder >= 0 {
+			accepted += bestUnder
+			kminR -= bestUnder
+			kmaxR -= bestUnder
+			nR -= bestUnder
+			lo += bestUnderJ
+			bestOverJ -= bestUnderJ
+		}
+		if bestOver < nROld {
+			nR = bestOver - max(bestUnder, 0)
+			hi = lo + bestOverJ
+		}
+	}
+
+	// Flexible search failed to converge (degenerate interval); finish
+	// exactly. The shared stream must be identical across PEs: derive it
+	// from quantities all PEs agree on.
+	shared := xrand.New(int64(0x5eed + kmin + 31*kmax + 977*n))
+	sub := subSeq[K]{s: s, lo: lo, hi: hi}
+	v, _ := MSSelect[K](pe, sub, kminR, shared)
+	return AMSResult[K]{
+		Threshold: v,
+		Count:     accepted + kminR,
+		LocalLen:  s.CountLE(v),
+		Rounds:    maxRounds,
+	}
+}
+
+// subSeq restricts a Seq to the window [lo, hi) — the paper's cursor
+// representation of a subsequence ("represent a subsequence of s by s
+// itself plus cursor information").
+type subSeq[K cmp.Ordered] struct {
+	s      Seq[K]
+	lo, hi int
+}
+
+func (w subSeq[K]) Len() int   { return w.hi - w.lo }
+func (w subSeq[K]) At(i int) K { return w.s.At(w.lo + i) }
+func (w subSeq[K]) CountLess(v K) int {
+	return clampInt(w.s.CountLess(v), w.lo, w.hi) - w.lo
+}
+func (w subSeq[K]) CountLE(v K) int {
+	return clampInt(w.s.CountLE(v), w.lo, w.hi) - w.lo
+}

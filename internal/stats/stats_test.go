@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPACSampleSizeMonotonicity(t *testing.T) {
+	// Tighter ε requires quadratically more samples.
+	s1 := PACSampleSize(1<<30, 32, 3e-4, 1e-4)
+	s2 := PACSampleSize(1<<30, 32, 1.5e-4, 1e-4)
+	if ratio := s2 / s1; math.Abs(ratio-4) > 0.01 {
+		t.Errorf("halving eps scaled sample by %v, want 4", ratio)
+	}
+	// Tighter δ requires more samples.
+	if PACSampleSize(1<<30, 32, 3e-4, 1e-8) <= s1 {
+		t.Error("smaller delta should need more samples")
+	}
+}
+
+func TestECSampleSizeLinearInEps(t *testing.T) {
+	// EC's point (Section 7.2): sample size in 1/ε per unit k*, so with
+	// the volume-optimal k* ∝ 1/ε total scales as 1/ε, not 1/ε².
+	n := int64(1 << 30)
+	k1 := OptimalKStar(n, 32, 1024, 3e-4, 1e-4)
+	k2 := OptimalKStar(n, 32, 1024, 1.5e-4, 1e-4)
+	s1 := ECSampleSize(n, k1, 3e-4, 1e-4)
+	s2 := ECSampleSize(n, k2, 1.5e-4, 1e-4)
+	if ratio := s2 / s1; ratio > 2.5 {
+		t.Errorf("EC sample grew by %v on eps halving; should be ~2 (linear)", ratio)
+	}
+}
+
+func TestOptimalKStarFloorsAtK(t *testing.T) {
+	if ks := OptimalKStar(1<<20, 500, 4, 0.5, 0.1); ks < 500 {
+		t.Errorf("k* = %d < k", ks)
+	}
+	if ks := OptimalKStar(1<<20, 32, 1, 1e-6, 1e-8); ks != 32 {
+		t.Errorf("single PE k* = %d, want k", ks)
+	}
+}
+
+func TestPECThreshold(t *testing.T) {
+	if thr := PECThreshold(0, 10, 0.01); thr != 0 {
+		t.Errorf("zero expectation threshold %v", thr)
+	}
+	thr := PECThreshold(1000, 10, 0.01)
+	if thr <= 0 || thr >= 1000 {
+		t.Errorf("threshold %v out of (0, E)", thr)
+	}
+	// Larger expected count -> threshold closer (relatively) to E.
+	rel1 := PECThreshold(1000, 10, 0.01) / 1000
+	rel2 := PECThreshold(100000, 10, 0.01) / 100000
+	if rel2 <= rel1 {
+		t.Errorf("relative threshold should tighten with counts: %v vs %v", rel1, rel2)
+	}
+}
+
+func TestPECKStarFromSample(t *testing.T) {
+	// Gapped distribution: head of 5 objects with ~1000 samples, tail at ~10.
+	counts := []int64{1000, 990, 985, 980, 975, 10, 9, 8, 7, 6, 5}
+	ks, ok := PECKStarFromSample(counts, 5, 1e-3)
+	if !ok {
+		t.Fatal("gap not detected")
+	}
+	if ks < 5 || ks > 7 {
+		t.Errorf("k* = %d, want just past the head", ks)
+	}
+	// Flat distribution: no usable gap.
+	flat := []int64{100, 99, 99, 98, 98, 97, 97, 96}
+	if _, ok := PECKStarFromSample(flat, 5, 1e-3); ok {
+		t.Error("flat distribution should not admit a k*")
+	}
+	// Degenerate inputs.
+	if _, ok := PECKStarFromSample(nil, 3, 0.1); ok {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestZipfPECSampleSizeGrowsWithK(t *testing.T) {
+	h := 14.4 // ~H_{2^20,1}
+	s1 := ZipfPECSampleSize(8, 1, h, 1e-3)
+	s2 := ZipfPECSampleSize(64, 1, h, 1e-3)
+	if s2 <= s1 {
+		t.Error("deeper k must need more samples")
+	}
+}
+
+func TestSumAggSampleSize(t *testing.T) {
+	s := SumAggSampleSize(1<<30, 64, 1e-4, 1e-6)
+	if s <= 0 {
+		t.Fatal("non-positive sample size")
+	}
+	// Linear in 1/ε.
+	if ratio := SumAggSampleSize(1<<30, 64, 5e-5, 1e-6) / s; math.Abs(ratio-2) > 0.01 {
+		t.Errorf("eps halving scaled by %v, want 2", ratio)
+	}
+}
+
+func TestEpsTilde(t *testing.T) {
+	exact := map[uint64]int64{1: 100, 2: 90, 3: 80, 4: 70, 5: 60}
+	// Perfect top-3.
+	if e := EpsTilde(exact, []uint64{1, 2, 3}, 1000); e != 0 {
+		t.Errorf("exact result has error %v", e)
+	}
+	// Swap 3 (80) for 4 (70): error (80-70)/1000.
+	if e := EpsTilde(exact, []uint64{1, 2, 4}, 1000); math.Abs(e-0.01) > 1e-12 {
+		t.Errorf("error %v, want 0.01", e)
+	}
+	// Paper's Figure 4 example: D (8) missed, O (7) returned -> error 1/n.
+	fig4 := map[uint64]int64{'E': 16, 'A': 10, 'T': 10, 'I': 9, 'D': 8, 'O': 7}
+	if e := EpsTilde(fig4, []uint64{'E', 'A', 'T', 'I', 'O'}, 100); math.Abs(e-0.01) > 1e-12 {
+		t.Errorf("Figure 4 error %v·n, want 1", e*100)
+	}
+	// Empty output.
+	if e := EpsTilde(exact, nil, 100); e != 0 {
+		t.Errorf("empty output error %v", e)
+	}
+}
+
+func TestTopKOfAndCount(t *testing.T) {
+	stream := []uint64{5, 5, 5, 3, 3, 9, 9, 9, 9, 1}
+	exact := Count(stream)
+	if exact[9] != 4 || exact[5] != 3 || exact[3] != 2 || exact[1] != 1 {
+		t.Fatalf("Count wrong: %v", exact)
+	}
+	top2 := TopKOf(exact, 2)
+	if len(top2) != 2 || top2[0] != 9 || top2[1] != 5 {
+		t.Errorf("TopKOf = %v", top2)
+	}
+	// k larger than universe.
+	if got := TopKOf(exact, 100); len(got) != 4 {
+		t.Errorf("oversized k returned %d keys", len(got))
+	}
+	// Determinstic tie-break by key.
+	ties := map[uint64]int64{7: 5, 2: 5, 9: 5}
+	if got := TopKOf(ties, 2); got[0] != 2 || got[1] != 7 {
+		t.Errorf("tie-break = %v", got)
+	}
+}
+
+func TestMergeCounts(t *testing.T) {
+	dst := map[uint64]int64{1: 1, 2: 2}
+	MergeCounts(dst, map[uint64]int64{2: 3, 4: 4})
+	if dst[1] != 1 || dst[2] != 5 || dst[4] != 4 {
+		t.Errorf("merge = %v", dst)
+	}
+}
+
+func TestEpsTildeQuickNonNegative(t *testing.T) {
+	check := func(counts []uint8, pick []bool) bool {
+		exact := map[uint64]int64{}
+		for i, c := range counts {
+			exact[uint64(i)] = int64(c) + 1
+		}
+		var out []uint64
+		for i := range pick {
+			if pick[i] && i < len(counts) {
+				out = append(out, uint64(i))
+			}
+		}
+		e := EpsTilde(exact, out, int64(len(counts)+1))
+		return e >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

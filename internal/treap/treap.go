@@ -1,0 +1,365 @@
+// Package treap implements the augmented search tree of Section 2/5 of the
+// paper: a randomized balanced tree over unique ordered keys that supports
+// insert, delete, select-by-rank, rank-by-key, split and concatenate, all
+// in expected O(log n). Subtree sizes are stored at every node, which is
+// what makes select and rank possible — exactly the augmentation the paper
+// requires for the bulk-parallel priority queue.
+//
+// Keys must be unique (the paper assumes a unique total order, obtained by
+// tie-breaking if necessary); inserting a duplicate key is rejected.
+package treap
+
+import (
+	"cmp"
+
+	"commtopk/internal/xrand"
+)
+
+type node[K cmp.Ordered] struct {
+	key         K
+	prio        uint64
+	size        int
+	left, right *node[K]
+}
+
+func size[K cmp.Ordered](n *node[K]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node[K]) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// Tree is a treap over unique keys. The zero value is not usable; create
+// trees with New so that priorities come from a deterministic stream.
+//
+// The smallest and largest keys are cached (the Section 5 augmentation
+// "two arrays storing the path to the smallest and largest object",
+// reduced to its observable effect): Min and Max are O(1), which is what
+// the bulk-parallel priority queue's estimator probes rely on.
+type Tree[K cmp.Ordered] struct {
+	root *node[K]
+	rng  *xrand.RNG
+
+	minK, maxK K
+	extOK      bool // caches valid (tree non-empty and minK/maxK current)
+}
+
+// New returns an empty tree whose rotation priorities are drawn from a
+// deterministic stream seeded with seed.
+func New[K cmp.Ordered](seed int64) *Tree[K] {
+	return &Tree[K]{rng: xrand.New(seed)}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree[K]) Len() int { return size(t.root) }
+
+// split splits n into (< key) and (>= key).
+func split[K cmp.Ordered](n *node[K], key K) (lt, ge *node[K]) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < key {
+		l, r := split(n.right, key)
+		n.right = l
+		n.update()
+		return n, r
+	}
+	l, r := split(n.left, key)
+	n.left = r
+	n.update()
+	return l, n
+}
+
+// merge concatenates two treaps assuming all keys in a < all keys in b.
+func merge[K cmp.Ordered](a, b *node[K]) *node[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio >= b.prio {
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	}
+	b.left = merge(a, b.left)
+	b.update()
+	return b
+}
+
+// Insert adds key to the tree. It returns false (and leaves the tree
+// unchanged) if the key is already present.
+func (t *Tree[K]) Insert(key K) bool {
+	if t.Contains(key) {
+		return false
+	}
+	nn := &node[K]{key: key, prio: t.rng.Uint64(), size: 1}
+	wasEmpty := t.root == nil
+	l, r := split(t.root, key)
+	t.root = merge(merge(l, nn), r)
+	if wasEmpty {
+		t.minK, t.maxK, t.extOK = key, key, true
+	} else if t.extOK {
+		if key < t.minK {
+			t.minK = key
+		}
+		if key > t.maxK {
+			t.maxK = key
+		}
+	}
+	return true
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *Tree[K]) Delete(key K) bool {
+	var deleted bool
+	var del func(n *node[K]) *node[K]
+	del = func(n *node[K]) *node[K] {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case key < n.key:
+			n.left = del(n.left)
+		case key > n.key:
+			n.right = del(n.right)
+		default:
+			deleted = true
+			return merge(n.left, n.right)
+		}
+		n.update()
+		return n
+	}
+	t.root = del(t.root)
+	if deleted && t.extOK && (key == t.minK || key == t.maxK) {
+		t.extOK = false // extreme removed; recompute lazily
+	}
+	return deleted
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K]) Contains(key K) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// refreshExtremes rebuilds the min/max cache if stale. O(log n), after
+// which Min/Max are O(1) until the next invalidating mutation.
+func (t *Tree[K]) refreshExtremes() {
+	if t.extOK || t.root == nil {
+		return
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	t.minK = n.key
+	n = t.root
+	for n.right != nil {
+		n = n.right
+	}
+	t.maxK = n.key
+	t.extOK = true
+}
+
+// Min returns the smallest key; ok is false on an empty tree. O(1) when
+// the cache is warm (Section 5 augmentation).
+func (t *Tree[K]) Min() (k K, ok bool) {
+	if t.root == nil {
+		return k, false
+	}
+	t.refreshExtremes()
+	return t.minK, true
+}
+
+// Max returns the largest key; ok is false on an empty tree. O(1) when
+// the cache is warm.
+func (t *Tree[K]) Max() (k K, ok bool) {
+	if t.root == nil {
+		return k, false
+	}
+	t.refreshExtremes()
+	return t.maxK, true
+}
+
+// Select returns the i-th smallest key (0-based); ok is false if i is out
+// of range. This is the paper's T[i] operation.
+func (t *Tree[K]) Select(i int) (k K, ok bool) {
+	if i < 0 || i >= t.Len() {
+		return k, false
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case i < ls:
+			n = n.left
+		case i == ls:
+			return n.key, true
+		default:
+			i -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Rank returns the number of keys strictly smaller than key. This matches
+// the partitioning step of the selection algorithms; the paper's
+// T.rank(x) (keys ≤ x) is Rank(x)+1 when x is present.
+func (t *Tree[K]) Rank(key K) int {
+	r := 0
+	n := t.root
+	for n != nil {
+		if key <= n.key {
+			n = n.left
+		} else {
+			r += size(n.left) + 1
+			n = n.right
+		}
+	}
+	return r
+}
+
+// SplitByKey removes and returns a new tree holding all keys ≤ key; the
+// receiver keeps the keys > key. This is the paper's T.split(x).
+func (t *Tree[K]) SplitByKey(key K) *Tree[K] {
+	// split() separates on <, so split at the successor boundary: keys
+	// ≤ key means keys < key plus key itself.
+	le, gt := split(t.root, key)
+	// le holds keys < key; check whether gt's minimum equals key.
+	if gt != nil {
+		mn := gt
+		for mn.left != nil {
+			mn = mn.left
+		}
+		if mn.key == key {
+			// Move the single node with the boundary key over to le.
+			var lt2, ge2 *node[K]
+			// split gt into (< succ) and rest by splitting on key then
+			// extracting its min: simplest is to delete and re-insert.
+			lt2, ge2 = splitLE(gt, key)
+			le = merge(le, lt2)
+			gt = ge2
+		}
+	}
+	t.root = gt
+	t.extOK = false
+	return &Tree[K]{root: le, rng: xrand.New(int64(t.rng.Uint64()))}
+}
+
+// splitLE splits n into (<= key) and (> key).
+func splitLE[K cmp.Ordered](n *node[K], key K) (le, gt *node[K]) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key <= key {
+		l, r := splitLE(n.right, key)
+		n.right = l
+		n.update()
+		return n, r
+	}
+	l, r := splitLE(n.left, key)
+	n.left = r
+	n.update()
+	return l, n
+}
+
+// SplitByRank removes and returns a new tree holding the i smallest keys;
+// the receiver keeps the rest.
+func (t *Tree[K]) SplitByRank(i int) *Tree[K] {
+	if i <= 0 {
+		return &Tree[K]{rng: xrand.New(int64(t.rng.Uint64()))}
+	}
+	if i >= t.Len() {
+		out := &Tree[K]{root: t.root, rng: xrand.New(int64(t.rng.Uint64()))}
+		t.root = nil
+		return out
+	}
+	var splitN func(n *node[K], i int) (*node[K], *node[K])
+	splitN = func(n *node[K], i int) (*node[K], *node[K]) {
+		if n == nil {
+			return nil, nil
+		}
+		if ls := size(n.left); i <= ls {
+			l, r := splitN(n.left, i)
+			n.left = r
+			n.update()
+			return l, n
+		} else {
+			l, r := splitN(n.right, i-ls-1)
+			n.right = l
+			n.update()
+			return n, r
+		}
+	}
+	l, r := splitN(t.root, i)
+	t.root = r
+	t.extOK = false
+	return &Tree[K]{root: l, rng: xrand.New(int64(t.rng.Uint64()))}
+}
+
+// Concat appends other (all of whose keys must be greater than every key of
+// the receiver) onto the receiver and empties other. This is the paper's
+// concat(T1, T2). It panics if the key ranges overlap.
+func (t *Tree[K]) Concat(other *Tree[K]) {
+	if t.root != nil && other.root != nil {
+		tm, _ := t.Max()
+		om, _ := other.Min()
+		if tm >= om {
+			panic("treap: Concat with overlapping key ranges")
+		}
+	}
+	t.root = merge(t.root, other.root)
+	other.root = nil
+	t.extOK = false
+	other.extOK = false
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (t *Tree[K]) Ascend(fn func(key K) bool) {
+	var walk func(n *node[K]) bool
+	walk = func(n *node[K]) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Keys returns all keys in ascending order (for tests and extraction).
+func (t *Tree[K]) Keys() []K {
+	out := make([]K, 0, t.Len())
+	t.Ascend(func(k K) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// InsertBulk inserts all keys, skipping duplicates, and returns how many
+// were inserted.
+func (t *Tree[K]) InsertBulk(keys []K) int {
+	n := 0
+	for _, k := range keys {
+		if t.Insert(k) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestPEStreamsDiffer(t *testing.T) {
+	r0, r1 := NewPE(1, 0), NewPE(1, 1)
+	if r0.Uint64() == r1.Uint64() {
+		t.Error("PE streams should differ")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-trials/n) > 600 { // ~6 sigma
+			t.Errorf("bucket %d count %d deviates from %d", i, c, trials/n)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	for _, rho := range []float64{0.5, 0.1, 0.01} {
+		var sum float64
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Geometric(rho))
+		}
+		mean := sum / trials
+		want := 1 / rho
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("Geometric(%v) mean %v, want ~%v", rho, mean, want)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(5)
+	if g := r.Geometric(1); g != 1 {
+		t.Errorf("Geometric(1) = %d, want 1", g)
+	}
+	if g := r.Geometric(1e-18); g < 1 {
+		t.Errorf("Geometric(tiny) = %d, want >= 1", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) should panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestGeometricMin1(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100000; i++ {
+		if g := r.Geometric(0.9); g < 1 {
+			t.Fatalf("geometric deviate %d < 1", g)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(8)
+	var sum, sumSq float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(13)
+	for _, shape := range []float64{0.5, 1, 2, 10, 1000} {
+		var sum float64
+		const trials = 50000
+		for i := 0; i < trials; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / trials
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Errorf("Gamma(%v) mean %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(17)
+	for _, lambda := range []float64{0.5, 5, 29, 100, 19000} {
+		var sum float64
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / trials
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestNegBinomialMoments(t *testing.T) {
+	// The paper's Section 10.2 workload: r=1000, p=0.05.
+	// Mean r*p/(1-p); our parameterization: successes before r-th failure.
+	r := New(19)
+	const r0, p = 1000.0, 0.05
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(r.NegBinomial(r0, p))
+	}
+	mean := sum / trials
+	want := r0 * p / (1 - p)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("NegBinomial mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestSkipSamplerMatchesBernoulli(t *testing.T) {
+	// Sampling 0..n-1 with skips must give each index probability rho.
+	const n = 10000
+	const rho = 0.1
+	const trials = 200
+	counts := make([]int, n)
+	r := New(23)
+	for trial := 0; trial < trials; trial++ {
+		s := NewSkipSampler(r, rho)
+		for idx := s.Next(); idx < n; idx = s.Next() {
+			counts[idx]++
+		}
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	got := float64(total) / (n * trials)
+	if math.Abs(got-rho) > 0.01 {
+		t.Errorf("empirical sampling rate %v, want %v", got, rho)
+	}
+	// First index must be sampled with the same probability as the rest
+	// (off-by-one check on the geometric skip).
+	first := float64(counts[0]) / trials
+	if math.Abs(first-rho) > 0.07 {
+		t.Errorf("index 0 sampled at rate %v, want %v", first, rho)
+	}
+}
+
+func TestSkipSamplerZeroRho(t *testing.T) {
+	s := NewSkipSampler(New(1), 0)
+	if idx := s.Next(); idx < math.MaxInt64 {
+		t.Errorf("rho=0 sampler produced index %d", idx)
+	}
+}
+
+func TestSkipSamplerMonotone(t *testing.T) {
+	s := NewSkipSampler(New(29), 0.3)
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		v := s.Next()
+		if v <= prev {
+			t.Fatalf("indices not strictly increasing: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
