@@ -8,6 +8,17 @@
 //
 // Larger -perpe / -pmax approach the paper's scales at the cost of run
 // time; the defaults finish in minutes on a laptop.
+//
+// Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
+//
+//	topkbench -json [-pr 1] [-baseline BENCH_PR0.json] [-out BENCH_PR1.json] [-note "..."]
+//
+// runs the fixed host-benchmark suite (Table 1 unsorted selection and the
+// substrate collectives, matching the root bench_test.go configurations)
+// and writes BENCH_PR<N>.json recording ns/op, allocs/op, B/op, the
+// bottleneck communication words and startups per PE, and the modeled
+// critical-path clock. With -baseline, an earlier report's results are
+// embedded so one committed file carries the before/after comparison.
 package main
 
 import (
@@ -25,7 +36,39 @@ func main() {
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonMode := flag.Bool("json", false, "run the benchmark pipeline and emit BENCH_PR<N>.json instead of experiment tables")
+	pr := flag.Int("pr", 0, "PR number stamped into the benchmark report (names the default -out)")
+	baseline := flag.String("baseline", "", "earlier BENCH_PR<N>.json whose results are embedded as the baseline")
+	out := flag.String("out", "", "benchmark report path (default BENCH_PR<pr>.json)")
+	note := flag.String("note", "", "free-form note recorded in the benchmark report")
 	flag.Parse()
+
+	if *jsonMode {
+		// The pipeline suite runs fixed configurations (so reports stay
+		// comparable PR-over-PR); the experiment sweep flags do not apply.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "pmax", "perpe", "k", "seed":
+				fmt.Fprintf(os.Stderr, "topkbench: -%s is ignored in -json mode (the pipeline suite is fixed; see EXPERIMENTS.md)\n", f.Name)
+			}
+		})
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+		}
+		rep, err := experiments.WriteBenchReport(path, *pr, *note, *baseline,
+			func(line string) { fmt.Fprintln(os.Stderr, line) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks", path, len(rep.Results))
+		if len(rep.Baseline) > 0 {
+			fmt.Printf(", baseline embedded")
+		}
+		fmt.Println(")")
+		return
+	}
 
 	pList := experiments.PList(*pmax)
 	var tables []experiments.Table

@@ -1,0 +1,3 @@
+module commtopk
+
+go 1.22

@@ -9,6 +9,29 @@
 // and their measured volumes match the O(βm + α log p) bounds the paper
 // assumes. Every collective must be entered by all PEs (SPMD discipline);
 // tags are drawn from the synchronized per-PE sequence.
+//
+// # Buffer ownership and allocation discipline
+//
+// The reduction-shaped collectives move all intermediate message buffers
+// through the typed pools in internal/commbuf, travelling as *[]T (a
+// pointer in an interface does not allocate, unlike a slice header).
+// Ownership of a buffer transfers with the message — the sender never
+// touches it again, and the receiver recycles it after combining — so
+// recycling is race-free without any extra synchronization. Results never
+// alias caller inputs, and caller inputs are never sent by reference, so
+// callers may reuse their input slices immediately.
+//
+// Fully allocation-free in steady state are the variants that do not hand
+// a fresh result slice to the caller: ReduceInto/AllReduceInto (with a
+// reused dst), the scalar collectives (AllReduceScalar, SumAll, MinAll,
+// MaxAll, BroadcastScalar, ExScanSum), and Barrier. The slice-returning
+// conveniences (Reduce, AllReduce, InScan, ExScan, AllGatherConcat) still
+// allocate their result — one slice per call, with all internal traffic
+// pooled.
+//
+// The data-movement collectives (Broadcast, Gatherv, AllGatherv, AllToAll)
+// keep their by-reference semantics for the payload: see each function's
+// aliasing notes.
 package coll
 
 import (
@@ -18,6 +41,7 @@ import (
 	"unsafe"
 
 	"commtopk/internal/comm"
+	"commtopk/internal/commbuf"
 )
 
 // WordsOf returns the size of T in 64-bit machine words (rounded up),
@@ -33,9 +57,37 @@ func WordsOf[T any]() int64 {
 
 func sliceWords[T any](s []T) int64 { return int64(len(s)) * WordsOf[T]() }
 
+// sendCopy copies s into a pooled buffer and sends it to dst. Ownership of
+// the buffer passes to the receiver (which recycles it via recvOwned +
+// Put), so s itself never enters a channel and the caller may mutate it as
+// soon as sendCopy returns.
+func sendCopy[T any](pe *comm.PE, pool *commbuf.Pool[T], dst int, tag comm.Tag, s []T) {
+	b := pool.Get(len(s))
+	copy(*b, s)
+	pe.Send(dst, tag, b, sliceWords(s))
+}
+
+// recvOwned receives a pooled buffer sent with sendCopy (or an ownership
+// transfer of a pooled accumulator). The caller owns the buffer and must
+// Put it back when done reading.
+func recvOwned[T any](pe *comm.PE, src int, tag comm.Tag) *[]T {
+	rx, _ := pe.Recv(src, tag)
+	return rx.(*[]T)
+}
+
+// combine folds rx into acc elementwise, in place.
+func combine[T any](op func(a, b T) T, acc, rx []T) {
+	if len(acc) != len(rx) {
+		panic(fmt.Sprintf("coll: reduction vector length mismatch: %d vs %d", len(acc), len(rx)))
+	}
+	for i, v := range rx {
+		acc[i] = op(acc[i], v)
+	}
+}
+
 // Barrier synchronizes all PEs (a zero-word all-reduce).
 func Barrier(pe *comm.PE) {
-	AllReduce(pe, []int64{0}, func(a, b int64) int64 { return a + b })
+	AllReduceScalar(pe, int64(0), func(a, b int64) int64 { return a + b })
 }
 
 // Broadcast distributes root's data to all PEs along a binomial tree and
@@ -49,22 +101,30 @@ func Broadcast[T any](pe *comm.PE, root int, data []T) []T {
 	}
 	tag := pe.NextCollTag()
 	vr := (pe.Rank() - root + p) % p
+	// The payload is boxed into an interface once and the same box reused
+	// for every child, so a fan-out of log p sends costs one allocation.
+	var boxed any
 	mask := 1
 	for mask < p {
 		if vr&mask != 0 {
 			parent := ((vr &^ mask) + root) % p
 			rx, _ := pe.Recv(parent, tag)
+			boxed = rx
 			data = rx.([]T)
 			break
 		}
 		mask <<= 1
 	}
+	if boxed == nil {
+		boxed = data
+	}
 	// mask is now the position at which we received (or ≥p for the root);
 	// children sit at vr|m for all m below it.
+	words := sliceWords(data)
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		child := vr | mask
 		if child < p && child != vr {
-			pe.Send((child+root)%p, tag, data, sliceWords(data))
+			pe.Send((child+root)%p, tag, boxed, words)
 		}
 	}
 	return data
@@ -72,52 +132,105 @@ func Broadcast[T any](pe *comm.PE, root int, data []T) []T {
 
 // BroadcastScalar broadcasts a single value from root.
 func BroadcastScalar[T any](pe *comm.PE, root int, v T) T {
-	return Broadcast(pe, root, []T{v})[0]
-}
-
-func combineInto[T any](op func(a, b T) T, acc, rx []T) []T {
-	if len(acc) != len(rx) {
-		panic(fmt.Sprintf("coll: reduction vector length mismatch: %d vs %d", len(acc), len(rx)))
-	}
-	out := make([]T, len(acc))
-	for i := range acc {
-		out[i] = op(acc[i], rx[i])
-	}
-	return out
-}
-
-// Reduce combines the vectors x elementwise with op along a binomial tree;
-// the result lands on root (nil elsewhere). op must be associative and
-// commutative.
-func Reduce[T any](pe *comm.PE, root int, x []T, op func(a, b T) T) []T {
 	p := pe.P()
 	if p == 1 {
-		return slices.Clone(x)
+		return v
 	}
+	pool := commbuf.For[T]()
 	tag := pe.NextCollTag()
 	vr := (pe.Rank() - root + p) % p
-	acc := x
 	mask := 1
 	for mask < p {
 		if vr&mask != 0 {
 			parent := ((vr &^ mask) + root) % p
-			pe.Send(parent, tag, acc, sliceWords(acc))
-			return nil
-		}
-		src := vr | mask
-		if src < p {
-			rx, _ := pe.Recv((src+root)%p, tag)
-			acc = combineInto(op, acc, rx.([]T))
+			rx := recvOwned[T](pe, parent, tag)
+			v = (*rx)[0]
+			pool.Put(rx)
+			break
 		}
 		mask <<= 1
 	}
-	if vr != 0 {
-		return nil
+	w := WordsOf[T]()
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		child := vr | mask
+		if child < p && child != vr {
+			b := pool.Get(1)
+			(*b)[0] = v
+			pe.Send((child+root)%p, tag, b, w)
+		}
 	}
-	if &acc[0] == &x[0] { // no child contributed; do not alias caller data
-		acc = slices.Clone(x)
+	return v
+}
+
+// Reduce combines the vectors x elementwise with op along a binomial tree;
+// the result lands on root (nil elsewhere). op must be associative and
+// commutative. The result never aliases x, and x is not retained after
+// Reduce returns.
+func Reduce[T any](pe *comm.PE, root int, x []T, op func(a, b T) T) []T {
+	if pe.Rank() != root && pe.P() > 1 {
+		return ReduceInto(pe, root, nil, x, op)
 	}
-	return acc
+	return ReduceInto(pe, root, make([]T, 0, len(x)), x, op)
+}
+
+// ReduceInto is Reduce writing the root's result into dst (grown as
+// needed; pass nil to allocate). dst must not overlap x. Only the root's
+// dst is used; other PEs may pass nil and receive nil. With a reused dst
+// the steady-state allocation count is zero on every PE.
+func ReduceInto[T any](pe *comm.PE, root int, dst, x []T, op func(a, b T) T) []T {
+	p := pe.P()
+	if p == 1 {
+		dst = commbuf.Resize(dst[:0], len(x))
+		copy(dst, x)
+		return dst
+	}
+	pool := commbuf.For[T]()
+	tag := pe.NextCollTag()
+	vr := (pe.Rank() - root + p) % p
+	// accPtr is the pooled accumulator, nil until the first child
+	// contribution arrives (leaves never need one).
+	var accPtr *[]T
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			if accPtr != nil {
+				// Hand the accumulator itself to the parent; it recycles it.
+				pe.Send(parent, tag, accPtr, sliceWords(*accPtr))
+			} else {
+				sendCopy(pe, pool, parent, tag, x)
+			}
+			return nil
+		}
+		child := vr | mask
+		if child < p {
+			rx := recvOwned[T](pe, (child+root)%p, tag)
+			if accPtr == nil {
+				// First contribution: fold x into the received buffer and
+				// adopt it as the accumulator — zero copies, zero allocs.
+				if len(*rx) != len(x) {
+					panic(fmt.Sprintf("coll: reduction vector length mismatch: %d vs %d", len(x), len(*rx)))
+				}
+				for i, v := range x {
+					(*rx)[i] = op(v, (*rx)[i])
+				}
+				accPtr = rx
+			} else {
+				combine(op, *accPtr, *rx)
+				pool.Put(rx)
+			}
+		}
+		mask <<= 1
+	}
+	// Only vr == 0 (the root) exits the loop.
+	dst = commbuf.Resize(dst[:0], len(x))
+	if accPtr != nil {
+		copy(dst, *accPtr)
+		pool.Put(accPtr)
+	} else {
+		copy(dst, x)
+	}
+	return dst
 }
 
 // AllReduce combines x elementwise with op and returns the result on all
@@ -125,11 +238,44 @@ func Reduce[T any](pe *comm.PE, root int, x []T, op func(a, b T) T) []T {
 // latency); long vectors switch to reduce-scatter + all-gather
 // (Rabenseifner), whose volume is O(m) independent of p — the
 // full-bandwidth regime of the collectives the paper cites [33]. Both
-// paths fold non-power-of-two stragglers onto partners first.
+// paths fold non-power-of-two stragglers onto partners first. The result
+// never aliases x and is owned by the caller.
 func AllReduce[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
+	return AllReduceInto(pe, nil, x, op)
+}
+
+// AllReduceInto is AllReduce writing the result into dst (grown as needed;
+// pass nil to allocate). dst must not overlap x. With a reused dst the
+// steady-state allocation count is zero.
+func AllReduceInto[T any](pe *comm.PE, dst, x []T, op func(a, b T) T) []T {
+	dst = commbuf.Resize(dst[:0], len(x))
+	copy(dst, x)
+	allReduceAcc(pe, commbuf.For[T](), dst, op)
+	return dst
+}
+
+// AllReduceScalar is AllReduce for a single value. Allocation-free in
+// steady state.
+func AllReduceScalar[T any](pe *comm.PE, v T, op func(a, b T) T) T {
+	if pe.P() == 1 {
+		return v
+	}
+	pool := commbuf.For[T]()
+	b := pool.Get(1)
+	(*b)[0] = v
+	allReduceAcc(pe, pool, *b, op)
+	out := (*b)[0]
+	pool.Put(b)
+	return out
+}
+
+// allReduceAcc is the all-reduce engine: it combines acc (this PE's
+// contribution) with every other PE's, in place, leaving the global result
+// in acc on every PE. acc must have the same length on all PEs.
+func allReduceAcc[T any](pe *comm.PE, pool *commbuf.Pool[T], acc []T, op func(a, b T) T) {
 	p := pe.P()
 	if p == 1 {
-		return slices.Clone(x)
+		return
 	}
 	tag := pe.NextCollTag()
 	rank := pe.Rank()
@@ -138,36 +284,43 @@ func AllReduce[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
 		r *= 2
 	}
 	extra := p - r
-	acc := slices.Clone(x)
 	if rank >= r {
-		pe.Send(rank-r, tag, acc, sliceWords(acc))
-		rx, _ := pe.Recv(rank-r, tag)
-		return rx.([]T)
+		// Straggler: fold onto the low partner, then wait for the result.
+		sendCopy(pe, pool, rank-r, tag, acc)
+		rx := recvOwned[T](pe, rank-r, tag)
+		copy(acc, *rx)
+		pool.Put(rx)
+		return
 	}
 	if rank < extra {
-		rx, _ := pe.Recv(rank+r, tag)
-		acc = combineInto(op, acc, rx.([]T))
+		rx := recvOwned[T](pe, rank+r, tag)
+		combine(op, acc, *rx)
+		pool.Put(rx)
 	}
-	if int64(len(acc))*WordsOf[T]() >= int64(4*r) && r > 2 {
-		allReduceLong(pe, rank, r, tag, acc, op)
+	if sliceWords(acc) >= int64(4*r) && r > 2 {
+		allReduceLong(pe, pool, rank, r, tag, acc, op)
 	} else {
 		for mask := 1; mask < r; mask <<= 1 {
 			partner := rank ^ mask
-			rx, _ := pe.SendRecv(partner, acc, sliceWords(acc), partner, tag)
-			acc = combineInto(op, acc, rx.([]T))
+			// Ship a copy (the partner reads it while we keep mutating acc).
+			b := pool.Get(len(acc))
+			copy(*b, acc)
+			rxAny, _ := pe.SendRecv(partner, b, sliceWords(acc), partner, tag)
+			rx := rxAny.(*[]T)
+			combine(op, acc, *rx)
+			pool.Put(rx)
 		}
 	}
 	if rank < extra {
-		pe.Send(rank+r, tag, acc, sliceWords(acc))
+		sendCopy(pe, pool, rank+r, tag, acc)
 	}
-	return acc
 }
 
 // allReduceLong is the Rabenseifner path among the r (power of two)
 // low ranks: recursive-halving reduce-scatter followed by
 // recursive-doubling all-gather, mutating acc in place. Volume per PE is
 // ≈ 2·m·(1−1/r) words in 2·log r startups.
-func allReduceLong[T any](pe *comm.PE, rank, r int, tag comm.Tag, acc []T, op func(a, b T) T) {
+func allReduceLong[T any](pe *comm.PE, pool *commbuf.Pool[T], rank, r int, tag comm.Tag, acc []T, op func(a, b T) T) {
 	lo, hi := 0, len(acc)
 	type level struct {
 		partner int
@@ -176,7 +329,8 @@ func allReduceLong[T any](pe *comm.PE, rank, r int, tag comm.Tag, acc []T, op fu
 		lowLen  int
 		highLen int
 	}
-	var hist []level
+	var histArr [64]level // log2(r) levels; r is bounded by the PE count
+	hist := histArr[:0]
 	// Reduce-scatter by recursive halving.
 	for mask := r / 2; mask >= 1; mask >>= 1 {
 		partner := rank ^ mask
@@ -184,45 +338,46 @@ func allReduceLong[T any](pe *comm.PE, rank, r int, tag comm.Tag, acc []T, op fu
 		keepLow := rank&mask == 0
 		var sendSeg []T
 		if keepLow {
-			sendSeg = slices.Clone(acc[mid:hi])
+			sendSeg = acc[mid:hi]
 		} else {
-			sendSeg = slices.Clone(acc[lo:mid])
+			sendSeg = acc[lo:mid]
 		}
-		rx, _ := pe.SendRecv(partner, sendSeg, sliceWords(sendSeg), partner, tag)
-		rseg := rx.([]T)
+		b := pool.Get(len(sendSeg))
+		copy(*b, sendSeg)
+		rxAny, _ := pe.SendRecv(partner, b, sliceWords(sendSeg), partner, tag)
+		rx := rxAny.(*[]T)
 		if keepLow {
-			for i, v := range rseg {
+			for i, v := range *rx {
 				acc[lo+i] = op(acc[lo+i], v)
 			}
 			hist = append(hist, level{partner, true, mid, mid - lo, hi - mid})
 			hi = mid
 		} else {
-			for i, v := range rseg {
+			for i, v := range *rx {
 				acc[mid+i] = op(acc[mid+i], v)
 			}
 			hist = append(hist, level{partner, false, mid, mid - lo, hi - mid})
 			lo = mid
 		}
+		pool.Put(rx)
 	}
 	// All-gather by retracing the halving in reverse.
 	for i := len(hist) - 1; i >= 0; i-- {
 		lv := hist[i]
-		sendSeg := slices.Clone(acc[lo:hi])
-		rx, _ := pe.SendRecv(lv.partner, sendSeg, sliceWords(sendSeg), lv.partner, tag)
-		rseg := rx.([]T)
+		seg := acc[lo:hi]
+		b := pool.Get(len(seg))
+		copy(*b, seg)
+		rxAny, _ := pe.SendRecv(lv.partner, b, sliceWords(seg), lv.partner, tag)
+		rx := rxAny.(*[]T)
 		if lv.keptLow {
-			copy(acc[hi:hi+len(rseg)], rseg)
+			copy(acc[hi:hi+len(*rx)], *rx)
 			hi += lv.highLen
 		} else {
-			copy(acc[lo-len(rseg):lo], rseg)
+			copy(acc[lo-len(*rx):lo], *rx)
 			lo -= lv.lowLen
 		}
+		pool.Put(rx)
 	}
-}
-
-// AllReduceScalar is AllReduce for a single value.
-func AllReduceScalar[T any](pe *comm.PE, v T, op func(a, b T) T) T {
-	return AllReduce(pe, []T{v}, op)[0]
 }
 
 // SumAll returns the global sum of v across PEs on all PEs.
@@ -242,23 +397,28 @@ func MaxAll[T cmp.Ordered](pe *comm.PE, v T) T {
 
 // InScan returns the inclusive prefix combination of x: PE j receives
 // op(x@0, ..., x@j) elementwise (Hillis–Steele dissemination, O(log p)
-// rounds).
+// rounds). The result never aliases x.
 func InScan[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
 	p := pe.P()
 	acc := slices.Clone(x)
 	if p == 1 {
 		return acc
 	}
+	pool := commbuf.For[T]()
 	tag := pe.NextCollTag()
 	rank := pe.Rank()
 	for d := 1; d < p; d <<= 1 {
 		// acc currently covers ranks (rank-d, rank]; exchange to extend.
 		if rank+d < p {
-			pe.Send(rank+d, tag, acc, sliceWords(acc))
+			sendCopy(pe, pool, rank+d, tag, acc)
 		}
 		if rank-d >= 0 {
-			rx, _ := pe.Recv(rank-d, tag)
-			acc = combineInto(op, rx.([]T), acc)
+			rx := recvOwned[T](pe, rank-d, tag)
+			// acc = op(rx, acc): the earlier-ranks prefix is the left operand.
+			for i, v := range *rx {
+				acc[i] = op(v, acc[i])
+			}
+			pool.Put(rx)
 		}
 	}
 	return acc
@@ -271,22 +431,61 @@ func ExScan[T any](pe *comm.PE, x []T, op func(a, b T) T, identity []T) []T {
 	if p == 1 {
 		return slices.Clone(identity)
 	}
+	pool := commbuf.For[T]()
 	incl := InScan(pe, x, op)
 	tag := pe.NextCollTag()
 	rank := pe.Rank()
 	if rank+1 < p {
-		pe.Send(rank+1, tag, incl, sliceWords(incl))
+		sendCopy(pe, pool, rank+1, tag, incl)
 	}
 	if rank == 0 {
 		return slices.Clone(identity)
 	}
-	rx, _ := pe.Recv(rank-1, tag)
-	return rx.([]T)
+	rx := recvOwned[T](pe, rank-1, tag)
+	out := slices.Clone(*rx)
+	pool.Put(rx)
+	return out
 }
 
-// ExScanSum returns the exclusive prefix sum of a scalar.
+// ExScanSum returns the exclusive prefix sum of a scalar. Allocation-free
+// in steady state.
 func ExScanSum[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
-	return ExScan(pe, []T{v}, func(a, b T) T { return a + b }, []T{0})[0]
+	p := pe.P()
+	if p == 1 {
+		return 0
+	}
+	pool := commbuf.For[T]()
+	w := WordsOf[T]()
+	rank := pe.Rank()
+	// Inclusive dissemination scan on the scalar.
+	tag := pe.NextCollTag()
+	acc := v
+	for d := 1; d < p; d <<= 1 {
+		if rank+d < p {
+			b := pool.Get(1)
+			(*b)[0] = acc
+			pe.Send(rank+d, tag, b, w)
+		}
+		if rank-d >= 0 {
+			rx := recvOwned[T](pe, rank-d, tag)
+			acc = (*rx)[0] + acc
+			pool.Put(rx)
+		}
+	}
+	// Shift down by one rank to make it exclusive.
+	tag = pe.NextCollTag()
+	if rank+1 < p {
+		b := pool.Get(1)
+		(*b)[0] = acc
+		pe.Send(rank+1, tag, b, w)
+	}
+	if rank == 0 {
+		return 0
+	}
+	rx := recvOwned[T](pe, rank-1, tag)
+	out := (*rx)[0]
+	pool.Put(rx)
+	return out
 }
 
 // rankedBlock carries a PE's contribution through a gather tree.
@@ -299,15 +498,18 @@ type rankedBlock[T any] struct {
 // is indexed by rank on root, nil elsewhere. Contributions may have
 // different lengths. Uses a binomial tree (O(α log p) startups; each tree
 // edge carries its whole subtree, so volume is O(β·total) at the root's
-// incoming edges, matching the model).
+// incoming edges, matching the model). The root's result aliases the
+// contributing PEs' data slices (not copies); treat it as read-only.
 func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
 	p := pe.P()
 	if p == 1 {
 		return [][]T{data}
 	}
+	bpool := commbuf.For[rankedBlock[T]]()
 	tag := pe.NextCollTag()
 	vr := (pe.Rank() - root + p) % p
-	hold := []rankedBlock[T]{{rank: pe.Rank(), data: data}}
+	holdPtr := bpool.GetCap(1)
+	hold := append(*holdPtr, rankedBlock[T]{rank: pe.Rank(), data: data})
 	mask := 1
 	for mask < p {
 		if vr&mask != 0 {
@@ -316,13 +518,16 @@ func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
 			for _, b := range hold {
 				words += sliceWords(b.data)
 			}
-			pe.Send(dst, tag, hold, words)
+			*holdPtr = hold
+			pe.Send(dst, tag, holdPtr, words) // ownership moves to the parent
 			return nil
 		}
 		src := vr | mask
 		if src < p {
 			rx, _ := pe.Recv((src+root)%p, tag)
-			hold = append(hold, rx.([]rankedBlock[T])...)
+			blocks := rx.(*[]rankedBlock[T])
+			hold = append(hold, (*blocks)...)
+			bpool.Put(blocks)
 		}
 		mask <<= 1
 	}
@@ -330,11 +535,14 @@ func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
 	for _, b := range hold {
 		out[b.rank] = b.data
 	}
+	*holdPtr = hold
+	bpool.Put(holdPtr)
 	return out
 }
 
 // Scatterv distributes parts[i] from root to PE i along a binomial tree and
-// returns the local part on every PE. parts is only read on root.
+// returns the local part on every PE. parts is only read on root. The
+// returned slice aliases the root's parts[i] (not a copy).
 func Scatterv[T any](pe *comm.PE, root int, parts [][]T) []T {
 	p := pe.P()
 	if p == 1 {
@@ -403,7 +611,9 @@ func Scatterv[T any](pe *comm.PE, root int, parts [][]T) []T {
 // assembly, which preserves the O(β·total + α log p) bound (with a
 // factor-2 volume constant; the paper's gossiping achieves the same
 // asymptotics). The flattening keeps the word metering honest: the
-// broadcast carries the actual payload, not slice headers.
+// broadcast carries the actual payload, not slice headers. The returned
+// subslices view a broadcast buffer shared between PEs; treat them as
+// read-only.
 func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
 	parts := Gatherv(pe, 0, data)
 	p := pe.P()
@@ -411,6 +621,11 @@ func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
 	var lens []int64
 	if pe.Rank() == 0 {
 		lens = make([]int64, p)
+		var total int
+		for _, part := range parts {
+			total += len(part)
+		}
+		flat = make([]T, 0, total)
 		for i, part := range parts {
 			lens[i] = int64(len(part))
 			flat = append(flat, part...)
@@ -428,22 +643,33 @@ func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
 }
 
 // AllGatherConcat collects every PE's slice concatenated in rank order.
+// The result is owned by the caller (each PE gets its own copy).
 func AllGatherConcat[T any](pe *comm.PE, data []T) []T {
-	parts := AllGatherv(pe, data)
-	var total int
-	for _, p := range parts {
-		total += len(p)
+	parts := Gatherv(pe, 0, data)
+	var flat []T
+	if pe.Rank() == 0 {
+		var total int
+		for _, part := range parts {
+			total += len(part)
+		}
+		flat = make([]T, 0, total)
+		for _, part := range parts {
+			flat = append(flat, part...)
+		}
 	}
-	out := make([]T, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	shared := Broadcast(pe, 0, flat)
+	// Every PE — the root included — returns a private copy: the broadcast
+	// buffer stays shared until the last PE has cloned, and there is no
+	// barrier here, so handing the root its own flat buffer would let its
+	// caller mutate while others still read (caught by the race detector).
+	return slices.Clone(shared)
 }
 
 // AllToAll delivers parts[i] from every PE to PE i; the result is indexed
 // by source rank. Direct point-to-point delivery: p-1 startups per PE,
-// pairwise-staggered to avoid hot spots.
+// pairwise-staggered to avoid hot spots. The self-part out[rank] aliases
+// parts[rank] (no copy — pinned by tests), and received parts alias the
+// senders' slices; treat the result as read-only.
 func AllToAll[T any](pe *comm.PE, parts [][]T) [][]T {
 	p := pe.P()
 	if len(parts) != p {

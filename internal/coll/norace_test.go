@@ -1,0 +1,5 @@
+//go:build !race
+
+package coll
+
+const raceEnabled = false

@@ -92,7 +92,7 @@ func NewMachine(cfg Config) *Machine {
 		}
 	}
 	for i := 0; i < cfg.P; i++ {
-		m.pes[i] = &PE{m: m, rank: i, p: cfg.P}
+		m.pes[i] = &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
 	}
 	return m
 }
@@ -228,6 +228,11 @@ type PE struct {
 	rank int
 	p    int
 
+	// alpha/beta are copied from the machine config so the Send/Recv hot
+	// paths touch only this cache line, not the shared Machine.
+	alpha float64
+	beta  float64
+
 	clock     float64
 	sentWords int64
 	recvWords int64
@@ -236,6 +241,43 @@ type PE struct {
 	waitNs    int64
 
 	collSeq uint64
+
+	scratch map[string]any
+}
+
+// Scratch returns the value stored under key in this PE's scratch store,
+// or nil. The store holds goroutine-local reusable state (typically
+// buffers, see ScratchSlice) that survives across collective calls and
+// Runs; it needs no synchronization because a PE handle is only valid
+// inside its own goroutine.
+func (pe *PE) Scratch(key string) any {
+	return pe.scratch[key]
+}
+
+// SetScratch stores v under key in this PE's scratch store.
+func (pe *PE) SetScratch(key string, v any) {
+	if pe.scratch == nil {
+		pe.scratch = make(map[string]any)
+	}
+	pe.scratch[key] = v
+}
+
+// ScratchSlice returns a per-PE reusable buffer of length n for the given
+// key, allocating or growing it only when the stored buffer is missing,
+// of a different element type, or too small. Contents are unspecified.
+// Callers own the buffer until their next ScratchSlice call with the same
+// key — do not hold it across calls into code that may use the same key,
+// and never send it (ownership cannot transfer off the PE).
+func ScratchSlice[T any](pe *PE, key string, n int) []T {
+	if v, ok := pe.scratch[key]; ok {
+		if b, ok := v.(*[]T); ok && cap(*b) >= n {
+			*b = (*b)[:n]
+			return *b
+		}
+	}
+	b := make([]T, n)
+	pe.SetScratch(key, &b)
+	return b
 }
 
 // WaitTime returns how long this PE has been blocked waiting for messages
@@ -286,10 +328,12 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 	if dst == pe.rank {
 		panic(fmt.Sprintf("comm: PE %d: self-send is not modeled; keep data local", pe.rank))
 	}
-	pe.clock += pe.m.cfg.Alpha + pe.m.cfg.Beta*float64(words)
+	pe.clock += pe.alpha + pe.beta*float64(words)
 	pe.sentWords += words
 	pe.sends++
 	msg := message{tag: tag, words: words, depart: pe.clock, data: data}
+	// Fast path: the buffered channel has space, so no abort watch and no
+	// wait-time clock reads are needed.
 	select {
 	case pe.m.chans[pe.rank][dst] <- msg:
 	default:
@@ -310,6 +354,8 @@ func (pe *PE) Recv(src int, tag Tag) (any, int64) {
 		panic(fmt.Sprintf("comm: PE %d: recv from invalid rank %d", pe.rank, src))
 	}
 	var msg message
+	// Fast path: a message is already queued, so no abort watch and no
+	// wait-time clock reads are needed.
 	select {
 	case msg = <-pe.m.chans[src][pe.rank]:
 	default:
@@ -330,7 +376,7 @@ func (pe *PE) Recv(src int, tag Tag) (any, int64) {
 	// no earlier than the PE's own clock. A coordinator draining p−1
 	// messages therefore pays Θ(p·(α+βm)) of modeled time — the
 	// bottleneck the paper's master–worker comparisons hinge on.
-	cost := pe.m.cfg.Alpha + pe.m.cfg.Beta*float64(msg.words)
+	cost := pe.alpha + pe.beta*float64(msg.words)
 	avail := msg.depart - cost
 	if avail < pe.clock {
 		avail = pe.clock

@@ -1,0 +1,109 @@
+// Package commbuf provides typed, sync.Pool-backed slice buffers for the
+// communication hot paths. The collectives in internal/coll move a message
+// buffer through a strict ownership hand-off: the sender obtains a buffer
+// with Get, fills it, and sends the *[]T pointer (a pointer stored in an
+// interface does not allocate, unlike a slice header); the receiver reads
+// or combines the contents and returns the buffer with Put. Because
+// exactly one PE owns a buffer at any time, recycling is race-free even
+// though the pools are shared process-wide.
+//
+// Buffers are pooled per element type. The per-type pools are resolved
+// once per call via a lock-free registry keyed by reflect.Type; callers on
+// a very hot path can hoist the For[T]() lookup out of their loop.
+package commbuf
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Pool is a free list of []T buffers backed by sync.Pool. The zero value
+// is ready to use. Buffers handed out by Get have unspecified contents.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a buffer of length n (capacity may exceed n). The caller
+// owns the buffer until it calls Put or hands ownership to another owner.
+func (pl *Pool[T]) Get(n int) *[]T {
+	if v := pl.p.Get(); v != nil {
+		b := v.(*[]T)
+		if cap(*b) >= n {
+			*b = (*b)[:n]
+			return b
+		}
+		// Too small: let it die and allocate a bigger one below.
+	}
+	b := make([]T, n, grow(n))
+	return &b
+}
+
+// GetCap returns an empty buffer (length 0) with capacity at least c, for
+// append-style filling. Pair with Put like Get.
+func (pl *Pool[T]) GetCap(c int) *[]T {
+	b := pl.Get(c)
+	*b = (*b)[:0]
+	return b
+}
+
+// Put recycles a buffer obtained from Get/GetCap (or any slice the caller
+// owns outright). The caller must not touch the slice afterwards. nil is
+// ignored so Put composes with conditional ownership transfers.
+func (pl *Pool[T]) Put(b *[]T) {
+	if b == nil || cap(*b) == 0 {
+		return
+	}
+	pl.p.Put(b)
+}
+
+// grow rounds a requested length up so that a buffer recycled through the
+// pool absorbs moderately larger follow-up requests without reallocating.
+func grow(n int) int {
+	if n < 8 {
+		return 8
+	}
+	// Next power of two ≥ n (caps the worst-case overshoot at 2×).
+	c := 8
+	for c < n {
+		c <<= 1
+		if c < 0 { // overflow paranoia; fall back to the exact size
+			return n
+		}
+	}
+	return c
+}
+
+// pools maps reflect.Type → *Pool[T] (stored as any).
+var pools sync.Map
+
+// For returns the process-wide pool for element type T.
+func For[T any]() *Pool[T] {
+	t := reflect.TypeFor[T]()
+	if v, ok := pools.Load(t); ok {
+		return v.(*Pool[T])
+	}
+	v, _ := pools.LoadOrStore(t, &Pool[T]{})
+	return v.(*Pool[T])
+}
+
+// Get is shorthand for For[T]().Get(n).
+func Get[T any](n int) *[]T { return For[T]().Get(n) }
+
+// GetCap is shorthand for For[T]().GetCap(c).
+func GetCap[T any](c int) *[]T { return For[T]().GetCap(c) }
+
+// Put is shorthand for For[T]().Put(b).
+func Put[T any](b *[]T) { For[T]().Put(b) }
+
+// Resize returns s with length n, reusing s's backing array when the
+// capacity suffices and allocating (amortized, geometric) otherwise. The
+// contents beyond the copied prefix are unspecified. It is the allocation
+// primitive for caller-provided destination buffers (the *Into collectives).
+func Resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n, grow(n))
+	copy(out, s[:len(s)])
+	return out
+}

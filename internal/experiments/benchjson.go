@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// The reproducible benchmark pipeline: cmd/topkbench -json runs this fixed
+// suite in-process (via testing.Benchmark) and emits BENCH_PR<N>.json, so
+// the performance trajectory — wall time, allocations, and the modeled
+// communication cost — is tracked PR-over-PR with one command instead of
+// hand-copied `go test -bench` output.
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name string `json:"name"`
+	// NsPerOp is host wall time per operation (the paper's local-work x
+	// term plus simulation overhead).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp track the zero-allocation discipline of the
+	// hot paths.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// WordsPerPE is the bottleneck communication volume per op (max over
+	// PEs of words sent — the paper's y term).
+	WordsPerPE float64 `json:"words_per_pe"`
+	// StartsPerPE is the bottleneck startup count per op (the z term).
+	StartsPerPE float64 `json:"starts_per_pe"`
+	// MaxClock is the modeled α/β critical-path time per op.
+	MaxClock float64 `json:"max_clock"`
+}
+
+// BenchReport is the schema of BENCH_PR<N>.json.
+type BenchReport struct {
+	PR        int           `json:"pr"`
+	GoVersion string        `json:"go_version"`
+	Note      string        `json:"note,omitempty"`
+	Results   []BenchResult `json:"results"`
+	// Baseline holds the pre-change numbers of the same suite when the
+	// invoker supplies them (topkbench -json -baseline old.json), so a
+	// single committed file carries the before/after comparison.
+	Baseline     []BenchResult `json:"baseline,omitempty"`
+	BaselineNote string        `json:"baseline_note,omitempty"`
+}
+
+// benchCase runs a benchmark body and reports the machine whose stats
+// describe the measured communication.
+type benchCase struct {
+	name string
+	run  func(b *testing.B) *comm.Machine
+}
+
+// benchSuite is the fixed benchmark set of the pipeline. It mirrors the
+// root bench_test.go families that gate acceptance (Table 1 unsorted
+// selection and the substrate collectives) at the same configurations.
+func benchSuite() []benchCase {
+	cases := []benchCase{
+		{name: "Table1/UnsortedSelection", run: func(b *testing.B) *comm.Machine {
+			const p, perPE = 16, 1 << 16
+			locals := make([][]uint64, p)
+			for r := 0; r < p; r++ {
+				locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
+			}
+			m := comm.NewMachine(comm.DefaultConfig(p))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				m.MustRun(func(pe *comm.PE) {
+					sel.Kth(pe, locals[pe.Rank()], int64(p*perPE/2), xrand.NewPE(seed, pe.Rank()))
+				})
+			}
+			return m
+		}},
+		{name: "Table1/UnsortedSelectionOldRandomized", run: func(b *testing.B) *comm.Machine {
+			const p, perPE = 16, 1 << 16
+			locals := make([][]uint64, p)
+			for r := 0; r < p; r++ {
+				locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
+			}
+			m := comm.NewMachine(comm.DefaultConfig(p))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				m.MustRun(func(pe *comm.PE) {
+					sel.KthRandomized(pe, locals[pe.Rank()], int64(p*perPE/2), xrand.NewPE(seed, pe.Rank()))
+				})
+			}
+			return m
+		}},
+	}
+	subs := []struct {
+		name string
+		body func(pe *comm.PE)
+	}{
+		{"Broadcast", collBroadcast},
+		{"AllReduce", collAllReduce},
+		{"ExScan", collScan},
+		{"AllGather", collAllGather},
+		{"HypercubeA2A", collHyperA2A},
+	}
+	for _, s := range subs {
+		body := s.body
+		cases = append(cases, benchCase{
+			name: "Substrate/Collectives/" + s.name,
+			run: func(b *testing.B) *comm.Machine {
+				m := comm.NewMachine(comm.DefaultConfig(64))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.MustRun(body)
+				}
+				return m
+			},
+		})
+	}
+	return cases
+}
+
+// RunBenchSuite executes the pipeline suite and returns its measurements.
+// progress (optional) receives one line per finished benchmark.
+func RunBenchSuite(progress func(string)) []BenchResult {
+	var out []BenchResult
+	for _, c := range benchSuite() {
+		var m *comm.Machine
+		var n int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if mm := c.run(b); mm != nil {
+				m = mm
+				n = b.N
+			}
+		})
+		res := BenchResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		if m != nil && n > 0 {
+			// Stats accumulate across the final measured run's iterations.
+			s := m.Stats()
+			res.WordsPerPE = float64(s.BottleneckWords()) / float64(n)
+			res.StartsPerPE = float64(s.MaxSends) / float64(n)
+			res.MaxClock = s.MaxClock / float64(n)
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("%-40s %12.0f ns/op %10.1f allocs/op %12.0f B/op",
+				c.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp))
+		}
+	}
+	return out
+}
+
+// WriteBenchReport runs the suite and writes BENCH_PR<pr>.json to path.
+// baselinePath (optional) names an earlier report whose results are
+// embedded as the baseline for before/after comparison.
+func WriteBenchReport(path string, pr int, note, baselinePath string, progress func(string)) (*BenchReport, error) {
+	// Validate the baseline before the (minutes-long) suite runs, so a
+	// typo'd path fails in milliseconds, not after the benchmarks.
+	var base BenchReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return nil, fmt.Errorf("reading baseline: %w", err)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+	}
+	rep := &BenchReport{
+		PR:        pr,
+		GoVersion: runtime.Version(),
+		Note:      note,
+		Results:   RunBenchSuite(progress),
+	}
+	if baselinePath != "" {
+		rep.Baseline = base.Results
+		rep.BaselineNote = base.Note
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

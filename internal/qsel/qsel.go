@@ -1,0 +1,112 @@
+// Package qsel provides expected-linear order-statistic selection and
+// in-place multiway partitioning — the sort-free local kernels under the
+// paper's selection algorithms. Everywhere the distributed code only needs
+// an order statistic (pivot extraction from a gathered sample, the k-th
+// element of a gathered residual), a full slices.Sort is Θ(n log n) local
+// work the cost model charges to the x term for no benefit; Select is
+// expected O(n) and allocation-free.
+//
+// Select uses the Floyd–Rivest SELECT strategy (recursively selecting an
+// approximate pivot from a sample window around the target rank) on large
+// windows, falling back to plain three-way quickselect below the sampling
+// threshold. The three-way (fat-pivot) partition makes duplicate-heavy
+// inputs first-class: an equal run containing the target rank terminates
+// immediately instead of degrading quadratically.
+package qsel
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+)
+
+// Select partially rearranges s so that s[k] holds the element of rank k
+// (0-based) and returns it: afterwards every element of s[:k] is ≤ s[k]
+// and every element of s[k+1:] is ≥ s[k]. Expected O(len(s)) time, zero
+// allocations. Panics if k is out of range.
+func Select[K cmp.Ordered](s []K, k int) K {
+	if k < 0 || k >= len(s) {
+		panic(fmt.Sprintf("qsel: rank %d out of range [0, %d)", k, len(s)))
+	}
+	sel(s, 0, len(s)-1, k)
+	return s[k]
+}
+
+// sel narrows [left, right] (inclusive) until s[k] is in final position.
+func sel[K cmp.Ordered](s []K, left, right, k int) {
+	for right > left {
+		if right-left > 600 {
+			// Floyd–Rivest: recursively select within a sample window of
+			// size Θ(n^(2/3)) centered (with a √-spread safety margin) on
+			// where rank k is expected to land, so the next partition's
+			// pivot s[k] is already a near-exact quantile.
+			n := float64(right - left + 1)
+			i := float64(k - left + 1)
+			z := math.Log(n)
+			sz := 0.5 * math.Exp(2*z/3)
+			sd := 0.5 * math.Sqrt(z*sz*(n-sz)/n)
+			if i < n/2 {
+				sd = -sd
+			}
+			newLeft := max(left, int(float64(k)-i*sz/n+sd))
+			newRight := min(right, int(float64(k)+(n-i)*sz/n+sd))
+			sel(s, newLeft, newRight, k)
+		}
+		pivot := s[k]
+		lt, gt := partition3(s, left, right, pivot)
+		switch {
+		case k < lt:
+			right = lt - 1
+		case k > gt:
+			left = gt + 1
+		default:
+			return // k lands inside the equal run
+		}
+	}
+}
+
+// partition3 rearranges s[left..right] (inclusive) into
+// [ < pivot | == pivot | > pivot ] and returns the inclusive bounds
+// [lt, gt] of the equal run (Dutch national flag).
+func partition3[K cmp.Ordered](s []K, left, right int, pivot K) (lt, gt int) {
+	lt, gt = left, right
+	i := left
+	for i <= gt {
+		switch {
+		case s[i] < pivot:
+			s[i], s[lt] = s[lt], s[i]
+			i++
+			lt++
+		case s[i] > pivot:
+			s[i], s[gt] = s[gt], s[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// PartitionRange rearranges s in place into the three bands
+// [ x < lo | lo ≤ x ≤ hi | x > hi ] and returns the sizes (na, nb) of the
+// first two bands: afterwards s[:na] < lo, lo ≤ s[na:na+nb] ≤ hi, and
+// s[na+nb:] > hi. Single pass, zero allocations. lo ≤ hi is the caller's
+// responsibility (lo == hi yields an exact three-way partition).
+func PartitionRange[K cmp.Ordered](s []K, lo, hi K) (na, nb int) {
+	lt, gt := 0, len(s)-1
+	i := 0
+	for i <= gt {
+		switch {
+		case s[i] < lo:
+			s[i], s[lt] = s[lt], s[i]
+			i++
+			lt++
+		case s[i] > hi:
+			s[i], s[gt] = s[gt], s[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt + 1 - lt
+}

@@ -1,0 +1,216 @@
+package qsel
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// inputGen builds the adversarial input classes the selection kernel must
+// handle without degrading: uniform random, duplicates-heavy, sorted,
+// reverse-sorted, all-equal, and organ-pipe.
+var inputGens = []struct {
+	name string
+	gen  func(r *rand.Rand, n int) []uint64
+}{
+	{"random", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = r.Uint64()
+		}
+		return s
+	}},
+	{"dupheavy", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(r.Intn(1 + n/16))
+		}
+		return s
+	}},
+	{"sorted", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(i) * 3
+		}
+		return s
+	}},
+	{"reverse", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(n - i)
+		}
+		return s
+	}},
+	{"allequal", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = 42
+		}
+		return s
+	}},
+	{"organpipe", func(r *rand.Rand, n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(min(i, n-i))
+		}
+		return s
+	}},
+}
+
+func TestSelectCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, ig := range inputGens {
+		t.Run(ig.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 17, 100, 601, 5000} {
+				orig := ig.gen(r, n)
+				sorted := slices.Clone(orig)
+				slices.Sort(sorted)
+				// A spread of ranks including the extremes.
+				ranks := []int{0, n / 3, n / 2, n - 1}
+				for _, k := range ranks {
+					s := slices.Clone(orig)
+					got := Select(s, k)
+					if got != sorted[k] {
+						t.Fatalf("n=%d k=%d: Select=%d, want %d", n, k, got, sorted[k])
+					}
+					if s[k] != got {
+						t.Fatalf("n=%d k=%d: s[k]=%d not in place", n, k, s[k])
+					}
+					for i := 0; i < k; i++ {
+						if s[i] > got {
+							t.Fatalf("n=%d k=%d: s[%d]=%d > s[k]=%d", n, k, i, s[i], got)
+						}
+					}
+					for i := k + 1; i < n; i++ {
+						if s[i] < got {
+							t.Fatalf("n=%d k=%d: s[%d]=%d < s[k]=%d", n, k, i, s[i], got)
+						}
+					}
+					// The multiset must be preserved.
+					resorted := slices.Clone(s)
+					slices.Sort(resorted)
+					if !slices.Equal(resorted, sorted) {
+						t.Fatalf("n=%d k=%d: multiset changed", n, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSelectRandomizedRanks(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(2000)
+		ig := inputGens[trial%len(inputGens)]
+		orig := ig.gen(r, n)
+		sorted := slices.Clone(orig)
+		slices.Sort(sorted)
+		k := r.Intn(n)
+		s := slices.Clone(orig)
+		if got := Select(s, k); got != sorted[k] {
+			t.Fatalf("trial %d (%s) n=%d k=%d: Select=%d, want %d", trial, ig.name, n, k, got, sorted[k])
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Select(k=%d) did not panic", k)
+				}
+			}()
+			Select([]uint64{1, 2, 3}, k)
+		}()
+	}
+}
+
+func TestPartitionRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(500)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(r.Intn(64)) // heavy ties around the pivots
+		}
+		orig := slices.Clone(s)
+		lo := uint64(r.Intn(64))
+		hi := lo + uint64(r.Intn(int(64-lo)))
+		na, nb := PartitionRange(s, lo, hi)
+		var wantA, wantB int
+		for _, v := range orig {
+			switch {
+			case v < lo:
+				wantA++
+			case v <= hi:
+				wantB++
+			}
+		}
+		if na != wantA || nb != wantB {
+			t.Fatalf("trial %d: (na,nb)=(%d,%d), want (%d,%d)", trial, na, nb, wantA, wantB)
+		}
+		for i, v := range s {
+			switch {
+			case i < na && v >= lo:
+				t.Fatalf("trial %d: band a violated at %d: %d", trial, i, v)
+			case i >= na && i < na+nb && (v < lo || v > hi):
+				t.Fatalf("trial %d: band b violated at %d: %d", trial, i, v)
+			case i >= na+nb && v <= hi:
+				t.Fatalf("trial %d: band c violated at %d: %d", trial, i, v)
+			}
+		}
+		sorted1, sorted2 := slices.Clone(orig), slices.Clone(s)
+		slices.Sort(sorted1)
+		slices.Sort(sorted2)
+		if !slices.Equal(sorted1, sorted2) {
+			t.Fatalf("trial %d: multiset changed", trial)
+		}
+	}
+}
+
+func TestSelectZeroAlloc(t *testing.T) {
+	s := make([]uint64, 10000)
+	r := rand.New(rand.NewSource(9))
+	refill := func() {
+		for i := range s {
+			s[i] = r.Uint64()
+		}
+	}
+	refill()
+	if allocs := testing.AllocsPerRun(20, func() {
+		Select(s, len(s)/2)
+	}); allocs != 0 {
+		t.Errorf("Select allocates %.1f per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		PartitionRange(s, 1<<62, 1<<63)
+	}); allocs != 0 {
+		t.Errorf("PartitionRange allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func BenchmarkSelectVsSort(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16} {
+		r := rand.New(rand.NewSource(4))
+		orig := make([]uint64, n)
+		for i := range orig {
+			orig[i] = r.Uint64()
+		}
+		work := make([]uint64, n)
+		b.Run(fmt.Sprintf("Select/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, orig)
+				Select(work, n/2)
+			}
+		})
+		b.Run(fmt.Sprintf("Sort/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, orig)
+				slices.Sort(work)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/qsel"
 	"commtopk/internal/xrand"
 )
 
@@ -87,12 +88,18 @@ func baseCaseLimit(p int) int64 {
 // all PEs' local slices, on every PE. The local slices are not modified.
 // rng must be a per-PE stream (independent across PEs). Panics if k is out
 // of range — a programming error surfaced through Machine.Run.
+//
+// Local work is allocation-free in steady state: the input is copied once
+// into a per-PE scratch buffer and the recursion partitions it in place
+// (three-way band partition, package qsel) instead of rebuilding filtered
+// copies per level.
 func Kth[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) K {
 	n := coll.SumAll(pe, int64(len(local)))
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("sel: rank %d out of range 1..%d", k, n))
 	}
-	work := slices.Clone(local)
+	work := comm.ScratchSlice[K](pe, "sel.kth.work", len(local))
+	copy(work, local)
 	return kthRec(pe, work, k, n, rng, 0)
 }
 
@@ -112,21 +119,14 @@ func kthRec[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG, depth
 
 	lo, hi := pickPivots(pe, s, k, n, rng)
 
-	// Partition into a < lo, lo ≤ b ≤ hi, c > hi.
-	var a, b, c []K
-	for _, e := range s {
-		switch {
-		case e < lo:
-			a = append(a, e)
-		case e > hi:
-			c = append(c, e)
-		default:
-			b = append(b, e)
-		}
-	}
-	counts := coll.AllReduce(pe, []int64{int64(len(a)), int64(len(b))},
-		func(x, y int64) int64 { return x + y })
-	na, nb := counts[0], counts[1]
+	// Partition in place into a < lo, lo ≤ b ≤ hi, c > hi.
+	la, lb := qsel.PartitionRange(s, lo, hi)
+	a, b, c := s[:la], s[la:la+lb], s[la+lb:]
+	var counts [2]int64
+	counts[0], counts[1] = int64(la), int64(lb)
+	sums := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.kth.counts", 2),
+		counts[:], func(x, y int64) int64 { return x + y })
+	na, nb := sums[0], sums[1]
 	switch {
 	case na >= k:
 		return kthRec(pe, a, k, na, rng, depth+1)
@@ -142,17 +142,11 @@ func kthRec[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG, depth
 		// samples or very few distinct values). Peel the boundary tie
 		// group of the lower pivot arithmetically: either the answer is
 		// lo itself or the recursion continues on the strictly larger
-		// elements, which excludes at least the lo group.
-		var eqLo int64
-		var gt []K
-		for _, e := range b {
-			if e == lo {
-				eqLo++
-			} else {
-				gt = append(gt, e)
-			}
-		}
-		nEq := coll.SumAll(pe, eqLo)
+		// elements, which excludes at least the lo group. The peel is an
+		// exact three-way partition of b around lo, again in place.
+		_, nEqLocal := qsel.PartitionRange(b, lo, lo)
+		gt := b[nEqLocal:]
+		nEq := coll.SumAll(pe, int64(nEqLocal))
 		if k-na <= nEq {
 			return lo
 		}
@@ -177,29 +171,46 @@ func pickPivots[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG) (
 	if rho > 1 {
 		rho = 1
 	}
-	var sample []K
+	// The sample lives in a per-PE scratch buffer sized for 4× the
+	// expected draw; if an unlucky draw grows it anyway, the grown buffer
+	// is stored back so the growth is paid at most once per size.
+	scratch := comm.ScratchSlice[K](pe, "sel.pivots.sample", int(4*target)+8)
+	sample := scratch[:0]
 	sk := xrand.NewSkipSampler(rng, rho)
 	for idx := sk.Next(); idx < int64(len(s)); idx = sk.Next() {
 		sample = append(sample, s[idx])
 	}
-	// Sort the sample at the root and ship back only the two pivots: the
+	if cap(sample) > cap(scratch) {
+		grown := sample
+		pe.SetScratch("sel.pivots.sample", &grown)
+	}
+	// Extract the two pivots at the root and ship back only those: the
 	// sorted sample itself is never needed beyond pivot extraction, so the
 	// return volume is 2 words instead of |S| (the gather side still obeys
-	// the paper's O(β√p + α log p) sample-sorting budget).
+	// the paper's O(β√p + α log p) sample-sorting budget). Order
+	// statistics, not a sort, suffice locally: two expected-linear
+	// selections (package qsel) replace the O(|S| log |S|) sample sort.
 	parts := coll.Gatherv(pe, 0, sample)
-	var pivots []K
+	pivots := comm.ScratchSlice[K](pe, "sel.pivots.out", 2)[:0]
 	if pe.Rank() == 0 {
-		var sorted []K
+		var total int
 		for _, part := range parts {
-			sorted = append(sorted, part...)
+			total += len(part)
 		}
-		slices.Sort(sorted)
-		if m := int64(len(sorted)); m > 0 {
+		all := comm.ScratchSlice[K](pe, "sel.pivots.concat", total)[:0]
+		for _, part := range parts {
+			all = append(all, part...)
+		}
+		if m := int64(len(all)); m > 0 {
 			r := k * m / n
 			delta := int64(math.Ceil(math.Pow(float64(m), 0.5+0.1)))
-			iLo := clamp(r-delta, 0, m-1)
-			iHi := clamp(r+delta, 0, m-1)
-			pivots = []K{sorted[iLo], sorted[iHi]}
+			iLo := int(clamp(r-delta, 0, m-1))
+			iHi := int(clamp(r+delta, 0, m-1))
+			vLo := qsel.Select(all, iLo)
+			// Select leaves all[:iLo] ≤ all[iLo] ≤ all[iLo+1:], so the
+			// second rank is found in the (small) upper remainder.
+			vHi := qsel.Select(all[iLo:], iHi-iLo)
+			pivots = append(pivots, vLo, vHi)
 		}
 	}
 	pivots = coll.Broadcast(pe, 0, pivots)
@@ -231,20 +242,24 @@ func localMaxTagged[K cmp.Ordered](s []K) tagged[K] {
 func clamp(x, lo, hi int64) int64 { return min(max(x, lo), hi) }
 
 // gatherSolve solves a small residual selection problem exactly: gather on
-// PE 0, sort, broadcast the k-th element.
+// PE 0, select the k-th element (expected-linear, no sort), broadcast it.
 func gatherSolve[K cmp.Ordered](pe *comm.PE, s []K, k int64) K {
 	parts := coll.Gatherv(pe, 0, s)
 	var kth K
 	if pe.Rank() == 0 {
-		var all []K
+		var total int
+		for _, part := range parts {
+			total += len(part)
+		}
+		// Preallocated concat into per-PE scratch instead of repeated append.
+		all := comm.ScratchSlice[K](pe, "sel.gather.concat", total)[:0]
 		for _, part := range parts {
 			all = append(all, part...)
 		}
-		slices.Sort(all)
 		if k < 1 || k > int64(len(all)) {
 			panic(fmt.Sprintf("sel: internal rank %d out of residual range %d", k, len(all)))
 		}
-		kth = all[k-1]
+		kth = qsel.Select(all, int(k-1))
 	}
 	return coll.BroadcastScalar(pe, 0, kth)
 }
@@ -394,8 +409,10 @@ func MSSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], k int64, shared *xrand.RNG) 
 
 		jLess := clampInt(s.CountLess(v), lo, hi) - lo
 		jLE := clampInt(s.CountLE(v), lo, hi) - lo
-		sums := coll.AllReduce(pe, []int64{int64(jLess), int64(jLE)},
-			func(a, b int64) int64 { return a + b })
+		var jv [2]int64
+		jv[0], jv[1] = int64(jLess), int64(jLE)
+		sums := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.ms.sums", 2),
+			jv[:], func(a, b int64) int64 { return a + b })
 		globLess, globLE := sums[0], sums[1]
 		switch {
 		case kRem <= globLess:
@@ -496,7 +513,8 @@ func amsSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xran
 		// target is in the lower half use the min-based estimator, else the
 		// max-based one (both shown here; the min variant samples low ranks).
 		useMin := kmaxR < nR-kmaxR
-		cands := make([]tagged[K], d)
+		cands := comm.ScratchSlice[tagged[K]](pe, "sel.ams.cands", d)
+		clear(cands) // scratch reuse: absent candidates must read as zero
 		for t := 0; t < d; t++ {
 			if useMin {
 				rho := amsRho(kminR, kmaxR)
@@ -512,15 +530,16 @@ func amsSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xran
 				}
 			}
 		}
+		vsDst := comm.ScratchSlice[tagged[K]](pe, "sel.ams.vs", d)
 		var vs []tagged[K]
 		if useMin {
-			vs = coll.AllReduce(pe, cands, minTagged[K])
+			vs = coll.AllReduceInto(pe, vsDst, cands, minTagged[K])
 		} else {
-			vs = coll.AllReduce(pe, cands, maxTagged[K])
+			vs = coll.AllReduceInto(pe, vsDst, cands, maxTagged[K])
 		}
 
 		// Rank all candidates with one vector-valued sum.
-		js := make([]int64, d)
+		js := comm.ScratchSlice[int64](pe, "sel.ams.js", d)
 		for t := 0; t < d; t++ {
 			if vs[t].Has {
 				js[t] = int64(clampInt(s.CountLE(vs[t].Val), lo, hi) - lo)
@@ -531,7 +550,8 @@ func amsSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xran
 				js[t] = int64(hi - lo)
 			}
 		}
-		ks := coll.AllReduce(pe, js, func(a, b int64) int64 { return a + b })
+		ks := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.ams.ks", d),
+			js, func(a, b int64) int64 { return a + b })
 
 		// Success check, then narrow to (largest under, smallest over).
 		bestUnder := int64(-1)
