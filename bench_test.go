@@ -390,6 +390,29 @@ func BenchmarkSubstrate_Collectives(b *testing.B) {
 	}
 }
 
+// BenchmarkSubstrate_MailboxScale exercises the mailbox backend at a PE
+// count the channel matrix cannot reach (p = 1024 would need ~2.6 GiB of
+// channel buffers; the mailbox machine is ~0.3 MB plus worker stacks).
+// CI runs this as the mailbox bench smoke with -benchtime=1x.
+func BenchmarkSubstrate_MailboxScale(b *testing.B) {
+	const p = 1024
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	body := func(pe *comm.PE) {
+		coll.Broadcast(pe, 0, []int64{1, 2, 3, 4})
+		coll.AllReduceScalar(pe, int64(pe.Rank()), func(a, b int64) int64 { return a + b })
+		coll.ExScanSum(pe, int64(pe.Rank()))
+		coll.Barrier(pe)
+	}
+	m.MustRun(body) // spawn the persistent workers outside the timing
+	m.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustRun(body)
+	}
+	reportComm(b, m)
+}
+
 func BenchmarkSubstrate_TreapOps(b *testing.B) {
 	const n = 1 << 16
 	tr := treap.New[uint64](1)

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	topkbench -exp fig6|fig7a|fig7b|fig8|fig5|table1|amsbatch|pqflex|dht|redist|coll|all
+//	topkbench -exp fig6|fig7a|fig7b|fig8|fig5|table1|amsbatch|pqflex|dht|redist|coll|scaling|all
 //	          [-pmax 64] [-perpe 1048576] [-k 32] [-seed 1]
 //
 // Larger -perpe / -pmax approach the paper's scales at the cost of run
-// time; the defaults finish in minutes on a laptop.
+// time; the defaults finish in minutes on a laptop. `-exp scaling` (not
+// part of `all`) runs the large-p suite — collectives and Table-1
+// selection at p = 256…16384 on the mailbox backend, with the channel
+// matrix refused beyond the harness memory budget.
 //
 // Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
 //
@@ -31,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, all)")
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, all)")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
@@ -112,6 +115,23 @@ func main() {
 	}
 	if want("coll") {
 		tables = append(tables, experiments.CollectivesScaling(pList))
+	}
+	if *exp == "scaling" {
+		// Not part of -exp all: the large-p machines take minutes. With
+		// -pmax unset, the suite runs its full range (p up to 16384); an
+		// explicit -pmax caps it (below 256 nothing qualifies — say so
+		// rather than silently running the big machines anyway).
+		scaleMax := 1 << 14
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "pmax" {
+				scaleMax = *pmax
+			}
+		})
+		if scaleMax < 256 {
+			fmt.Fprintf(os.Stderr, "topkbench: -exp scaling starts at p=256; -pmax %d selects no configurations\n", scaleMax)
+			os.Exit(2)
+		}
+		tables = append(tables, experiments.ScalingTable(scaleMax))
 	}
 
 	if len(tables) == 0 {

@@ -14,12 +14,12 @@ package agg
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/dht"
-	"commtopk/internal/sel"
 	"commtopk/internal/stats"
 	"commtopk/internal/xrand"
 )
@@ -82,11 +82,21 @@ func LocalAggregate(keys []uint64, values []float64) map[uint64]float64 {
 }
 
 // sampleAggregated converts aggregated values into integer sample counts:
-// floor + Bernoulli residual (Section 8.1).
+// floor + Bernoulli residual (Section 8.1). Keys are visited in sorted
+// order so each key's Bernoulli draw is a fixed function of the RNG
+// stream: iterating the map directly let Go's randomized iteration order
+// decide which key consumed which deviate, making the sampled counts —
+// and hence ECSum's candidate set and realized ε̃ — vary between runs
+// with identical seeds (the agg.TestECSumIsExact flake).
 func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) map[uint64]int64 {
+	keys := make([]uint64, 0, len(local))
+	for k := range local {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
 	out := make(map[uint64]int64, len(local))
-	for k, v := range local {
-		q := v / vavg
+	for _, k := range keys {
+		q := local[k] / vavg
 		c := int64(q)
 		if rng.Bernoulli(q - float64(c)) {
 			c++
@@ -114,7 +124,7 @@ func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG)
 	agg := sampleAggregated(local, vavg, rng)
 	sampleSize := coll.SumAll(pe, mapSize(agg))
 	shard := dht.CountKeys(pe, agg, p.Route)
-	top := selectTopK(pe, shard, p.K, rng)
+	top := dht.SelectTopK(pe, shard, p.K, rng)
 	items := make([]ItemSum, len(top))
 	for i, kv := range top {
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) * vavg}
@@ -149,7 +159,7 @@ func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RN
 	agg := sampleAggregated(local, vavg, rng)
 	sampleSize := coll.SumAll(pe, mapSize(agg))
 	shard := dht.CountKeys(pe, agg, p.Route)
-	candidates := selectTopK(pe, shard, kStar, rng)
+	candidates := dht.SelectTopK(pe, shard, kStar, rng)
 
 	// Exact sums by local lookup + vector reduction.
 	ids := make([]uint64, len(candidates))
@@ -192,7 +202,7 @@ func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht
 		fixed[key] = int64(v * scale)
 	}
 	shard := dht.CountKeys(pe, fixed, route)
-	top := selectTopK(pe, shard, k, rng)
+	top := dht.SelectTopK(pe, shard, k, rng)
 	items := make([]ItemSum, len(top))
 	for i, kv := range top {
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) / scale}
@@ -218,57 +228,4 @@ func mapSize(m map[uint64]int64) int64 {
 
 func sumAllFloat(pe *comm.PE, v float64) float64 {
 	return coll.AllReduceScalar(pe, v, func(a, b float64) float64 { return a + b })
-}
-
-// selectTopK mirrors freq.selectTopK for count shards (duplicated to keep
-// the packages independent; the selection itself is Section 4.1).
-func selectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []dht.KV {
-	items := make([]dht.KV, 0, len(shard))
-	ords := make([]uint64, 0, len(shard))
-	for key, c := range shard {
-		items = append(items, dht.KV{Key: key, Count: c})
-		ords = append(ords, ^uint64(c))
-	}
-	total := coll.SumAll(pe, int64(len(items)))
-	if total == 0 {
-		return nil
-	}
-	if total <= int64(k) {
-		all := coll.AllGatherConcat(pe, items)
-		sortKVDesc(all)
-		return all
-	}
-	thr := sel.Kth(pe, ords, int64(k), rng)
-	thrCount := int64(^thr)
-	var selected []dht.KV
-	var ties int64
-	for _, it := range items {
-		if it.Count > thrCount {
-			selected = append(selected, it)
-		} else if it.Count == thrCount {
-			ties++
-		}
-	}
-	nAbove := coll.SumAll(pe, int64(len(selected)))
-	needTies := int64(k) - nAbove
-	prevTies := coll.ExScanSum(pe, ties)
-	take := min(max(needTies-prevTies, 0), ties)
-	for _, it := range items {
-		if it.Count == thrCount && take > 0 {
-			selected = append(selected, it)
-			take--
-		}
-	}
-	out := coll.AllGatherConcat(pe, selected)
-	sortKVDesc(out)
-	return out
-}
-
-func sortKVDesc(items []dht.KV) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Count != items[j].Count {
-			return items[i].Count > items[j].Count
-		}
-		return items[i].Key < items[j].Key
-	})
 }

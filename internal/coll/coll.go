@@ -606,37 +606,89 @@ func Scatterv[T any](pe *comm.PE, root int, parts [][]T) []T {
 	return mine
 }
 
-// AllGatherv collects every PE's slice on all PEs (indexed by rank). It is
-// realized as a gather to PE 0 followed by a broadcast of the flattened
-// assembly, which preserves the O(β·total + α log p) bound (with a
-// factor-2 volume constant; the paper's gossiping achieves the same
-// asymptotics). The flattening keeps the word metering honest: the
-// broadcast carries the actual payload, not slice headers. The returned
-// subslices view a broadcast buffer shared between PEs; treat them as
-// read-only.
-func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
-	parts := Gatherv(pe, 0, data)
+// bruckMsg is one dissemination round's payload: the concatenated data of
+// a contiguous run of blocks plus their individual lengths. The slices
+// are pooled buffers whose ownership travels with the message (pointers,
+// so the receiver can recycle them).
+type bruckMsg[T any] struct {
+	lens *[]int64
+	data *[]T
+}
+
+// allGatherBruck is the dissemination (Bruck-style gossiping) all-gather
+// engine: starting from its own block, every PE doubles its held run of
+// blocks per round by exchanging with partners at distance 2^i, so after
+// ⌈log₂ p⌉ rounds it holds all p blocks. Compared to the previous
+// gather+broadcast realization the bottleneck volume drops from the
+// root's Θ(total·log p) (the binomial broadcast resends the full
+// assembly to every child) to ≤ total + p length words per PE — the
+// paper's O(β·total + α log p) with the gossiping constant — and the
+// startup count is a uniform ⌈log₂ p⌉ per PE.
+//
+// Returns the receiver-local arena holding the blocks in shifted order
+// (rank, rank+1, …, rank+p−1 mod p) and the per-block lengths in that
+// order. Both are freshly allocated and caller-owned; nothing aliases
+// another PE's memory (each round physically copies payloads, which is
+// exactly what the word metering charges).
+func allGatherBruck[T any](pe *comm.PE, data []T) (arena []T, lens []int64) {
 	p := pe.P()
-	var flat []T
-	var lens []int64
-	if pe.Rank() == 0 {
-		lens = make([]int64, p)
-		var total int
-		for _, part := range parts {
-			total += len(part)
+	rank := pe.Rank()
+	tag := pe.NextCollTag()
+	ipool := commbuf.For[int64]()
+	dpool := commbuf.For[T]()
+	wpool := commbuf.For[bruckMsg[T]]()
+	lens = make([]int64, 1, p)
+	lens[0] = int64(len(data))
+	arena = make([]T, 0, 2*len(data)+8)
+	arena = append(arena, data...)
+	for d := 1; d < p; d <<= 1 {
+		dst := (rank - d + p) % p
+		src := (rank + d) % p
+		cnt := min(d, p-d)
+		var elems int64
+		for _, l := range lens[:cnt] {
+			elems += l
 		}
-		flat = make([]T, 0, total)
-		for i, part := range parts {
-			lens[i] = int64(len(part))
-			flat = append(flat, part...)
-		}
+		lp := ipool.Get(cnt)
+		copy(*lp, lens[:cnt])
+		dp := dpool.Get(int(elems))
+		copy(*dp, arena[:elems])
+		wp := wpool.Get(1)
+		(*wp)[0] = bruckMsg[T]{lens: lp, data: dp}
+		// One message per round: lengths ride along with the payload (both
+		// metered — the lengths are information the receiver needs), and a
+		// single send keeps the exchange deadlock-free for any ChanCap ≥ 1.
+		pe.Send(dst, tag, wp, int64(cnt)+elems*WordsOf[T]())
+		rxAny, _ := pe.Recv(src, tag)
+		rw := rxAny.(*[]bruckMsg[T])
+		rx := (*rw)[0]
+		lens = append(lens, (*rx.lens)...)
+		arena = append(arena, (*rx.data)...)
+		ipool.Put(rx.lens)
+		dpool.Put(rx.data)
+		(*rw)[0] = bruckMsg[T]{}
+		wpool.Put(rw)
 	}
-	lens = Broadcast(pe, 0, lens)
-	flat = Broadcast(pe, 0, flat)
+	return arena, lens
+}
+
+// AllGatherv collects every PE's slice on all PEs (indexed by rank), via
+// the dissemination all-gather (see allGatherBruck): volume ≤ total + p
+// length words per PE in ⌈log₂ p⌉ startups — the paper's gossiping bound,
+// half (or better) of the previous gather+broadcast realization. The
+// returned subslices view one receiver-local buffer; as before, treat
+// them as read-only (for p = 1 the result aliases data).
+func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
+	p := pe.P()
+	if p == 1 {
+		return [][]T{data}
+	}
+	arena, lens := allGatherBruck(pe, data)
 	out := make([][]T, p)
 	var off int64
-	for i := range out {
-		out[i] = flat[off : off+lens[i]]
+	for i := 0; i < p; i++ {
+		r := (pe.Rank() + i) % p
+		out[r] = arena[off : off+lens[i]]
 		off += lens[i]
 	}
 	return out
@@ -645,24 +697,22 @@ func AllGatherv[T any](pe *comm.PE, data []T) [][]T {
 // AllGatherConcat collects every PE's slice concatenated in rank order.
 // The result is owned by the caller (each PE gets its own copy).
 func AllGatherConcat[T any](pe *comm.PE, data []T) []T {
-	parts := Gatherv(pe, 0, data)
-	var flat []T
-	if pe.Rank() == 0 {
-		var total int
-		for _, part := range parts {
-			total += len(part)
-		}
-		flat = make([]T, 0, total)
-		for _, part := range parts {
-			flat = append(flat, part...)
-		}
+	p := pe.P()
+	if p == 1 {
+		return slices.Clone(data)
 	}
-	shared := Broadcast(pe, 0, flat)
-	// Every PE — the root included — returns a private copy: the broadcast
-	// buffer stays shared until the last PE has cloned, and there is no
-	// barrier here, so handing the root its own flat buffer would let its
-	// caller mutate while others still read (caught by the race detector).
-	return slices.Clone(shared)
+	arena, lens := allGatherBruck(pe, data)
+	// The arena starts at this PE's own block; rotate into rank order.
+	// Block of rank 0 sits at held index i0 = p − rank (mod p).
+	i0 := (p - pe.Rank()) % p
+	var off0 int64
+	for _, l := range lens[:i0] {
+		off0 += l
+	}
+	out := make([]T, len(arena))
+	n := copy(out, arena[off0:])
+	copy(out[n:], arena[:off0])
+	return out
 }
 
 // AllToAll delivers parts[i] from every PE to PE i; the result is indexed

@@ -191,6 +191,45 @@ func TestAllGatherConcat(t *testing.T) {
 	})
 }
 
+func TestAllGatherDisseminationBounds(t *testing.T) {
+	// The Bruck all-gather must cost ⌈log₂ p⌉ startups per PE and a
+	// bottleneck volume of ≤ total + p length words — half (or better) of
+	// the old gather+broadcast, whose root resent the full assembly to
+	// every binomial child (Θ(total·log p) at the bottleneck).
+	const p, blockLen = 64, 4
+	m := comm.NewMachine(comm.DefaultConfig(p))
+	m.MustRun(func(pe *comm.PE) {
+		data := make([]int64, blockLen)
+		for i := range data {
+			data[i] = int64(pe.Rank())
+		}
+		AllGatherConcat(pe, data)
+	})
+	s := m.Stats()
+	if s.MaxSends > 6 { // log2(64)
+		t.Errorf("all-gather bottleneck startups = %d, want <= 6", s.MaxSends)
+	}
+	total := int64(p * blockLen)
+	if got, bound := s.BottleneckWords(), total+p; got > bound {
+		t.Errorf("all-gather bottleneck volume = %d words, want <= total+p = %d", got, bound)
+	}
+}
+
+func TestAllGatherConcatOwnedResult(t *testing.T) {
+	// The concat result is caller-owned: mutating it must not corrupt any
+	// other PE's view or the caller's input.
+	runOn(t, 4, func(pe *comm.PE) {
+		in := []int{pe.Rank()}
+		got := AllGatherConcat(pe, in)
+		for i := range got {
+			got[i] = -1
+		}
+		if in[0] != pe.Rank() {
+			t.Errorf("rank %d: input mutated through result", pe.Rank())
+		}
+	})
+}
+
 func TestAllToAll(t *testing.T) {
 	for _, p := range peCounts {
 		runOn(t, p, func(pe *comm.PE) {

@@ -1,6 +1,7 @@
 // Package comm provides the distributed-machine substrate the paper's
 // algorithms run on: p processing elements (PEs) executing the same SPMD
-// program as goroutines, exchanging point-to-point messages over channels.
+// program as goroutines, exchanging point-to-point messages through a
+// pluggable message runtime (see Backend).
 //
 // The package meters every message in machine words and startups, and keeps
 // a per-PE "LogP-lite" virtual clock so the paper's cost model
@@ -14,14 +15,55 @@
 // with the resulting time; Recv advances the receiver's clock to the
 // maximum of its own clock and the stamp. Local computation is not added
 // to the virtual clock.
+//
+// # Backends
+//
+// Two interchangeable message runtimes implement the same Send/Recv
+// semantics (per-sender FIFO delivery, abort propagation, identical
+// metering — pinned by the differential tests in internal/experiments):
+//
+//   - BackendChannelMatrix (default): one buffered channel per ordered PE
+//     pair and p goroutines spawned per Run. Simple, but queue memory is
+//     O(p²·ChanCap) and each Run pays the goroutine-spawn floor.
+//   - BackendMailbox: one MPSC mailbox per receiver (internal/mailbox) —
+//     O(p) queue memory — plus a persistent worker pool created once per
+//     Machine and incrementally folded aggregate statistics, so Stats()
+//     is O(1) instead of an O(p) scan. This is the runtime that scales to
+//     p ≥ 4096 (see the scaling suite in internal/experiments).
 package comm
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
+	"unsafe"
+
+	"commtopk/internal/mailbox"
 )
+
+// Backend selects the message runtime of a Machine.
+type Backend int
+
+const (
+	// BackendChannelMatrix is the original engine: a buffered channel per
+	// ordered PE pair, p goroutines spawned per Run, Stats by O(p) scan.
+	BackendChannelMatrix Backend = iota
+	// BackendMailbox is the scalable engine: per-receiver MPSC mailboxes,
+	// a persistent PE worker pool, and O(1) aggregate Stats.
+	BackendMailbox
+)
+
+// String names the backend as used in benchmark reports and CLI flags.
+func (b Backend) String() string {
+	switch b {
+	case BackendMailbox:
+		return "mailbox"
+	default:
+		return "chanmatrix"
+	}
+}
 
 // Tag identifies the protocol step a message belongs to. Collectives draw
 // tags from a per-PE sequence that stays synchronized because every PE
@@ -38,10 +80,15 @@ type Config struct {
 	Alpha float64
 	// Beta is the modeled per-word transfer cost (same units as Alpha).
 	Beta float64
-	// ChanCap is the per-ordered-pair channel buffer capacity.
+	// ChanCap is the per-ordered-pair channel buffer capacity
+	// (BackendChannelMatrix only; mailbox intake is unbounded and
+	// flow-controlled by the SPMD protocol structure).
 	ChanCap int
 	// Seed seeds the per-PE deterministic RNG streams (see NewPERandSeed).
 	Seed int64
+	// Backend selects the message runtime. The zero value is the original
+	// channel matrix.
+	Backend Backend
 }
 
 // DefaultConfig returns a machine configuration with p PEs and the default
@@ -49,6 +96,37 @@ type Config struct {
 // cluster-interconnect ratio of startup latency to per-word bandwidth).
 func DefaultConfig(p int) Config {
 	return Config{P: p, Alpha: 1000, Beta: 1, ChanCap: 64, Seed: 1}
+}
+
+// MailboxConfig is DefaultConfig on the mailbox backend — the
+// configuration for machines beyond the channel matrix's memory ceiling.
+func MailboxConfig(p int) Config {
+	cfg := DefaultConfig(p)
+	cfg.Backend = BackendMailbox
+	return cfg
+}
+
+// QueueBytes estimates the message-queue memory NewMachine allocates up
+// front for cfg: the channel matrix pays p² buffered channels, the
+// mailbox backend p empty intake boxes. The scaling harness uses the
+// estimate as its memory-budget guard (refusing configurations that could
+// not complete) and tests pin the O(p) vs O(p²) growth.
+func QueueBytes(cfg Config) int64 {
+	p := int64(cfg.P)
+	switch cfg.Backend {
+	case BackendMailbox:
+		const boxBytes = int64(unsafe.Sizeof(mailbox.Box{})) + 16 // box + slice slot + pointer
+		return p * boxBytes
+	default:
+		chanCap := int64(cfg.ChanCap)
+		if chanCap <= 0 {
+			chanCap = 64
+		}
+		// hchan header (~96 B) + ring buffer of message structs.
+		const hchanBytes = 96
+		msgBytes := int64(unsafe.Sizeof(message{}))
+		return p * p * (hchanBytes + chanCap*msgBytes)
+	}
 }
 
 type message struct {
@@ -62,8 +140,23 @@ type message struct {
 // SPMD programs with Run, and read aggregate statistics with Stats.
 type Machine struct {
 	cfg   Config
-	chans [][]chan message // chans[src][dst]
+	chans [][]chan message // channel-matrix backend: chans[src][dst]
+	boxes []*mailbox.Box   // mailbox backend: boxes[dst]
 	pes   []*PE
+
+	// Mailbox-backend run machinery: a persistent worker pool (created
+	// lazily on the first Run, torn down by Close or the finalizer), the
+	// per-rank exec wrapper (one closure per machine, so steady-state Run
+	// allocates nothing), and the body it dispatches.
+	workers   *mailbox.Workers
+	exec      func(rank int)
+	runBody   func(pe *PE)
+	closeOnce sync.Once
+
+	// Mailbox-backend aggregate statistics, folded in by each worker when
+	// its body completes (O(1) Stats instead of an O(p) scan).
+	aggMu sync.Mutex
+	agg   Stats
 
 	abortOnce sync.Once
 	abort     chan struct{}
@@ -81,18 +174,33 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:   cfg,
-		chans: make([][]chan message, cfg.P),
 		pes:   make([]*PE, cfg.P),
 		abort: make(chan struct{}),
 	}
-	for i := 0; i < cfg.P; i++ {
-		m.chans[i] = make([]chan message, cfg.P)
-		for j := 0; j < cfg.P; j++ {
-			m.chans[i][j] = make(chan message, cfg.ChanCap)
+	if cfg.Backend == BackendMailbox {
+		m.boxes = make([]*mailbox.Box, cfg.P)
+		for i := range m.boxes {
+			m.boxes[i] = mailbox.New()
+		}
+	} else {
+		m.chans = make([][]chan message, cfg.P)
+		for i := 0; i < cfg.P; i++ {
+			m.chans[i] = make([]chan message, cfg.P)
+			for j := 0; j < cfg.P; j++ {
+				m.chans[i][j] = make(chan message, cfg.ChanCap)
+			}
 		}
 	}
 	for i := 0; i < cfg.P; i++ {
-		m.pes[i] = &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
+		pe := &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
+		if m.boxes != nil {
+			pe.box = m.boxes[i]
+			pe.sendBoxes = m.boxes
+		}
+		m.pes[i] = pe
+	}
+	if cfg.Backend == BackendMailbox {
+		m.exec = m.execRank
 	}
 	return m
 }
@@ -103,6 +211,24 @@ func (m *Machine) P() int { return m.cfg.P }
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Close releases the persistent worker goroutines of a mailbox-backend
+// machine. It is optional — an unreachable machine's workers are released
+// by a finalizer — but deterministic teardown matters at large p (the
+// scaling harness creates machines with tens of thousands of workers).
+// The machine must not be used after Close. No-op on the channel matrix.
+func (m *Machine) Close() {
+	runtime.SetFinalizer(m, nil)
+	m.shutdown()
+}
+
+func (m *Machine) shutdown() {
+	m.closeOnce.Do(func() {
+		if m.workers != nil {
+			m.workers.Close()
+		}
+	})
+}
+
 // abortErr records the first error and releases all blocked PEs.
 func (m *Machine) abortErr(err error) {
 	m.errMu.Lock()
@@ -110,7 +236,12 @@ func (m *Machine) abortErr(err error) {
 		m.err = err
 	}
 	m.errMu.Unlock()
-	m.abortOnce.Do(func() { close(m.abort) })
+	m.abortOnce.Do(func() {
+		close(m.abort)
+		for _, b := range m.boxes {
+			b.Interrupt()
+		}
+	})
 }
 
 // ErrAborted is the panic value delivered to PEs blocked in Send/Recv when
@@ -124,32 +255,52 @@ func (abortedError) Error() string { return "comm: aborted because another PE fa
 // first panic as an error. Run may be called repeatedly on the same
 // machine; communication state must be drained (which it is whenever a
 // run completes without error, since tags are checked).
+//
+// On the channel matrix, each Run spawns p goroutines. On the mailbox
+// backend the first Run starts the persistent worker pool and subsequent
+// runs reuse it, allocation-free in steady state (pinned by a test).
 func (m *Machine) Run(body func(pe *PE)) error {
-	var wg sync.WaitGroup
-	wg.Add(m.cfg.P)
-	for i := 0; i < m.cfg.P; i++ {
-		pe := m.pes[i]
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(abortedError); ok {
-						return // secondary failure; first cause already recorded
+	if m.cfg.Backend == BackendMailbox {
+		if m.workers == nil {
+			m.workers = mailbox.NewWorkers(m.cfg.P)
+			// A parked worker references only its kick channel, never the
+			// machine, so the finalizer fires once callers drop the machine
+			// and releases the pool.
+			runtime.SetFinalizer(m, (*Machine).shutdown)
+		}
+		m.runBody = body
+		m.workers.Run(m.exec)
+		m.runBody = nil
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(m.cfg.P)
+		for i := 0; i < m.cfg.P; i++ {
+			pe := m.pes[i]
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(abortedError); ok {
+							return // secondary failure; first cause already recorded
+						}
+						m.abortErr(fmt.Errorf("comm: PE %d panicked: %v\n%s", pe.rank, r, debug.Stack()))
 					}
-					m.abortErr(fmt.Errorf("comm: PE %d panicked: %v\n%s", pe.rank, r, debug.Stack()))
-				}
+				}()
+				body(pe)
 			}()
-			body(pe)
-		}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	m.errMu.Lock()
 	err := m.err
 	m.err = nil
 	m.errMu.Unlock()
 	if err != nil {
-		// The machine's channels may hold stale messages after an abort;
+		// The machine's queues may hold stale messages after an abort;
 		// drain them so a subsequent Run starts clean.
+		for _, b := range m.boxes {
+			b.Reset()
+		}
 		for i := range m.chans {
 			for j := range m.chans[i] {
 				for len(m.chans[i][j]) > 0 {
@@ -161,6 +312,42 @@ func (m *Machine) Run(body func(pe *PE)) error {
 		m.abortOnce = sync.Once{}
 	}
 	return err
+}
+
+// execRank is the mailbox backend's per-rank run wrapper: dispatch the
+// body, convert panics into machine aborts, and fold this PE's counter
+// deltas into the aggregate. Created once per machine so Run stays
+// allocation-free.
+func (m *Machine) execRank(rank int) {
+	pe := m.pes[rank]
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortedError); !ok {
+				m.abortErr(fmt.Errorf("comm: PE %d panicked: %v\n%s", pe.rank, r, debug.Stack()))
+			}
+		}
+		m.foldStats(pe)
+	}()
+	m.runBody(pe)
+}
+
+// foldStats folds pe's monotone counters into the machine aggregate —
+// the mailbox backend's incremental statistics. Deltas (for the totals)
+// use per-PE shadows of the last folded values; the maxima need none
+// because per-PE counters only grow between ResetStats calls.
+func (m *Machine) foldStats(pe *PE) {
+	m.aggMu.Lock()
+	m.agg.TotalWords += pe.sentWords - pe.foldedSentWords
+	m.agg.TotalSends += pe.sends - pe.foldedSends
+	pe.foldedSentWords = pe.sentWords
+	pe.foldedSends = pe.sends
+	m.agg.MaxSentWords = max(m.agg.MaxSentWords, pe.sentWords)
+	m.agg.MaxRecvWords = max(m.agg.MaxRecvWords, pe.recvWords)
+	m.agg.MaxSends = max(m.agg.MaxSends, pe.sends)
+	if pe.clock > m.agg.MaxClock {
+		m.agg.MaxClock = pe.clock
+	}
+	m.aggMu.Unlock()
 }
 
 // MustRun is Run but panics on error. Intended for examples and benches.
@@ -177,9 +364,13 @@ func (m *Machine) MustRun(body func(pe *PE)) {
 func (m *Machine) ResetStats() {
 	for _, pe := range m.pes {
 		pe.sentWords, pe.recvWords, pe.sends, pe.recvs = 0, 0, 0, 0
+		pe.foldedSentWords, pe.foldedSends = 0, 0
 		pe.clock = 0
 		pe.waitNs = 0
 	}
+	m.aggMu.Lock()
+	m.agg = Stats{}
+	m.aggMu.Unlock()
 }
 
 // Stats aggregates communication counters across PEs after a Run.
@@ -204,8 +395,16 @@ func (s Stats) BottleneckWords() int64 {
 	return max(s.MaxSentWords, s.MaxRecvWords)
 }
 
-// Stats returns aggregate counters. Only meaningful between Runs.
+// Stats returns aggregate counters. Only meaningful between Runs. On the
+// mailbox backend this reads the incrementally folded aggregate in O(1);
+// the channel matrix scans its p PEs.
 func (m *Machine) Stats() Stats {
+	if m.cfg.Backend == BackendMailbox {
+		m.aggMu.Lock()
+		s := m.agg
+		m.aggMu.Unlock()
+		return s
+	}
 	var s Stats
 	for _, pe := range m.pes {
 		s.TotalWords += pe.sentWords
@@ -233,12 +432,23 @@ type PE struct {
 	alpha float64
 	beta  float64
 
+	// Mailbox backend: box is this PE's own intake, sendBoxes the
+	// machine-wide slice indexed by destination. Both nil on the channel
+	// matrix (the Send/Recv dispatch tests box/sendBoxes, not config).
+	box       *mailbox.Box
+	sendBoxes []*mailbox.Box
+
 	clock     float64
 	sentWords int64
 	recvWords int64
 	sends     int64
 	recvs     int64
 	waitNs    int64
+
+	// foldedSentWords/foldedSends shadow the last values folded into the
+	// machine aggregate (mailbox backend incremental stats).
+	foldedSentWords int64
+	foldedSends     int64
 
 	collSeq uint64
 
@@ -331,6 +541,14 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 	pe.clock += pe.alpha + pe.beta*float64(words)
 	pe.sentWords += words
 	pe.sends++
+	if pe.sendBoxes != nil {
+		// Mailbox backend: intake is unbounded, so sends never block and
+		// need no abort watch.
+		pe.sendBoxes[dst].Put(mailbox.Msg{
+			Src: pe.rank, Tag: uint64(tag), Words: words, Depart: pe.clock, Data: data,
+		})
+		return
+	}
 	msg := message{tag: tag, words: words, depart: pe.clock, data: data}
 	// Fast path: the buffered channel has space, so no abort watch and no
 	// wait-time clock reads are needed.
@@ -354,18 +572,34 @@ func (pe *PE) Recv(src int, tag Tag) (any, int64) {
 		panic(fmt.Sprintf("comm: PE %d: recv from invalid rank %d", pe.rank, src))
 	}
 	var msg message
-	// Fast path: a message is already queued, so no abort watch and no
-	// wait-time clock reads are needed.
-	select {
-	case msg = <-pe.m.chans[src][pe.rank]:
-	default:
-		t0 := time.Now()
+	if pe.box != nil {
+		// Fast path: a matching message is already queued, so no wait-time
+		// clock reads are needed. Abort propagation goes through the box's
+		// interrupt (see Machine.abortErr), not the abort channel.
+		mm, ok := pe.box.TryTake(src)
+		if !ok {
+			t0 := time.Now()
+			mm, ok = pe.box.Take(src)
+			pe.waitNs += time.Since(t0).Nanoseconds()
+			if !ok {
+				panic(abortedError{})
+			}
+		}
+		msg = message{tag: Tag(mm.Tag), words: mm.Words, depart: mm.Depart, data: mm.Data}
+	} else {
+		// Fast path: a message is already queued, so no abort watch and no
+		// wait-time clock reads are needed.
 		select {
 		case msg = <-pe.m.chans[src][pe.rank]:
-		case <-pe.m.abort:
-			panic(abortedError{})
+		default:
+			t0 := time.Now()
+			select {
+			case msg = <-pe.m.chans[src][pe.rank]:
+			case <-pe.m.abort:
+				panic(abortedError{})
+			}
+			pe.waitNs += time.Since(t0).Nanoseconds()
 		}
-		pe.waitNs += time.Since(t0).Nanoseconds()
 	}
 	if msg.tag != tag {
 		panic(fmt.Sprintf("comm: PE %d: tag mismatch receiving from %d: got %d want %d (desynchronized SPMD program)",

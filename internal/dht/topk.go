@@ -1,0 +1,66 @@
+package dht
+
+import (
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// SortKVDesc orders by count descending, key ascending (deterministic).
+func SortKVDesc(items []KV) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+}
+
+// SelectTopK returns the k entries with the highest counts from a
+// DHT-sharded count table, on all PEs, using the unsorted selection
+// algorithm of Section 4.1 on the counts (descending order is realized by
+// complementing the count). Ties at the threshold are split
+// deterministically — across PEs with a prefix sum, within a PE by
+// ascending key, so map iteration order cannot leak into the result —
+// and exactly k entries are returned (fewer if fewer exist globally).
+// Shared by the frequent-objects (§7) and sum-aggregation (§8) layers.
+// Collective.
+func SelectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []KV {
+	items := make([]KV, 0, len(shard))
+	ords := make([]uint64, 0, len(shard))
+	for key, c := range shard {
+		items = append(items, KV{Key: key, Count: c})
+		ords = append(ords, ^uint64(c))
+	}
+	total := coll.SumAll(pe, int64(len(items)))
+	if total == 0 {
+		return nil
+	}
+	if total <= int64(k) {
+		all := coll.AllGatherConcat(pe, items)
+		SortKVDesc(all)
+		return all
+	}
+	thr := sel.Kth(pe, ords, int64(k), rng)
+	thrCount := int64(^thr)
+	var selected, tied []KV
+	for _, it := range items {
+		if it.Count > thrCount {
+			selected = append(selected, it)
+		} else if it.Count == thrCount {
+			tied = append(tied, it)
+		}
+	}
+	nAbove := coll.SumAll(pe, int64(len(selected)))
+	needTies := int64(k) - nAbove
+	prevTies := coll.ExScanSum(pe, int64(len(tied)))
+	take := min(max(needTies-prevTies, 0), int64(len(tied)))
+	sort.Slice(tied, func(i, j int) bool { return tied[i].Key < tied[j].Key })
+	selected = append(selected, tied[:take]...)
+	out := coll.AllGatherConcat(pe, selected)
+	SortKVDesc(out)
+	return out
+}

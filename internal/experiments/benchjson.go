@@ -36,6 +36,17 @@ type BenchResult struct {
 	StartsPerPE float64 `json:"starts_per_pe"`
 	// MaxClock is the modeled α/β critical-path time per op.
 	MaxClock float64 `json:"max_clock"`
+	// P and Backend identify scaling-suite entries (zero/empty for the
+	// fixed suite, whose configurations are part of the name).
+	P       int    `json:"p,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// MachineBytes is the measured live-heap cost of constructing the
+	// machine (message queues; worker stacks are not heap).
+	MachineBytes float64 `json:"machine_bytes,omitempty"`
+	// Skipped records why a configuration was refused (e.g. the channel
+	// matrix's estimated queue memory exceeding the harness budget) — the
+	// entry then carries no measurements.
+	Skipped string `json:"skipped,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_PR<N>.json.
@@ -61,41 +72,32 @@ type benchCase struct {
 // benchSuite is the fixed benchmark set of the pipeline. It mirrors the
 // root bench_test.go families that gate acceptance (Table 1 unsorted
 // selection and the substrate collectives) at the same configurations.
+// Every case exists on both backends: the original names keep the
+// channel matrix (so they stay comparable against earlier reports) and
+// the "/mailbox" twins measure the scalable runtime on identical work.
 func benchSuite() []benchCase {
-	cases := []benchCase{
-		{name: "Table1/UnsortedSelection", run: func(b *testing.B) *comm.Machine {
+	var cases []benchCase
+	selCfg := func(name string, cfg comm.Config, kth func(pe *comm.PE, local []uint64, k int64, rng *xrand.RNG) uint64) {
+		cases = append(cases, benchCase{name: name, run: func(b *testing.B) *comm.Machine {
 			const p, perPE = 16, 1 << 16
 			locals := make([][]uint64, p)
 			for r := 0; r < p; r++ {
 				locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
 			}
-			m := comm.NewMachine(comm.DefaultConfig(p))
+			m := comm.NewMachine(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				seed := int64(i)
 				m.MustRun(func(pe *comm.PE) {
-					sel.Kth(pe, locals[pe.Rank()], int64(p*perPE/2), xrand.NewPE(seed, pe.Rank()))
+					kth(pe, locals[pe.Rank()], int64(p*perPE/2), xrand.NewPE(seed, pe.Rank()))
 				})
 			}
 			return m
-		}},
-		{name: "Table1/UnsortedSelectionOldRandomized", run: func(b *testing.B) *comm.Machine {
-			const p, perPE = 16, 1 << 16
-			locals := make([][]uint64, p)
-			for r := 0; r < p; r++ {
-				locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
-			}
-			m := comm.NewMachine(comm.DefaultConfig(p))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				seed := int64(i)
-				m.MustRun(func(pe *comm.PE) {
-					sel.KthRandomized(pe, locals[pe.Rank()], int64(p*perPE/2), xrand.NewPE(seed, pe.Rank()))
-				})
-			}
-			return m
-		}},
+		}})
 	}
+	selCfg("Table1/UnsortedSelection", comm.DefaultConfig(16), sel.Kth[uint64])
+	selCfg("Table1/UnsortedSelection/mailbox", comm.MailboxConfig(16), sel.Kth[uint64])
+	selCfg("Table1/UnsortedSelectionOldRandomized", comm.DefaultConfig(16), sel.KthRandomized[uint64])
 	subs := []struct {
 		name string
 		body func(pe *comm.PE)
@@ -108,22 +110,31 @@ func benchSuite() []benchCase {
 	}
 	for _, s := range subs {
 		body := s.body
-		cases = append(cases, benchCase{
-			name: "Substrate/Collectives/" + s.name,
-			run: func(b *testing.B) *comm.Machine {
-				m := comm.NewMachine(comm.DefaultConfig(64))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					m.MustRun(body)
-				}
-				return m
-			},
-		})
+		for _, backend := range []comm.Backend{comm.BackendChannelMatrix, comm.BackendMailbox} {
+			name := "Substrate/Collectives/" + s.name
+			cfg := comm.DefaultConfig(64)
+			if backend == comm.BackendMailbox {
+				name += "/mailbox"
+				cfg.Backend = comm.BackendMailbox
+			}
+			cases = append(cases, benchCase{
+				name: name,
+				run: func(b *testing.B) *comm.Machine {
+					m := comm.NewMachine(cfg)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m.MustRun(body)
+					}
+					return m
+				},
+			})
+		}
 	}
 	return cases
 }
 
-// RunBenchSuite executes the pipeline suite and returns its measurements.
+// RunBenchSuite executes the pipeline suite — the fixed benchmark set
+// followed by the large-p scaling suite — and returns its measurements.
 // progress (optional) receives one line per finished benchmark.
 func RunBenchSuite(progress func(string)) []BenchResult {
 	var out []BenchResult
@@ -133,6 +144,12 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			if mm := c.run(b); mm != nil {
+				if m != nil {
+					// testing.Benchmark calls run once per trial; release the
+					// previous trial's machine (and its worker pool)
+					// deterministically instead of leaving it to the finalizer.
+					m.Close()
+				}
 				m = mm
 				n = b.N
 			}
@@ -149,6 +166,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 			res.WordsPerPE = float64(s.BottleneckWords()) / float64(n)
 			res.StartsPerPE = float64(s.MaxSends) / float64(n)
 			res.MaxClock = s.MaxClock / float64(n)
+			m.Close()
 		}
 		out = append(out, res)
 		if progress != nil {
@@ -156,6 +174,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 				c.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp))
 		}
 	}
+	out = append(out, ScalingSuite(ScalingPList(1<<14), ScalingMemBudgetBytes, progress)...)
 	return out
 }
 

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// Backend differential coverage: the mailbox runtime must be a bit-exact
+// drop-in for the channel matrix. Every operation of the collective suite
+// plus unsorted selection runs on both backends with equal seeds; the
+// per-PE results AND the metered statistics (words/PE, startups/PE, the
+// modeled clock) must match exactly — the metering happens above the
+// transport, and both transports preserve per-sender FIFO order, so any
+// divergence is a runtime bug.
+
+// diffOp is one differentially tested operation: run returns this PE's
+// result as a comparable value.
+type diffOp struct {
+	name string
+	run  func(pe *comm.PE, seed int64) any
+}
+
+func diffOps(perPE int) []diffOp {
+	return []diffOp{
+		{"Broadcast", func(pe *comm.PE, seed int64) any {
+			var data []int64
+			if pe.Rank() == 0 {
+				data = []int64{seed, seed * 3, 42}
+			}
+			got := coll.Broadcast(pe, 0, data)
+			out := make([]int64, len(got))
+			copy(out, got)
+			return out
+		}},
+		{"AllReduceVec", func(pe *comm.PE, seed int64) any {
+			x := []int64{int64(pe.Rank()) + seed, 1, int64(pe.Rank() * pe.Rank())}
+			return coll.AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+		}},
+		{"AllReduceLong", func(pe *comm.PE, seed int64) any {
+			x := make([]int64, 4*pe.P()+3)
+			for i := range x {
+				x[i] = seed + int64(pe.Rank()*len(x)+i)
+			}
+			return coll.AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+		}},
+		{"ExScanSum", func(pe *comm.PE, seed int64) any {
+			return coll.ExScanSum(pe, int64(pe.Rank())+seed)
+		}},
+		{"InScan", func(pe *comm.PE, seed int64) any {
+			return coll.InScan(pe, []int64{int64(pe.Rank()) + seed}, func(a, b int64) int64 { return a + b })
+		}},
+		{"GathervScatterv", func(pe *comm.PE, seed int64) any {
+			data := make([]int64, pe.Rank()%3+1)
+			for i := range data {
+				data[i] = seed + int64(pe.Rank()*10+i)
+			}
+			parts := coll.Gatherv(pe, 0, data)
+			back := coll.Scatterv(pe, 0, parts)
+			out := make([]int64, len(back))
+			copy(out, back)
+			return out
+		}},
+		{"AllGatherConcat", func(pe *comm.PE, seed int64) any {
+			return coll.AllGatherConcat(pe, []int64{int64(pe.Rank()) + seed, seed})
+		}},
+		{"AllGathervRagged", func(pe *comm.PE, seed int64) any {
+			data := make([]int64, pe.Rank()%4)
+			for i := range data {
+				data[i] = seed + int64(pe.Rank()+i)
+			}
+			views := coll.AllGatherv(pe, data)
+			var flat []int64
+			for _, v := range views {
+				flat = append(flat, v...)
+			}
+			return flat
+		}},
+		{"AllToAll", func(pe *comm.PE, seed int64) any {
+			parts := make([][]int64, pe.P())
+			for d := range parts {
+				parts[d] = []int64{seed + int64(pe.Rank()*1000+d)}
+			}
+			got := coll.AllToAll(pe, parts)
+			var flat []int64
+			for _, part := range got {
+				flat = append(flat, part...)
+			}
+			return flat
+		}},
+		{"HypercubeA2A", func(pe *comm.PE, seed int64) any {
+			items := make([]coll.Routed[int64], pe.P())
+			for d := range items {
+				items[d] = coll.Routed[int64]{Dest: d, Payload: seed + int64(pe.Rank())}
+			}
+			got := coll.AllToAllCombine(pe, items, nil)
+			var sum int64
+			for _, it := range got {
+				sum += it.Payload
+			}
+			return sum
+		}},
+		{"SelKth", func(pe *comm.PE, seed int64) any {
+			local := gen.SelectionInput(xrand.NewPE(seed, pe.Rank()), perPE, 12)
+			n := int64(pe.P() * perPE)
+			return sel.Kth(pe, local, n/2, xrand.NewPE(seed+7, pe.Rank()))
+		}},
+		{"SelSmallestK", func(pe *comm.PE, seed int64) any {
+			local := gen.SelectionInput(xrand.NewPE(seed+1, pe.Rank()), perPE, 12)
+			out := sel.SmallestK(pe, local, int64(pe.P()*4), xrand.NewPE(seed+9, pe.Rank()))
+			// Order within a PE is unspecified but deterministic per run;
+			// normalize by summing (the multiset is what is pinned).
+			var sum uint64
+			for _, v := range out {
+				sum += v
+			}
+			return []any{len(out), sum}
+		}},
+	}
+}
+
+// runDiffSuite executes all ops on one machine, capturing per-PE results
+// and per-op stats (ResetStats between ops isolates each op's metering).
+func runDiffSuite(t *testing.T, cfg comm.Config, seed int64, perPE int) (results [][]any, stats []comm.Stats) {
+	t.Helper()
+	m := comm.NewMachine(cfg)
+	defer m.Close()
+	ops := diffOps(perPE)
+	results = make([][]any, len(ops))
+	for i := range results {
+		results[i] = make([]any, cfg.P)
+	}
+	for i, op := range ops {
+		m.ResetStats()
+		i := i
+		op := op
+		if err := m.Run(func(pe *comm.PE) {
+			results[i][pe.Rank()] = op.run(pe, seed)
+		}); err != nil {
+			t.Fatalf("%s on %s: %v", op.name, cfg.Backend, err)
+		}
+		stats = append(stats, m.Stats())
+	}
+	return results, stats
+}
+
+func TestBackendDifferential(t *testing.T) {
+	const perPE = 1 << 10
+	for _, p := range []int{4, 16, 64} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			seed := int64(1000 + p)
+			chanRes, chanStats := runDiffSuite(t, comm.DefaultConfig(p), seed, perPE)
+			boxRes, boxStats := runDiffSuite(t, comm.MailboxConfig(p), seed, perPE)
+			ops := diffOps(perPE)
+			for i, op := range ops {
+				if !reflect.DeepEqual(chanRes[i], boxRes[i]) {
+					t.Errorf("%s: results diverge between backends", op.name)
+				}
+				if chanStats[i] != boxStats[i] {
+					t.Errorf("%s: stats diverge:\n  chanmatrix: %+v\n  mailbox:    %+v",
+						op.name, chanStats[i], boxStats[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBackendDifferentialRepeatedRuns pins cross-run state handling: tag
+// sequences, scratch stores and the persistent worker pool must leave the
+// machines equivalent after many reuse cycles.
+func TestBackendDifferentialRepeatedRuns(t *testing.T) {
+	const p, rounds = 8, 5
+	mc := comm.NewMachine(comm.DefaultConfig(p))
+	mb := comm.NewMachine(comm.MailboxConfig(p))
+	defer mb.Close()
+	for r := 0; r < rounds; r++ {
+		var resC, resB [p]int64
+		mc.MustRun(func(pe *comm.PE) {
+			resC[pe.Rank()] = coll.SumAll(pe, int64(pe.Rank()+r)) + coll.ExScanSum(pe, int64(r))
+		})
+		mb.MustRun(func(pe *comm.PE) {
+			resB[pe.Rank()] = coll.SumAll(pe, int64(pe.Rank()+r)) + coll.ExScanSum(pe, int64(r))
+		})
+		if resC != resB {
+			t.Fatalf("round %d: results diverge: %v vs %v", r, resC, resB)
+		}
+		if sc, sb := mc.Stats(), mb.Stats(); sc != sb {
+			t.Fatalf("round %d: cumulative stats diverge:\n  %+v\n  %+v", r, sc, sb)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// The scaling suite: the collective suite and Table-1 unsorted selection
+// at p = 256…16384 — PE counts where the paper's O(α log p) startup
+// bounds become visible, and where the channel-matrix backend's
+// O(p²·ChanCap) queue memory exceeds any sane harness budget (p = 4096
+// alone would need ~50 GiB of channel buffers). Each configuration is
+// guarded by comm.QueueBytes against ScalingMemBudgetBytes: over-budget
+// machines are recorded as skipped with the estimate, not attempted —
+// that refusal is itself the measurement the mailbox backend exists to
+// change.
+
+// ScalingMemBudgetBytes is the harness memory budget for up-front
+// message-queue allocation: 1.5 GiB, roomy for everything O(p) and
+// unreachable for the channel matrix beyond p ≈ 512.
+const ScalingMemBudgetBytes int64 = 3 << 29
+
+// ScalingPList returns the scaling-suite PE counts up to pmax.
+func ScalingPList(pmax int) []int {
+	var out []int
+	for _, p := range []int{256, 1024, 4096, 16384} {
+		if p <= pmax {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// scalingSelPerPE keeps the selection workload's total memory O(p·perPE)
+// manageable at p = 16384 (16384 × 1024 × 8 B = 128 MiB of input).
+const scalingSelPerPE = 1 << 10
+
+// scalingCollectivesBody is one op of the collective scaling workload:
+// the O(log p)-startup collectives (broadcast, all-reduce, prefix sum,
+// barrier) whose memory footprint stays O(p) at any scale. The
+// O(p·total)-memory gathers are exercised by the fixed suite at p = 64
+// and by the selection workload's internal sample gathers.
+func scalingCollectivesBody(pe *comm.PE) {
+	coll.Broadcast(pe, 0, []int64{1, 2, 3, 4})
+	coll.AllReduceScalar(pe, int64(pe.Rank()), func(a, b int64) int64 { return a + b })
+	coll.ExScanSum(pe, int64(pe.Rank()))
+	coll.Barrier(pe)
+}
+
+// heapLive settles the heap and returns live bytes. Two GC cycles: the
+// first runs finalizers of earlier machines (releasing their worker
+// pools), the second collects what the finalizers unpinned.
+func heapLive() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// measureScaling times iters runs of body on m (after one warmup run)
+// and fills the communication metrics from the machine's stats.
+func measureScaling(m *comm.Machine, iters int, body func(pe *comm.PE)) (nsPerOp float64, s comm.Stats) {
+	m.MustRun(body) // warmup: worker spawn, pool and scratch warm
+	m.ResetStats()
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		m.MustRun(body)
+	}
+	elapsed := time.Since(t0)
+	s = m.Stats()
+	s.TotalWords /= int64(iters)
+	s.TotalSends /= int64(iters)
+	s.MaxSentWords /= int64(iters)
+	s.MaxRecvWords /= int64(iters)
+	s.MaxSends /= int64(iters)
+	s.MaxClock /= float64(iters)
+	return float64(elapsed.Nanoseconds()) / float64(iters), s
+}
+
+// ScalingSuite runs the scaling workloads for every p in pList on both
+// backends, refusing configurations whose estimated queue memory exceeds
+// budget. progress (optional) receives one line per entry.
+func ScalingSuite(pList []int, budget int64, progress func(string)) []BenchResult {
+	var out []BenchResult
+	for _, p := range pList {
+		for _, backend := range []comm.Backend{comm.BackendMailbox, comm.BackendChannelMatrix} {
+			for _, r := range scalingRun(p, backend, budget) {
+				out = append(out, r)
+				if progress != nil {
+					if r.Skipped != "" {
+						progress(fmt.Sprintf("%-44s SKIPPED: %s", r.Name, r.Skipped))
+					} else {
+						progress(fmt.Sprintf("%-44s %14.0f ns/op %10.0f words/PE %8.0f starts/PE %10.0f machine B",
+							r.Name, r.NsPerOp, r.WordsPerPE, r.StartsPerPE, r.MachineBytes))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
+	cfg := comm.DefaultConfig(p)
+	cfg.Backend = backend
+	collName := fmt.Sprintf("Scaling/Collectives/p=%d/%s", p, backend)
+	selName := fmt.Sprintf("Scaling/Table1Selection/p=%d/%s", p, backend)
+	if qb := comm.QueueBytes(cfg); qb > budget {
+		reason := fmt.Sprintf("estimated message-queue memory %.2f GiB exceeds the %.1f GiB harness budget",
+			float64(qb)/(1<<30), float64(budget)/(1<<30))
+		return []BenchResult{
+			{Name: collName, P: p, Backend: backend.String(), Skipped: reason},
+			{Name: selName, P: p, Backend: backend.String(), Skipped: reason},
+		}
+	}
+
+	heapBefore := heapLive()
+	m := comm.NewMachine(cfg)
+	// Signed delta clamped at zero: the first GC may also reclaim garbage
+	// from earlier configurations, which would underflow an unsigned diff.
+	machineBytes := max(float64(int64(heapLive())-int64(heapBefore)), 0)
+	defer m.Close()
+
+	var out []BenchResult
+	ns, s := measureScaling(m, 5, scalingCollectivesBody)
+	out = append(out, BenchResult{
+		Name: collName, P: p, Backend: backend.String(), MachineBytes: machineBytes,
+		NsPerOp: ns, WordsPerPE: float64(s.BottleneckWords()), StartsPerPE: float64(s.MaxSends), MaxClock: s.MaxClock,
+	})
+
+	locals := make([][]uint64, p)
+	for r := 0; r < p; r++ {
+		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), scalingSelPerPE, 12)
+	}
+	n := int64(p) * scalingSelPerPE
+	// Fixed pivot seed: every measured run takes the same communication
+	// path, so the per-op stats are exact rather than averaged estimates.
+	ns, s = measureScaling(m, 3, func(pe *comm.PE) {
+		sel.Kth(pe, locals[pe.Rank()], n/2, xrand.NewPE(17, pe.Rank()))
+	})
+	out = append(out, BenchResult{
+		Name: selName, P: p, Backend: backend.String(), MachineBytes: machineBytes,
+		NsPerOp: ns, WordsPerPE: float64(s.BottleneckWords()), StartsPerPE: float64(s.MaxSends), MaxClock: s.MaxClock,
+	})
+	return out
+}
+
+// ScalingTable renders the scaling suite as a human-readable experiment
+// table for `topkbench -exp scaling`.
+func ScalingTable(pmax int) Table {
+	t := Table{
+		Title: "Scaling: collectives and Table-1 selection at large p (mailbox vs channel matrix)",
+		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front queue allocation; over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier; selection: n/p=%d, k=n/2",
+			float64(ScalingMemBudgetBytes)/(1<<30), scalingSelPerPE),
+		Header: []string{"workload", "p", "backend", "ns/op", "words/PE", "start/PE", "T_model", "machine MB"},
+	}
+	for _, r := range ScalingSuite(ScalingPList(pmax), ScalingMemBudgetBytes, nil) {
+		if r.Skipped != "" {
+			t.Rows = append(t.Rows, []string{r.Name, fmt.Sprint(r.P), r.Backend, "—", "—", "—", "—", r.Skipped})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprint(r.P), r.Backend,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.0f", r.WordsPerPE),
+			fmt.Sprintf("%.0f", r.StartsPerPE),
+			modelMs(r.MaxClock),
+			fmt.Sprintf("%.2f", r.MachineBytes/(1<<20)),
+		})
+	}
+	return t
+}

@@ -77,7 +77,7 @@ func TestFigure4PaperExample(t *testing.T) {
 			rng := xrand.NewPE(seed, pe.Rank())
 			agg := sampleCounts(locals[pe.Rank()], 0.3, rng)
 			shard := countShard(pe, agg)
-			top := selectTopK(pe, shard, 5, rng)
+			top := dht.SelectTopK(pe, shard, 5, rng)
 			if pe.Rank() == 0 {
 				got = keysOf(top)
 			}

@@ -22,13 +22,11 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/dht"
 	"commtopk/internal/gen"
-	"commtopk/internal/sel"
 	"commtopk/internal/stats"
 	"commtopk/internal/xrand"
 )
@@ -95,67 +93,6 @@ func mapSize(m map[uint64]int64) int64 {
 	return t
 }
 
-// sortKVDesc orders by count descending, key ascending (deterministic).
-func sortKVDesc(items []dht.KV) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Count != items[j].Count {
-			return items[i].Count > items[j].Count
-		}
-		return items[i].Key < items[j].Key
-	})
-}
-
-// selectTopK returns the k objects with the highest counts from the
-// DHT-sharded count table, on all PEs, using the unsorted selection
-// algorithm of Section 4.1 on the counts (descending order is realized by
-// complementing the count). Ties at the threshold are split
-// deterministically with a prefix sum so exactly k items are returned
-// (fewer if fewer exist globally). Collective.
-func selectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []dht.KV {
-	items := make([]dht.KV, 0, len(shard))
-	ords := make([]uint64, 0, len(shard))
-	for key, c := range shard {
-		items = append(items, dht.KV{Key: key, Count: c})
-		ords = append(ords, ^uint64(c))
-	}
-	total := coll.SumAll(pe, int64(len(items)))
-	if total == 0 {
-		return nil
-	}
-	if total <= int64(k) {
-		all := coll.AllGatherConcat(pe, items)
-		sortKVDesc(all)
-		return all
-	}
-	thr := sel.Kth(pe, ords, int64(k), rng)
-	thrCount := int64(^thr)
-
-	var selected []dht.KV
-	var ties int64
-	for _, it := range items {
-		if it.Count > thrCount {
-			selected = append(selected, it)
-		} else if it.Count == thrCount {
-			ties++
-		}
-	}
-	nAbove := coll.SumAll(pe, int64(len(selected)))
-	needTies := int64(k) - nAbove
-	prevTies := coll.ExScanSum(pe, ties)
-	take := min(max(needTies-prevTies, 0), ties)
-	if take > 0 {
-		for _, it := range items {
-			if it.Count == thrCount && take > 0 {
-				selected = append(selected, it)
-				take--
-			}
-		}
-	}
-	out := coll.AllGatherConcat(pe, selected)
-	sortKVDesc(out)
-	return out
-}
-
 // PAC computes an (ε, δ)-approximation of the top-k most frequent objects
 // (Section 7.1). Expected time O(n/p·ρ + β·(log p/(pε²))·log(k/δ) + α log n).
 // Collective.
@@ -166,11 +103,11 @@ func PAC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	agg := sampleCounts(local, rho, rng)
 	sampleSize := coll.SumAll(pe, mapSize(agg))
 	shard := dht.CountKeys(pe, agg, p.Route)
-	top := selectTopK(pe, shard, p.K, rng)
+	top := dht.SelectTopK(pe, shard, p.K, rng)
 	for i := range top {
 		top[i].Count = int64(float64(top[i].Count)/rho + 0.5)
 	}
-	sortKVDesc(top)
+	dht.SortKVDesc(top)
 	return Result{Items: top, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
 }
 
@@ -195,7 +132,7 @@ func ecCore(pe *comm.PE, local []uint64, p Params, kStar int, rho float64, rng *
 	agg := sampleCounts(local, rho, rng)
 	sampleSize := coll.SumAll(pe, mapSize(agg))
 	shard := dht.CountKeys(pe, agg, p.Route)
-	candidates := selectTopK(pe, shard, kStar, rng)
+	candidates := dht.SelectTopK(pe, shard, kStar, rng)
 
 	exact := countExactly(pe, local, candidateKeys(candidates))
 	if len(exact) > p.K {
@@ -238,7 +175,7 @@ func countExactly(pe *comm.PE, local []uint64, keys []uint64) []dht.KV {
 	for i, k := range keys {
 		out[i] = dht.KV{Key: k, Count: global[i]}
 	}
-	sortKVDesc(out)
+	dht.SortKVDesc(out)
 	return out
 }
 
@@ -262,7 +199,7 @@ func PEC(pe *comm.PE, local []uint64, p Params, eps0 float64, rng *xrand.RNG) Re
 
 	// Inspect the head of the sampled frequency distribution.
 	m := max(4*p.K, 64)
-	head := selectTopK(pe, shard, m, rng)
+	head := dht.SelectTopK(pe, shard, m, rng)
 	countsDesc := make([]int64, len(head))
 	for i, it := range head {
 		countsDesc[i] = it.Count
@@ -416,7 +353,7 @@ func topKLocal(m map[uint64]int64, k int) []dht.KV {
 	for key, c := range m {
 		all = append(all, dht.KV{Key: key, Count: c})
 	}
-	sortKVDesc(all)
+	dht.SortKVDesc(all)
 	if len(all) > k {
 		all = all[:k]
 	}
@@ -432,5 +369,5 @@ func ExactTopK(pe *comm.PE, local []uint64, k int, route dht.RouteMode, rng *xra
 		agg[x]++
 	}
 	shard := dht.CountKeys(pe, agg, route)
-	return selectTopK(pe, shard, k, rng)
+	return dht.SelectTopK(pe, shard, k, rng)
 }

@@ -264,7 +264,7 @@ func TestSelectTopKTieSplitting(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			shard[uint64(pe.Rank()*1000+i)] = 7 // all tied
 		}
-		got := selectTopK(pe, shard, 33, xrand.NewPE(97, pe.Rank()))
+		got := dht.SelectTopK(pe, shard, 33, xrand.NewPE(97, pe.Rank()))
 		if len(got) != 33 {
 			t.Errorf("tie splitting returned %d items, want 33", len(got))
 		}
@@ -276,7 +276,7 @@ func TestSelectTopKFewerThanK(t *testing.T) {
 	m := comm.NewMachine(comm.DefaultConfig(p))
 	m.MustRun(func(pe *comm.PE) {
 		shard := map[uint64]int64{uint64(pe.Rank()): int64(pe.Rank() + 1)}
-		got := selectTopK(pe, shard, 10, xrand.NewPE(101, pe.Rank()))
+		got := dht.SelectTopK(pe, shard, 10, xrand.NewPE(101, pe.Rank()))
 		if len(got) != p {
 			t.Errorf("got %d items, want all %d", len(got), p)
 		}

@@ -69,7 +69,7 @@ func selectTopCells(pe *comm.PE, cells map[uint32]int64, m int, rng *xrand.RNG) 
 	// through CountKeys would provide — yet the counts here are already
 	// global (each cell lives on exactly one PE), so selection can run
 	// directly on the local tables.
-	top := selectTopK(pe, asKeys, m, rng)
+	top := dht.SelectTopK(pe, asKeys, m, rng)
 	out := make([]uint32, len(top))
 	for i, kv := range top {
 		out[i] = uint32(kv.Key)

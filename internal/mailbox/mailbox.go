@@ -1,0 +1,185 @@
+// Package mailbox is the scalable message runtime behind the simulated
+// machine's mailbox backend (comm.BackendMailbox): per-receiver
+// multi-producer/single-consumer mailboxes and a persistent worker pool.
+//
+// The original engine allocates a buffered channel per ordered PE pair —
+// O(p²·ChanCap) queue memory — which caps simulated scale far below the
+// paper's algorithmic limits (p = 1024 already needs ~67M message slots).
+// A Box replaces a receiver's whole channel column with one intake list,
+// so a p-PE machine needs exactly p boxes: O(p) queue memory up front,
+// plus one pooled node per message actually in flight.
+//
+// Ordering contract: messages from one sender are delivered to one
+// receiver in send order (per-sender FIFO), exactly like the channel
+// matrix. Messages from different senders may interleave arbitrarily —
+// the receiver demultiplexes by asking for a specific sender (Take), and
+// the metered communication paths of internal/comm stay deterministic
+// because every receive names its source.
+//
+// Boxes never block the sender: intake is an unbounded linked list of
+// nodes recycled through a sync.Pool, so the steady state allocates
+// nothing and SPMD programs (whose in-flight volume is bounded by the
+// protocol structure, not by backpressure) cannot deadlock on buffer
+// capacity.
+package mailbox
+
+import "sync"
+
+// Msg is one in-flight message. The fields mirror the metered message of
+// internal/comm; Data is the payload reference handed to the receiver.
+type Msg struct {
+	Src    int
+	Tag    uint64
+	Words  int64
+	Depart float64
+	Data   any
+}
+
+// node is an intake-list cell, recycled through nodePool.
+type node struct {
+	msg  Msg
+	next *node
+}
+
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
+// Box is a per-receiver mailbox: any number of senders Put concurrently,
+// exactly one consumer goroutine Takes. The zero value is not ready; use
+// New.
+type Box struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	// Intake is a singly linked FIFO over all senders; per-sender order is
+	// the sublist order, preserved because each sender appends its own
+	// messages sequentially.
+	head, tail *node
+	// waitSrc is the sender rank the consumer is currently blocked on
+	// (-1: not blocked). Producers signal only when they deliver for it,
+	// so unrelated traffic does not wake the consumer.
+	waitSrc     int
+	interrupted bool
+}
+
+// New returns an empty Box.
+func New() *Box {
+	b := &Box{waitSrc: -1}
+	b.cond.L = &b.mu
+	return b
+}
+
+// Put appends m to the intake. It never blocks and is safe to call from
+// any goroutine.
+func (b *Box) Put(m Msg) {
+	n := nodePool.Get().(*node)
+	n.msg = m
+	n.next = nil
+	b.mu.Lock()
+	if b.tail == nil {
+		b.head = n
+	} else {
+		b.tail.next = n
+	}
+	b.tail = n
+	wake := b.waitSrc == m.Src
+	b.mu.Unlock()
+	if wake {
+		b.cond.Signal()
+	}
+}
+
+// TryTake removes and returns the oldest queued message from src without
+// blocking. Consumer only.
+func (b *Box) TryTake(src int) (Msg, bool) {
+	b.mu.Lock()
+	n := b.remove(src)
+	b.mu.Unlock()
+	if n == nil {
+		return Msg{}, false
+	}
+	return release(n), true
+}
+
+// Take blocks until a message from src is available (ok = true) or the
+// box is interrupted (ok = false). Consumer only.
+func (b *Box) Take(src int) (Msg, bool) {
+	b.mu.Lock()
+	for {
+		if n := b.remove(src); n != nil {
+			b.mu.Unlock()
+			return release(n), true
+		}
+		if b.interrupted {
+			b.mu.Unlock()
+			return Msg{}, false
+		}
+		b.waitSrc = src
+		b.cond.Wait()
+		b.waitSrc = -1
+	}
+}
+
+// remove unlinks the first message from src. Caller holds b.mu.
+func (b *Box) remove(src int) *node {
+	var prev *node
+	for n := b.head; n != nil; prev, n = n, n.next {
+		if n.msg.Src == src {
+			if prev == nil {
+				b.head = n.next
+			} else {
+				prev.next = n.next
+			}
+			if b.tail == n {
+				b.tail = prev
+			}
+			n.next = nil
+			return n
+		}
+	}
+	return nil
+}
+
+// release extracts the message and recycles the node, dropping the
+// payload reference so the pool does not retain it.
+func release(n *node) Msg {
+	m := n.msg
+	n.msg = Msg{}
+	nodePool.Put(n)
+	return m
+}
+
+// Interrupt wakes a blocked consumer; subsequent and in-progress Takes
+// return ok = false until Reset. Used by the machine abort path.
+func (b *Box) Interrupt() {
+	b.mu.Lock()
+	b.interrupted = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Reset discards all queued messages and clears the interrupt flag. Must
+// not race with Put or Take (the machine calls it between runs).
+func (b *Box) Reset() {
+	b.mu.Lock()
+	n := b.head
+	b.head, b.tail = nil, nil
+	b.interrupted = false
+	b.mu.Unlock()
+	for n != nil {
+		next := n.next
+		n.msg = Msg{}
+		n.next = nil
+		nodePool.Put(n)
+		n = next
+	}
+}
+
+// Pending returns the number of queued messages (diagnostics and tests).
+func (b *Box) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := 0
+	for n := b.head; n != nil; n = n.next {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,155 @@
+package mailbox
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPerSenderFIFO(t *testing.T) {
+	b := New()
+	// Two interleaved senders; per-sender order must survive demux.
+	for i := 0; i < 3; i++ {
+		b.Put(Msg{Src: 1, Tag: uint64(10 + i)})
+		b.Put(Msg{Src: 2, Tag: uint64(20 + i)})
+	}
+	for i := 0; i < 3; i++ {
+		m, ok := b.TryTake(2)
+		if !ok || m.Tag != uint64(20+i) {
+			t.Fatalf("from 2 step %d: got %+v ok=%v", i, m, ok)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m, ok := b.TryTake(1)
+		if !ok || m.Tag != uint64(10+i) {
+			t.Fatalf("from 1 step %d: got %+v ok=%v", i, m, ok)
+		}
+	}
+	if _, ok := b.TryTake(1); ok {
+		t.Fatal("box should be empty")
+	}
+}
+
+func TestTakeBlocksUntilPut(t *testing.T) {
+	b := New()
+	done := make(chan Msg)
+	go func() {
+		m, ok := b.Take(3)
+		if !ok {
+			t.Error("Take interrupted unexpectedly")
+		}
+		done <- m
+	}()
+	// Traffic from other senders must not satisfy (or wedge) the waiter.
+	b.Put(Msg{Src: 1, Tag: 100})
+	select {
+	case <-done:
+		t.Fatal("Take returned a message from the wrong sender")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Put(Msg{Src: 3, Tag: 7})
+	m := <-done
+	if m.Tag != 7 || m.Src != 3 {
+		t.Fatalf("got %+v", m)
+	}
+	if m2, ok := b.TryTake(1); !ok || m2.Tag != 100 {
+		t.Fatalf("stashed message lost: %+v ok=%v", m2, ok)
+	}
+}
+
+func TestInterruptWakesConsumer(t *testing.T) {
+	b := New()
+	done := make(chan bool)
+	go func() {
+		_, ok := b.Take(0)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	b.Interrupt()
+	if ok := <-done; ok {
+		t.Fatal("interrupted Take reported ok")
+	}
+	// After Reset the box is usable again.
+	b.Reset()
+	b.Put(Msg{Src: 0, Tag: 1})
+	if _, ok := b.Take(0); !ok {
+		t.Fatal("Take failed after Reset")
+	}
+}
+
+func TestResetDrains(t *testing.T) {
+	b := New()
+	for i := 0; i < 5; i++ {
+		b.Put(Msg{Src: i, Data: make([]byte, 8)})
+	}
+	if b.Pending() != 5 {
+		t.Fatalf("Pending = %d", b.Pending())
+	}
+	b.Reset()
+	if b.Pending() != 0 {
+		t.Fatalf("Pending after Reset = %d", b.Pending())
+	}
+}
+
+// TestConcurrentSenders is the -race stress: many producers, one
+// consumer, per-sender sequence numbers must arrive in order.
+func TestConcurrentSenders(t *testing.T) {
+	const senders, msgs = 8, 200
+	b := New()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				b.Put(Msg{Src: s, Tag: uint64(i)})
+			}
+		}(s)
+	}
+	got := make([]int, senders)
+	for n := 0; n < senders*msgs; n++ {
+		// Round-robin across senders exercises both stash and wait paths.
+		src := n % senders
+		m, ok := b.Take(src)
+		if !ok {
+			t.Fatal("unexpected interrupt")
+		}
+		if int(m.Tag) != got[src] {
+			t.Fatalf("sender %d: got seq %d, want %d", src, m.Tag, got[src])
+		}
+		got[src]++
+	}
+	wg.Wait()
+}
+
+func TestWorkersRunAllRanks(t *testing.T) {
+	const n = 16
+	w := NewWorkers(n)
+	defer w.Close()
+	var hits [n]atomic.Int32
+	for round := 0; round < 3; round++ {
+		w.Run(func(rank int) { hits[rank].Add(1) })
+	}
+	for r := range hits {
+		if got := hits[r].Load(); got != 3 {
+			t.Errorf("rank %d ran %d times, want 3", r, got)
+		}
+	}
+}
+
+func TestWorkersCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := NewWorkers(32)
+	w.Run(func(rank int) {})
+	w.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines not released: before=%d after=%d", before, runtime.NumGoroutine())
+}

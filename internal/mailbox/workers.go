@@ -1,0 +1,65 @@
+package mailbox
+
+import "sync"
+
+// Workers is a pool of n persistent goroutines, one per PE rank. The
+// channel-matrix engine spawns p goroutines on every Machine.Run — the
+// ~2 allocs/PE/op floor the PR 1 benchmarks identified — whereas a pool
+// pays the spawn cost once per Machine and feeds run bodies to parked
+// workers over per-rank kick channels; a steady-state Run allocates
+// nothing.
+//
+// Concurrency contract: Run and Close are called from one coordinating
+// goroutine at a time (Machine.Run already requires this). The fn field
+// is published to workers by the kick-channel send (happens-before) and
+// cleared after the final Done so parked workers pin no run state between
+// runs.
+type Workers struct {
+	fn   func(rank int)
+	kick []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewWorkers starts n parked workers. Callers that do not keep the
+// machine alive forever should arrange for Close (internal/comm installs
+// a finalizer); a parked worker references only its kick channel, so it
+// never keeps the owning machine reachable.
+func NewWorkers(n int) *Workers {
+	w := &Workers{kick: make([]chan struct{}, n)}
+	for i := range w.kick {
+		c := make(chan struct{}, 1)
+		w.kick[i] = c
+		go w.work(i, c)
+	}
+	return w
+}
+
+func (w *Workers) work(rank int, c chan struct{}) {
+	for range c {
+		w.fn(rank)
+		w.wg.Done()
+	}
+}
+
+// Run executes fn(rank) on every worker concurrently and blocks until all
+// return. fn must not panic (wrap bodies with recover at the call site).
+func (w *Workers) Run(fn func(rank int)) {
+	w.fn = fn
+	w.wg.Add(len(w.kick))
+	for _, c := range w.kick {
+		c <- struct{}{}
+	}
+	w.wg.Wait()
+	w.fn = nil
+}
+
+// Close terminates all workers. Must not overlap a Run; Run must not be
+// called afterwards.
+func (w *Workers) Close() {
+	for _, c := range w.kick {
+		close(c)
+	}
+}
+
+// Len returns the pool size.
+func (w *Workers) Len() int { return len(w.kick) }
