@@ -392,8 +392,9 @@ func BenchmarkSubstrate_Collectives(b *testing.B) {
 
 // BenchmarkSubstrate_MailboxScale exercises the mailbox backend at a PE
 // count the channel matrix cannot reach (p = 1024 would need ~2.6 GiB of
-// channel buffers; the mailbox machine is ~0.3 MB plus worker stacks).
-// CI runs this as the mailbox bench smoke with -benchtime=1x.
+// channel buffers; the mailbox machine is ~0.3 MB and holds w, not p,
+// resident goroutines). CI runs this as the mailbox bench smoke with
+// -benchtime=1x.
 func BenchmarkSubstrate_MailboxScale(b *testing.B) {
 	const p = 1024
 	m := comm.NewMachine(comm.MailboxConfig(p))
@@ -404,7 +405,7 @@ func BenchmarkSubstrate_MailboxScale(b *testing.B) {
 		coll.ExScanSum(pe, int64(pe.Rank()))
 		coll.Barrier(pe)
 	}
-	m.MustRun(body) // spawn the persistent workers outside the timing
+	m.MustRun(body) // spawn the scheduler workers outside the timing
 	m.ResetStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -8,9 +8,11 @@
 //
 // Larger -perpe / -pmax approach the paper's scales at the cost of run
 // time; the defaults finish in minutes on a laptop. `-exp scaling` (not
-// part of `all`) runs the large-p suite — collectives and Table-1
-// selection at p = 256…16384 on the mailbox backend, with the channel
-// matrix refused beyond the harness memory budget.
+// part of `all`) runs the large-p suite — the O(log p) collectives, the
+// chunked gather collectives, and Table-1 selection at p = 256…131072 on
+// the mailbox backend (sharded scheduler, so goroutines stay O(w) while
+// the machines are resident), with the channel matrix refused beyond the
+// harness memory budget.
 //
 // Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
 //
@@ -118,10 +120,10 @@ func main() {
 	}
 	if *exp == "scaling" {
 		// Not part of -exp all: the large-p machines take minutes. With
-		// -pmax unset, the suite runs its full range (p up to 16384); an
+		// -pmax unset, the suite runs its full range (p up to 131072); an
 		// explicit -pmax caps it (below 256 nothing qualifies — say so
 		// rather than silently running the big machines anyway).
-		scaleMax := 1 << 14
+		scaleMax := 1 << 17
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "pmax" {
 				scaleMax = *pmax

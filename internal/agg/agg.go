@@ -81,20 +81,23 @@ func LocalAggregate(keys []uint64, values []float64) map[uint64]float64 {
 	return m
 }
 
-// sampleAggregated converts aggregated values into integer sample counts:
-// floor + Bernoulli residual (Section 8.1). Keys are visited in sorted
-// order so each key's Bernoulli draw is a fixed function of the RNG
-// stream: iterating the map directly let Go's randomized iteration order
-// decide which key consumed which deviate, making the sampled counts —
-// and hence ECSum's candidate set and realized ε̃ — vary between runs
-// with identical seeds (the agg.TestECSumIsExact flake).
-func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) map[uint64]int64 {
+// sampleAggregated converts aggregated values into integer sample counts
+// (as KV pairs in ascending key order): floor + Bernoulli residual
+// (Section 8.1). Keys are visited in sorted order so each key's
+// Bernoulli draw is a fixed function of the RNG stream: iterating the
+// map directly let Go's randomized iteration order decide which key
+// consumed which deviate, making the sampled counts — and hence ECSum's
+// candidate set and realized ε̃ — vary between runs with identical seeds
+// (the agg.TestECSumIsExact flake). The second result is the realized
+// local sample size.
+func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) ([]dht.KV, int64) {
 	keys := make([]uint64, 0, len(local))
 	for k := range local {
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)
-	out := make(map[uint64]int64, len(local))
+	out := make([]dht.KV, 0, len(local))
+	var total int64
 	for _, k := range keys {
 		q := local[k] / vavg
 		c := int64(q)
@@ -102,10 +105,11 @@ func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) ma
 			c++
 		}
 		if c > 0 {
-			out[k] = c
+			out = append(out, dht.KV{Key: k, Count: c})
+			total += c
 		}
 	}
-	return out
+	return out, total
 }
 
 // PAC computes an (ε, δ)-approximation of the top-k highest-summing keys
@@ -121,10 +125,11 @@ func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG)
 	s := stats.SumAggSampleSize(n, pe.P(), p.Eps, p.Delta)
 	vavg := mTotal / s
 
-	agg := sampleAggregated(local, vavg, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
-	shard := dht.CountKeys(pe, agg, p.Route)
-	top := dht.SelectTopK(pe, shard, p.K, rng)
+	agg, localSize := sampleAggregated(local, vavg, rng)
+	sampleSize := coll.SumAll(pe, localSize)
+	shard := dht.CountKV(pe, agg, p.Route)
+	top := dht.SelectTopKTable(pe, shard, p.K, rng)
+	shard.Release()
 	items := make([]ItemSum, len(top))
 	for i, kv := range top {
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) * vavg}
@@ -156,10 +161,11 @@ func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RN
 	}
 	vavg := mTotal / s
 
-	agg := sampleAggregated(local, vavg, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
-	shard := dht.CountKeys(pe, agg, p.Route)
-	candidates := dht.SelectTopK(pe, shard, kStar, rng)
+	agg, localSize := sampleAggregated(local, vavg, rng)
+	sampleSize := coll.SumAll(pe, localSize)
+	shard := dht.CountKV(pe, agg, p.Route)
+	candidates := dht.SelectTopKTable(pe, shard, kStar, rng)
+	shard.Release()
 
 	// Exact sums by local lookup + vector reduction.
 	ids := make([]uint64, len(candidates))
@@ -195,14 +201,21 @@ func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RN
 // for tests; not communication-efficient). Collective.
 func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht.RouteMode, rng *xrand.RNG) []ItemSum {
 	local := LocalAggregate(keys, values)
-	// Scale to fixed point so the counting DHT can carry sums.
+	// Scale to fixed point so the counting DHT can carry sums. Sorted key
+	// order keeps the routed batches deterministic.
 	const scale = 1 << 20
-	fixed := make(map[uint64]int64, len(local))
-	for key, v := range local {
-		fixed[key] = int64(v * scale)
+	ids := make([]uint64, 0, len(local))
+	for key := range local {
+		ids = append(ids, key)
 	}
-	shard := dht.CountKeys(pe, fixed, route)
-	top := dht.SelectTopK(pe, shard, k, rng)
+	slices.Sort(ids)
+	fixed := make([]dht.KV, len(ids))
+	for i, key := range ids {
+		fixed[i] = dht.KV{Key: key, Count: int64(local[key] * scale)}
+	}
+	shard := dht.CountKV(pe, fixed, route)
+	top := dht.SelectTopKTable(pe, shard, k, rng)
+	shard.Release()
 	items := make([]ItemSum, len(top))
 	for i, kv := range top {
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) / scale}

@@ -186,7 +186,16 @@ func TestSampleAggregatedDeviationAtMostOne(t *testing.T) {
 	local := map[uint64]float64{1: 10.3, 2: 0.7, 3: 99.99}
 	const vavg = 1.0
 	for trial := 0; trial < 100; trial++ {
-		s := sampleAggregated(local, vavg, rng)
+		kvs, total := sampleAggregated(local, vavg, rng)
+		s := map[uint64]int64{}
+		var sum int64
+		for _, kv := range kvs {
+			s[kv.Key] = kv.Count
+			sum += kv.Count
+		}
+		if sum != total {
+			t.Fatalf("reported sample size %d, summed %d", total, sum)
+		}
 		for k, v := range local {
 			q := v / vavg
 			c := float64(s[k])

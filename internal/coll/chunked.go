@@ -1,0 +1,294 @@
+package coll
+
+import (
+	"fmt"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/commbuf"
+)
+
+// Chunked / streaming variants of the gather-shaped collectives.
+//
+// The materializing forms (AllGatherv, AllGatherConcat, AllToAll) hand
+// every PE all p blocks at once: per-PE result memory O(p·m̄), which at
+// p = 16384 with even 4-word blocks is ~0.5 MB per PE — p² in aggregate,
+// the reason the scaling suite's collective set was capped at the
+// O(log p) operations. The variants here never materialize: the caller
+// supplies a visit callback and the per-PE footprint stays
+// O(m + chunk·m̄) — the local block plus a bounded window of in-flight
+// blocks — at the price of a startup count that grows from O(log p)
+// toward O(p/chunk). That trade is fundamental: every PE must still
+// *see* p·m̄ words, it just no longer has to *hold* them.
+
+// AllGatherChunked delivers every PE's block to every PE without
+// materializing the gather: visit is called exactly once per rank — in
+// an unspecified but deterministic order, own block included — with a
+// view that is only valid during the call (the backing buffers are
+// pooled and recycled). chunk bounds the window of blocks buffered and
+// shipped together (clamped to [1, p]); per-PE memory is O(m + c·m̄)
+// where c ≤ chunk, instead of the O(p·m̄) of AllGatherv.
+//
+// Structure: ranks are partitioned into ⌈p/c⌉ contiguous groups of c =
+// the largest divisor of p not exceeding chunk. Each group first
+// all-gathers internally (Bruck dissemination, ⌈log₂ c⌉ startups), then
+// the group batches circulate around an inter-group ring (p/c − 1
+// rounds, each forwarding the batch received in the previous round with
+// ownership transfer). Volume per PE is ≤ total + p length words — the
+// same class as the materializing Bruck all-gather — in
+// ⌈log₂ c⌉ + p/c − 1 startups. For prime p the group size degenerates
+// to 1 and the exchange is a pure ring (p − 1 startups).
+func AllGatherChunked[T any](pe *comm.PE, data []T, chunk int, visit func(src int, block []T)) {
+	p := pe.P()
+	if p == 1 {
+		visit(0, data)
+		return
+	}
+	rank := pe.Rank()
+	c := groupSize(p, chunk)
+	gb := rank - rank%c // my group's base rank
+	li := rank - gb     // my index within the group
+	ipool := commbuf.For[int64]()
+	dpool := commbuf.For[T]()
+	wpool := commbuf.For[bruckMsg[T]]()
+
+	// Phase 1 — intra-group Bruck all-gather: allGatherBruck's
+	// dissemination pattern over the c group members, with pooled-copy
+	// payloads (unlike the materializing gather's shared views — these
+	// batches get forwarded in phase 2, so ownership must travel).
+	// Afterwards lens/arena hold the group's blocks in shifted order
+	// li, li+1, … mod c.
+	tag := pe.NextCollTag()
+	lensPtr := ipool.GetCap(c)
+	lens := append(*lensPtr, int64(len(data)))
+	arenaPtr := dpool.GetCap(2*len(data) + 8)
+	arena := append(*arenaPtr, data...)
+	for d := 1; d < c; d <<= 1 {
+		dst := gb + (li-d+c)%c
+		src := gb + (li+d)%c
+		cnt := min(d, c-d)
+		var elems int64
+		for _, l := range lens[:cnt] {
+			elems += l
+		}
+		lp := ipool.Get(cnt)
+		copy(*lp, lens[:cnt])
+		dp := dpool.Get(int(elems))
+		copy(*dp, arena[:elems])
+		wp := wpool.Get(1)
+		(*wp)[0] = bruckMsg[T]{lens: lp, data: dp}
+		pe.Send(dst, tag, wp, int64(cnt)+elems*WordsOf[T]())
+		rxAny, _ := pe.Recv(src, tag)
+		rw := rxAny.(*[]bruckMsg[T])
+		rx := (*rw)[0]
+		lens = append(lens, (*rx.lens)...)
+		arena = append(arena, (*rx.data)...)
+		ipool.Put(rx.lens)
+		dpool.Put(rx.data)
+		(*rw)[0] = bruckMsg[T]{}
+		wpool.Put(rw)
+	}
+
+	// Rotate the batch into canonical group order (block of rank gb+j at
+	// position j), so ring messages carry rank labels implicitly.
+	i0 := (c - li) % c
+	var off0 int64
+	for _, l := range lens[:i0] {
+		off0 += l
+	}
+	canLens := ipool.Get(c)
+	canData := dpool.Get(len(arena))
+	copy(*canLens, lens[i0:])
+	copy((*canLens)[c-i0:], lens[:i0])
+	n := copy(*canData, arena[off0:])
+	copy((*canData)[n:], arena[:off0])
+	*lensPtr = lens
+	ipool.Put(lensPtr)
+	*arenaPtr = arena
+	dpool.Put(arenaPtr)
+
+	cur := wpool.Get(1)
+	(*cur)[0] = bruckMsg[T]{lens: canLens, data: canData}
+	visitBatch(gb, *canLens, *canData, visit)
+
+	// Phase 2 — inter-group ring: each round forwards the batch received
+	// in the previous round (ownership moves with the message, like the
+	// reduction accumulators), and receives the batch of the group r
+	// steps behind. The sends are honest in the meter: α + β·(c + words)
+	// per hop, the lengths riding along as payload.
+	tag = pe.NextCollTag()
+	g := p / c
+	dst := (rank + c) % p
+	src := (rank - c + p) % p
+	for r := 1; r < g; r++ {
+		batch := (*cur)[0]
+		var words int64
+		for _, l := range *batch.lens {
+			words += l
+		}
+		pe.Send(dst, tag, cur, int64(c)+words*WordsOf[T]())
+		rxAny, _ := pe.Recv(src, tag)
+		cur = rxAny.(*[]bruckMsg[T])
+		rx := (*cur)[0]
+		srcGroup := ((rank / c) - r + g) % g
+		visitBatch(srcGroup*c, *rx.lens, *rx.data, visit)
+	}
+	final := (*cur)[0]
+	ipool.Put(final.lens)
+	dpool.Put(final.data)
+	(*cur)[0] = bruckMsg[T]{}
+	wpool.Put(cur)
+}
+
+// visitBatch walks a canonical group batch: block j belongs to rank
+// base+j.
+func visitBatch[T any](base int, lens []int64, data []T, visit func(src int, block []T)) {
+	var off int64
+	for j, l := range lens {
+		visit(base+j, data[off:off+l:off+l])
+		off += l
+	}
+}
+
+// groupSize returns the largest divisor of p not exceeding max(chunk, 1).
+func groupSize(p, chunk int) int {
+	c := max(min(chunk, p), 1)
+	for ; c > 1; c-- {
+		if p%c == 0 {
+			return c
+		}
+	}
+	return 1
+}
+
+// AllToAllCombineChunked is AllToAllCombine with bounded in-flight
+// blocks: each hypercube exchange ships its items in ⌈n/chunk⌉ messages
+// of at most chunk items, preceded by a one-word count, so no single
+// in-flight message (and no mailbox node) ever holds more than chunk
+// items. The extra startups are metered honestly; total volume gains one
+// word per exchange. combine (optional) re-aggregates the held buffer
+// after every exchange step exactly as in AllToAllCombine — with a
+// combine that keeps the held set small, per-PE memory is
+// O(held + chunk) instead of O(held + largest shipment).
+func AllToAllCombineChunked[T any](pe *comm.PE, items []Routed[T], chunk int, combine func([]Routed[T]) []Routed[T]) []Routed[T] {
+	return routeCombineChunked(pe, items, chunk, func(it Routed[T]) int { return it.Dest }, combine)
+}
+
+// routeCombineChunked is RouteCombine with chunk-bounded shipments. The
+// routing structure (fold-in of non-power-of-two stragglers, hypercube
+// dimension sweeps, unfold) and the item order delivered to combine are
+// identical to RouteCombine's; only the framing of each logical shipment
+// into count + chunk messages differs, so results are bit-identical and
+// the word volume differs by exactly one count word per exchange.
+func routeCombineChunked[T any](pe *comm.PE, items []T, chunk int, dest func(T) int, combine func([]T) []T) []T {
+	p := pe.P()
+	rank := pe.Rank()
+	if chunk < 1 {
+		panic(fmt.Sprintf("coll: chunk %d < 1", chunk))
+	}
+	for _, it := range items {
+		if d := dest(it); d < 0 || d >= p {
+			panic(fmt.Sprintf("coll: RouteCombine item with invalid dest %d", d))
+		}
+	}
+	if p == 1 {
+		if combine != nil {
+			items = combine(items)
+		}
+		return items
+	}
+	tag := pe.NextCollTag()
+	r := 1
+	dims := 0
+	for r*2 <= p {
+		r *= 2
+		dims++
+	}
+	extra := p - r
+
+	hold := items
+	if rank >= r {
+		sendChunked(pe, rank-r, tag, chunk, hold)
+		hold = recvChunked(pe, rank-r, tag, chunk, hold[:0])
+		if combine != nil {
+			hold = combine(hold)
+		}
+		return hold
+	}
+	if rank < extra {
+		hold = recvChunked(pe, rank+r, tag, chunk, hold)
+		if combine != nil {
+			hold = combine(hold)
+		}
+	}
+
+	for bit := 0; bit < dims; bit++ {
+		maskBit := 1 << bit
+		partner := rank ^ maskBit
+		var keep, ship []T
+		for _, it := range hold {
+			carrier := dest(it)
+			if carrier >= r {
+				carrier -= r
+			}
+			if carrier&maskBit != rank&maskBit {
+				ship = append(ship, it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		sendChunked(pe, partner, tag, chunk, ship)
+		hold = recvChunked(pe, partner, tag, chunk, keep)
+		if combine != nil {
+			hold = combine(hold)
+		}
+	}
+
+	if rank < extra {
+		var mine, theirs []T
+		for _, it := range hold {
+			if dest(it) == rank+r {
+				theirs = append(theirs, it)
+			} else {
+				mine = append(mine, it)
+			}
+		}
+		sendChunked(pe, rank+r, tag, chunk, theirs)
+		hold = mine
+	}
+	if combine != nil {
+		hold = combine(hold)
+	}
+	return hold
+}
+
+// sendChunked frames items as a one-word count followed by ⌈n/chunk⌉
+// pooled messages of at most chunk items each (ownership transfers).
+func sendChunked[T any](pe *comm.PE, dst int, tag comm.Tag, chunk int, items []T) {
+	w := WordsOf[T]()
+	hp := commbuf.For[int64]().Get(1)
+	(*hp)[0] = int64(len(items))
+	pe.Send(dst, tag, hp, 1)
+	pool := commbuf.For[T]()
+	for off := 0; off < len(items); off += chunk {
+		end := min(off+chunk, len(items))
+		b := pool.Get(end - off)
+		copy(*b, items[off:end])
+		pe.Send(dst, tag, b, int64(end-off)*w)
+	}
+}
+
+// recvChunked receives a sendChunked frame from src, appending the items
+// to dst and recycling the chunk buffers.
+func recvChunked[T any](pe *comm.PE, src int, tag comm.Tag, chunk int, dst []T) []T {
+	hp := recvOwned[int64](pe, src, tag)
+	n := int((*hp)[0])
+	commbuf.For[int64]().Put(hp)
+	pool := commbuf.For[T]()
+	for got := 0; got < n; {
+		b := recvOwned[T](pe, src, tag)
+		dst = append(dst, *b...)
+		got += len(*b)
+		pool.Put(b)
+	}
+	return dst
+}

@@ -615,6 +615,24 @@ type bruckMsg[T any] struct {
 	data *[]T
 }
 
+// bruckView is a dissemination round's payload in the hybrid scheme:
+// read-only views straight into the sender's held run, no staging copy.
+// Each hop still lands one physical copy in the receiver (the arena
+// append — what a real transfer's write side costs), but the sender no
+// longer stages the run into a pooled buffer first; dropping that second
+// copy plus the per-round pool traffic recovers most of the host-side
+// cost the all-copying rewrite added, without touching the meter (the
+// same words are charged). Safe because the sender only ever appends
+// *beyond* the sent prefix afterwards (in-place appends write disjoint
+// indices; reallocating appends leave the shared backing untouched), the
+// receiver only reads, and every downstream consumer of the gathered
+// result either copies it out (AllGatherConcat) or exposes it read-only
+// (AllGatherv).
+type bruckView[T any] struct {
+	lens []int64
+	data []T
+}
+
 // allGatherBruck is the dissemination (Bruck-style gossiping) all-gather
 // engine: starting from its own block, every PE doubles its held run of
 // blocks per round by exchanging with partners at distance 2^i, so after
@@ -628,15 +646,15 @@ type bruckMsg[T any] struct {
 // Returns the receiver-local arena holding the blocks in shifted order
 // (rank, rank+1, …, rank+p−1 mod p) and the per-block lengths in that
 // order. Both are freshly allocated and caller-owned; nothing aliases
-// another PE's memory (each round physically copies payloads, which is
-// exactly what the word metering charges).
+// another PE's memory. Every round ships in-process read-only views of
+// the sender's held run (see bruckView) and the receiver appends them
+// into its own arena — one physical copy per hop instead of a staging
+// copy plus an append, while the meter still charges the full transfer.
 func allGatherBruck[T any](pe *comm.PE, data []T) (arena []T, lens []int64) {
 	p := pe.P()
 	rank := pe.Rank()
 	tag := pe.NextCollTag()
-	ipool := commbuf.For[int64]()
-	dpool := commbuf.For[T]()
-	wpool := commbuf.For[bruckMsg[T]]()
+	fpool := commbuf.For[bruckView[T]]()
 	lens = make([]int64, 1, p)
 	lens[0] = int64(len(data))
 	arena = make([]T, 0, 2*len(data)+8)
@@ -649,25 +667,22 @@ func allGatherBruck[T any](pe *comm.PE, data []T) (arena []T, lens []int64) {
 		for _, l := range lens[:cnt] {
 			elems += l
 		}
-		lp := ipool.Get(cnt)
-		copy(*lp, lens[:cnt])
-		dp := dpool.Get(int(elems))
-		copy(*dp, arena[:elems])
-		wp := wpool.Get(1)
-		(*wp)[0] = bruckMsg[T]{lens: lp, data: dp}
 		// One message per round: lengths ride along with the payload (both
 		// metered — the lengths are information the receiver needs), and a
 		// single send keeps the exchange deadlock-free for any ChanCap ≥ 1.
-		pe.Send(dst, tag, wp, int64(cnt)+elems*WordsOf[T]())
+		// The payload is a capacity-capped view of the held run (see
+		// bruckView), so no append can ever write through it; the sender's
+		// own appends below land strictly beyond the shared prefix.
+		fp := fpool.Get(1)
+		(*fp)[0] = bruckView[T]{lens: lens[:cnt:cnt], data: arena[:elems:elems]}
+		pe.Send(dst, tag, fp, int64(cnt)+elems*WordsOf[T]())
 		rxAny, _ := pe.Recv(src, tag)
-		rw := rxAny.(*[]bruckMsg[T])
-		rx := (*rw)[0]
-		lens = append(lens, (*rx.lens)...)
-		arena = append(arena, (*rx.data)...)
-		ipool.Put(rx.lens)
-		dpool.Put(rx.data)
-		(*rw)[0] = bruckMsg[T]{}
-		wpool.Put(rw)
+		rf := rxAny.(*[]bruckView[T])
+		rx := (*rf)[0]
+		lens = append(lens, rx.lens...)
+		arena = append(arena, rx.data...)
+		(*rf)[0] = bruckView[T]{}
+		fpool.Put(rf)
 	}
 	return arena, lens
 }

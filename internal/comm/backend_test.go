@@ -160,7 +160,7 @@ func TestMailboxStatsMatchChannelMatrix(t *testing.T) {
 		reset = m.Stats()
 		return
 	}
-	c1, c2, cr := run(DefaultConfig(8))
+	c1, c2, cr := run(MatrixConfig(8))
 	b1, b2, br := run(MailboxConfig(8))
 	if c1 != b1 || c2 != b2 || cr != br {
 		t.Errorf("stats diverge between backends:\nchan:    %+v %+v %+v\nmailbox: %+v %+v %+v",
@@ -246,17 +246,140 @@ func TestQueueBytesGrowth(t *testing.T) {
 	if g := growth(MailboxConfig); g > 20 {
 		t.Errorf("mailbox queue memory grew %.0f× for 16× PEs; want O(p)", g)
 	}
-	if g := growth(DefaultConfig); g < 200 {
+	if g := growth(MatrixConfig); g < 200 {
 		t.Errorf("channel-matrix queue estimate grew only %.0f× for 16× PEs; estimator wrong?", g)
 	}
 	// Absolute sanity: the matrix at p=4096 is beyond any reasonable
 	// harness budget; the mailbox at the same p is trivial.
-	if got := QueueBytes(DefaultConfig(4096)); got < 16<<30 {
+	if got := QueueBytes(MatrixConfig(4096)); got < 16<<30 {
 		t.Errorf("channel-matrix estimate at p=4096 = %d B; expected tens of GB", got)
 	}
 	if got := QueueBytes(MailboxConfig(4096)); got > 16<<20 {
 		t.Errorf("mailbox estimate at p=4096 = %d B; expected well under 16 MB", got)
 	}
+}
+
+// TestDefaultConfigIsMailbox pins the PR 3 default flip: DefaultConfig
+// selects the mailbox runtime, MatrixConfig the channel-matrix reference,
+// and an explicitly constructed zero-Backend Config still means matrix.
+func TestDefaultConfigIsMailbox(t *testing.T) {
+	if b := DefaultConfig(4).Backend; b != BackendMailbox {
+		t.Errorf("DefaultConfig backend = %v, want mailbox", b)
+	}
+	if b := MatrixConfig(4).Backend; b != BackendChannelMatrix {
+		t.Errorf("MatrixConfig backend = %v, want chanmatrix", b)
+	}
+	if b := (Config{P: 4}).Backend; b != BackendChannelMatrix {
+		t.Errorf("zero-value backend = %v, want chanmatrix", b)
+	}
+}
+
+// TestMachineBytesGrowth pins the estimator the scaling budget guards
+// against: O(p) for the mailbox runtime including scheduler state, O(p²)
+// for the matrix, and never below QueueBytes.
+func TestMachineBytesGrowth(t *testing.T) {
+	growth := func(cfg func(int) Config) float64 {
+		return float64(MachineBytes(cfg(4096))) / float64(MachineBytes(cfg(256)))
+	}
+	if g := growth(MailboxConfig); g > 20 {
+		t.Errorf("mailbox machine estimate grew %.0f× for 16× PEs; want O(p)", g)
+	}
+	if g := growth(MatrixConfig); g < 100 {
+		t.Errorf("matrix machine estimate grew only %.0f× for 16× PEs", g)
+	}
+	for _, cfg := range []Config{MailboxConfig(1024), MatrixConfig(64)} {
+		if MachineBytes(cfg) < QueueBytes(cfg) {
+			t.Errorf("%s: MachineBytes %d < QueueBytes %d", cfg.Backend, MachineBytes(cfg), QueueBytes(cfg))
+		}
+	}
+	// The estimator must charge the scheduler: more workers, more bytes.
+	wide, narrow := MailboxConfig(1024), MailboxConfig(1024)
+	wide.Workers, narrow.Workers = 512, 4
+	if MachineBytes(wide) <= MachineBytes(narrow) {
+		t.Errorf("scheduler state not charged: w=512 → %d B, w=4 → %d B", MachineBytes(wide), MachineBytes(narrow))
+	}
+}
+
+// TestSchedWorkersResolution pins the w = min(GOMAXPROCS·8, p) default
+// and the clamping of explicit widths.
+func TestSchedWorkersResolution(t *testing.T) {
+	if w := SchedWorkers(MailboxConfig(1 << 20)); w != min(runtime.GOMAXPROCS(0)*8, 1<<20) {
+		t.Errorf("auto w = %d", w)
+	}
+	if w := SchedWorkers(MailboxConfig(3)); w != 3 {
+		t.Errorf("auto w at p=3 = %d, want 3", w)
+	}
+	cfg := MailboxConfig(64)
+	cfg.Workers = 4
+	if w := SchedWorkers(cfg); w != 4 {
+		t.Errorf("explicit w = %d, want 4", w)
+	}
+	cfg.Workers = 1 << 20
+	if w := SchedWorkers(cfg); w != 64 {
+		t.Errorf("oversized w = %d, want clamp to 64", w)
+	}
+	if w := SchedWorkers(MatrixConfig(64)); w != 0 {
+		t.Errorf("matrix w = %d, want 0", w)
+	}
+	m := NewMachine(MailboxConfig(16))
+	defer m.Close()
+	if m.Workers() != SchedWorkers(m.Config()) {
+		t.Errorf("Machine.Workers = %d, want %d", m.Workers(), SchedWorkers(m.Config()))
+	}
+}
+
+// TestMailboxSchedulerWLessThanP exercises the multiplexed regime — far
+// fewer shards than PEs, every body blocking — at the substrate level.
+func TestMailboxSchedulerWLessThanP(t *testing.T) {
+	const p = 64
+	cfg := MailboxConfig(p)
+	cfg.Workers = 4
+	m := NewMachine(cfg)
+	defer m.Close()
+	for round := 0; round < 3; round++ {
+		m.MustRun(func(pe *PE) {
+			const tag Tag = 21
+			// Reverse-order ring: every PE waits on a successor that the
+			// in-order shard queues have not started yet, forcing driver
+			// hand-offs down the whole queue.
+			next := (pe.Rank() + 1) % p
+			prev := (pe.Rank() - 1 + p) % p
+			pe.Send(prev, tag, pe.Rank()+round, 1)
+			rx, _ := pe.Recv(next, tag)
+			if rx.(int) != next+round {
+				t.Errorf("PE %d: got %v", pe.Rank(), rx)
+			}
+		})
+	}
+}
+
+// TestMailboxGoroutineCountResident is the tentpole residency guard: a
+// resident p = 16384 machine — after runs in which thousands of PE
+// bodies parked — keeps its goroutine count at O(w), not O(p).
+func TestMailboxGoroutineCountResident(t *testing.T) {
+	const p = 16384
+	before := runtime.NumGoroutine()
+	m := NewMachine(MailboxConfig(p))
+	defer m.Close()
+	w := m.Workers()
+	if w >= p/4 {
+		t.Skipf("GOMAXPROCS too large for a meaningful bound (w=%d, p=%d)", w, p)
+	}
+	// A shifted ring parks essentially every PE body at least once.
+	m.MustRun(func(pe *PE) {
+		const tag Tag = 33
+		pe.Send((pe.Rank()+1)%p, tag, nil, 1)
+		pe.Recv((pe.Rank()-1+p)%p, tag)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		if after = runtime.NumGoroutine(); after <= before+w+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("resident goroutines %d (baseline %d) exceed w+O(1) with w=%d; scheduler residency broken", after, before, w)
 }
 
 // heapInUse forces a GC and returns live heap bytes.
@@ -284,7 +407,7 @@ func TestMailboxMachineMemoryMeasured(t *testing.T) {
 		}
 		return after - before
 	}
-	chan64 := measure(DefaultConfig(64))
+	chan64 := measure(MatrixConfig(64))
 	box4096 := measure(MailboxConfig(4096))
 	// chan64 ≈ 64²·(hchan + 64 slots) ≈ 13 MB; box4096 ≈ 4096 boxes < 2 MB.
 	if box4096 >= chan64 {

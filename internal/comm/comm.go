@@ -22,14 +22,19 @@
 // semantics (per-sender FIFO delivery, abort propagation, identical
 // metering — pinned by the differential tests in internal/experiments):
 //
-//   - BackendChannelMatrix (default): one buffered channel per ordered PE
-//     pair and p goroutines spawned per Run. Simple, but queue memory is
-//     O(p²·ChanCap) and each Run pays the goroutine-spawn floor.
-//   - BackendMailbox: one MPSC mailbox per receiver (internal/mailbox) —
-//     O(p) queue memory — plus a persistent worker pool created once per
-//     Machine and incrementally folded aggregate statistics, so Stats()
-//     is O(1) instead of an O(p) scan. This is the runtime that scales to
-//     p ≥ 4096 (see the scaling suite in internal/experiments).
+//   - BackendMailbox (default): one MPSC mailbox per receiver
+//     (internal/mailbox) — O(p) queue memory — plus the sharded worker
+//     scheduler: w = min(GOMAXPROCS·8, p) shards multiplex the p PE
+//     bodies, a blocked Recv hands its shard's driver role to an idle
+//     spare, and the machine's resident goroutine count is O(w), not
+//     O(p). Aggregate statistics fold incrementally, so Stats() is O(1)
+//     instead of an O(p) scan. This is the runtime that scales to
+//     p = 131072 (see the scaling suite in internal/experiments).
+//   - BackendChannelMatrix: the original engine — one buffered channel
+//     per ordered PE pair and p goroutines spawned per Run. Queue memory
+//     is O(p²·ChanCap), which caps it near p ≈ 512; it is retained as
+//     the differential reference the mailbox runtime is pinned against
+//     (comm.MatrixConfig, exercised at p ∈ {4, 16, 64}).
 package comm
 
 import (
@@ -49,9 +54,12 @@ type Backend int
 const (
 	// BackendChannelMatrix is the original engine: a buffered channel per
 	// ordered PE pair, p goroutines spawned per Run, Stats by O(p) scan.
+	// Retained as the differential reference; the Config zero value keeps
+	// selecting it so explicitly constructed Configs are unambiguous.
 	BackendChannelMatrix Backend = iota
-	// BackendMailbox is the scalable engine: per-receiver MPSC mailboxes,
-	// a persistent PE worker pool, and O(1) aggregate Stats.
+	// BackendMailbox is the scalable engine (and the DefaultConfig
+	// choice): per-receiver MPSC mailboxes, the sharded worker scheduler,
+	// and O(1) aggregate Stats.
 	BackendMailbox
 )
 
@@ -89,21 +97,55 @@ type Config struct {
 	// Backend selects the message runtime. The zero value is the original
 	// channel matrix.
 	Backend Backend
+	// Workers is the mailbox scheduler width w: the number of shards the
+	// p PE bodies are multiplexed over, and the machine's resident
+	// goroutine budget. 0 selects min(GOMAXPROCS·8, p); any value is
+	// clamped to [1, p]. Ignored by the channel matrix. Execution results
+	// and metering are independent of w (pinned by the differential
+	// tests); w only trades host parallelism against resident memory.
+	Workers int
 }
 
-// DefaultConfig returns a machine configuration with p PEs and the default
-// α/β ratio used throughout the benchmarks (α = 1000β, a typical
-// cluster-interconnect ratio of startup latency to per-word bandwidth).
+// DefaultConfig returns a machine configuration with p PEs on the mailbox
+// backend and the default α/β ratio used throughout the benchmarks
+// (α = 1000β, a typical cluster-interconnect ratio of startup latency to
+// per-word bandwidth). Since PR 3 the default runtime is the mailbox
+// engine; use MatrixConfig for the channel-matrix reference.
 func DefaultConfig(p int) Config {
-	return Config{P: p, Alpha: 1000, Beta: 1, ChanCap: 64, Seed: 1}
+	return Config{P: p, Alpha: 1000, Beta: 1, ChanCap: 64, Seed: 1, Backend: BackendMailbox}
 }
 
-// MailboxConfig is DefaultConfig on the mailbox backend — the
-// configuration for machines beyond the channel matrix's memory ceiling.
+// MailboxConfig is DefaultConfig with the mailbox backend made explicit.
+// It predates the default flip and is kept so call sites that must not
+// silently follow future default changes can say what they mean.
 func MailboxConfig(p int) Config {
 	cfg := DefaultConfig(p)
 	cfg.Backend = BackendMailbox
 	return cfg
+}
+
+// MatrixConfig is DefaultConfig on the channel-matrix engine — the
+// differential-reference configuration. Its O(p²·ChanCap) queue memory
+// limits it to small p; everything at scale runs on DefaultConfig.
+func MatrixConfig(p int) Config {
+	cfg := DefaultConfig(p)
+	cfg.Backend = BackendChannelMatrix
+	return cfg
+}
+
+// SchedWorkers resolves the mailbox scheduler width w for cfg: the
+// explicit cfg.Workers clamped to [1, p], or min(GOMAXPROCS·8, p) when
+// unset. Returns 0 for the channel matrix (which binds one goroutine per
+// PE for the duration of each Run).
+func SchedWorkers(cfg Config) int {
+	if cfg.Backend != BackendMailbox {
+		return 0
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0) * 8
+	}
+	return max(1, min(w, cfg.P))
 }
 
 // QueueBytes estimates the message-queue memory NewMachine allocates up
@@ -129,6 +171,26 @@ func QueueBytes(cfg Config) int64 {
 	}
 }
 
+// MachineBytes estimates the full resident cost of a machine for cfg:
+// the message queues (QueueBytes) plus the per-PE handles and, on the
+// mailbox backend, the scheduler state — shard bookkeeping and up to w
+// idle goroutine stacks. The channel matrix is instead charged the p
+// goroutine stacks each Run binds for its duration. This is the number
+// the scaling harness budgets against (QueueBytes alone flatters a
+// backend whose queues are small but whose runtime state is not), and a
+// test pins it against the measured live heap. Transient run state —
+// bodies parked mid-collective — is workload-dependent and not included.
+func MachineBytes(cfg Config) int64 {
+	p := int64(cfg.P)
+	peBytes := int64(unsafe.Sizeof(PE{})) + 8 // handle + slice slot
+	b := QueueBytes(cfg) + p*peBytes
+	if cfg.Backend == BackendMailbox {
+		return b + mailbox.StateBytes(cfg.P, SchedWorkers(cfg))
+	}
+	const stackBytes = 8 << 10
+	return b + p*stackBytes
+}
+
 type message struct {
 	tag    Tag
 	words  int64
@@ -144,11 +206,12 @@ type Machine struct {
 	boxes []*mailbox.Box   // mailbox backend: boxes[dst]
 	pes   []*PE
 
-	// Mailbox-backend run machinery: a persistent worker pool (created
-	// lazily on the first Run, torn down by Close or the finalizer), the
-	// per-rank exec wrapper (one closure per machine, so steady-state Run
+	// Mailbox-backend run machinery: the sharded scheduler (w shards
+	// multiplexing the p PE bodies; goroutines spawn lazily and at most w
+	// stay resident, torn down by Close or the finalizer), the per-rank
+	// exec wrapper (one closure per machine, so steady-state Run
 	// allocates nothing), and the body it dispatches.
-	workers   *mailbox.Workers
+	sched     *mailbox.Sched
 	exec      func(rank int)
 	runBody   func(pe *PE)
 	closeOnce sync.Once
@@ -191,16 +254,24 @@ func NewMachine(cfg Config) *Machine {
 			}
 		}
 	}
+	if cfg.Backend == BackendMailbox {
+		m.sched = mailbox.NewSched(cfg.P, SchedWorkers(cfg))
+	}
 	for i := 0; i < cfg.P; i++ {
 		pe := &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
 		if m.boxes != nil {
 			pe.box = m.boxes[i]
 			pe.sendBoxes = m.boxes
+			pe.sched = m.sched
 		}
 		m.pes[i] = pe
 	}
 	if cfg.Backend == BackendMailbox {
 		m.exec = m.execRank
+		// An idle scheduler goroutine references only the scheduler, never
+		// the machine, so the finalizer fires once callers drop the machine
+		// and releases the spare pool.
+		runtime.SetFinalizer(m, (*Machine).shutdown)
 	}
 	return m
 }
@@ -211,11 +282,11 @@ func (m *Machine) P() int { return m.cfg.P }
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Close releases the persistent worker goroutines of a mailbox-backend
-// machine. It is optional — an unreachable machine's workers are released
-// by a finalizer — but deterministic teardown matters at large p (the
-// scaling harness creates machines with tens of thousands of workers).
-// The machine must not be used after Close. No-op on the channel matrix.
+// Close releases the resident scheduler goroutines of a mailbox-backend
+// machine. It is optional — an unreachable machine's scheduler is
+// released by a finalizer — but deterministic teardown keeps harness
+// measurements clean. The machine must not be used after Close. No-op on
+// the channel matrix.
 func (m *Machine) Close() {
 	runtime.SetFinalizer(m, nil)
 	m.shutdown()
@@ -223,10 +294,19 @@ func (m *Machine) Close() {
 
 func (m *Machine) shutdown() {
 	m.closeOnce.Do(func() {
-		if m.workers != nil {
-			m.workers.Close()
+		if m.sched != nil {
+			m.sched.Close()
 		}
 	})
+}
+
+// Workers returns the mailbox scheduler width w (0 on the channel
+// matrix): the machine's resident goroutine budget.
+func (m *Machine) Workers() int {
+	if m.sched == nil {
+		return 0
+	}
+	return m.sched.Workers()
 }
 
 // abortErr records the first error and releases all blocked PEs.
@@ -257,19 +337,15 @@ func (abortedError) Error() string { return "comm: aborted because another PE fa
 // run completes without error, since tags are checked).
 //
 // On the channel matrix, each Run spawns p goroutines. On the mailbox
-// backend the first Run starts the persistent worker pool and subsequent
-// runs reuse it, allocation-free in steady state (pinned by a test).
+// backend the sharded scheduler multiplexes the p bodies over w shards:
+// a Run whose bodies never block dispatches entirely on the resident
+// goroutines and allocates nothing in steady state (pinned by a test);
+// bodies that block in Recv park on their mailbox and transiently occupy
+// a goroutine each until the run completes.
 func (m *Machine) Run(body func(pe *PE)) error {
 	if m.cfg.Backend == BackendMailbox {
-		if m.workers == nil {
-			m.workers = mailbox.NewWorkers(m.cfg.P)
-			// A parked worker references only its kick channel, never the
-			// machine, so the finalizer fires once callers drop the machine
-			// and releases the pool.
-			runtime.SetFinalizer(m, (*Machine).shutdown)
-		}
 		m.runBody = body
-		m.workers.Run(m.exec)
+		m.sched.Run(m.exec)
 		m.runBody = nil
 	} else {
 		var wg sync.WaitGroup
@@ -433,10 +509,13 @@ type PE struct {
 	beta  float64
 
 	// Mailbox backend: box is this PE's own intake, sendBoxes the
-	// machine-wide slice indexed by destination. Both nil on the channel
-	// matrix (the Send/Recv dispatch tests box/sendBoxes, not config).
+	// machine-wide slice indexed by destination, sched the sharded
+	// scheduler a blocking Recv must notify (driver hand-off). All nil on
+	// the channel matrix (the Send/Recv dispatch tests box/sendBoxes, not
+	// config).
 	box       *mailbox.Box
 	sendBoxes []*mailbox.Box
+	sched     *mailbox.Sched
 
 	clock     float64
 	sentWords int64
@@ -578,6 +657,10 @@ func (pe *PE) Recv(src int, tag Tag) (any, int64) {
 		// interrupt (see Machine.abortErr), not the abort channel.
 		mm, ok := pe.box.TryTake(src)
 		if !ok {
+			// About to block: hand this PE's shard driver role to another
+			// goroutine so queued PE bodies keep starting while this one
+			// parks on its mailbox.
+			pe.sched.WillPark(pe.rank)
 			t0 := time.Now()
 			mm, ok = pe.box.Take(src)
 			pe.waitNs += time.Since(t0).Nanoseconds()

@@ -155,9 +155,10 @@ func TestInvalidConfig(t *testing.T) {
 }
 
 func TestManyPEsAllExchange(t *testing.T) {
-	// Stress the buffered-channel matrix with a dense exchange.
+	// Stress the buffered-channel matrix with a dense exchange (the
+	// mailbox twin lives in backend_test.go).
 	const p = 16
-	m := NewMachine(DefaultConfig(p))
+	m := NewMachine(MatrixConfig(p))
 	m.MustRun(func(pe *PE) {
 		const tag Tag = 11
 		for i := 1; i < p; i++ {

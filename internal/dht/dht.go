@@ -41,54 +41,71 @@ func Mix(key uint64) uint64 {
 // Owner returns the PE owning key.
 func Owner(key uint64, p int) int { return int(Mix(key) % uint64(p)) }
 
-// CountKeys inserts every PE's locally aggregated counts and returns, on
-// each PE, the global counts of the keys it owns. Collective.
-func CountKeys(pe *comm.PE, local map[uint64]int64, mode RouteMode) map[uint64]int64 {
+// CountKV inserts every PE's locally aggregated counts (as KV pairs, any
+// order) and returns, on each PE, the global counts of the keys it owns
+// in a pooled Table the caller must Release. This is the allocation-lean
+// core of the counting DHT: the hypercube route re-aggregates with one
+// reused Table per query instead of a fresh Go map per routing step, and
+// the in-place combine writes its output over the held buffer, so the
+// steady-state per-step cost is zero allocations. Collective.
+func CountKV(pe *comm.PE, items []KV, mode RouteMode) *Table {
 	p := pe.P()
+	out := NewTable(len(items))
 	switch mode {
 	case RouteDirect:
 		parts := make([][]KV, p)
-		for k, c := range local {
-			d := Owner(k, p)
-			parts[d] = append(parts[d], KV{k, c})
+		for _, kv := range items {
+			d := Owner(kv.Key, p)
+			parts[d] = append(parts[d], kv)
 		}
 		recv := coll.AllToAll(pe, parts)
-		out := make(map[uint64]int64)
 		for _, part := range recv {
 			for _, kv := range part {
-				out[kv.Key] += kv.Count
+				out.Add(kv.Key, kv.Count)
 			}
 		}
 		return out
 	case RouteHypercube:
-		items := make([]KV, 0, len(local))
-		for k, c := range local {
-			items = append(items, KV{k, c})
-		}
 		// The destination is derivable from the key, so only the
 		// (key, count) pair travels; counts for equal keys merge at
-		// every routing step.
+		// every routing step through the reused table.
 		destFn := func(kv KV) int { return Owner(kv.Key, p) }
 		combine := func(held []KV) []KV {
-			agg := make(map[uint64]int64, len(held))
+			out.Reset()
 			for _, kv := range held {
-				agg[kv.Key] += kv.Count
+				out.Add(kv.Key, kv.Count)
 			}
-			out := make([]KV, 0, len(agg))
-			for k, c := range agg {
-				out = append(out, KV{k, c})
-			}
-			return out
+			// Overwriting held in place is safe because ownership of a
+			// routed batch moves with the message: on the low ranks held is
+			// an append-built local slice, and on a folded-out high rank it
+			// is the batch its partner sent and then abandoned (RouteCombine
+			// senders never touch a slice after Send).
+			return out.AppendKVs(held[:0])
 		}
 		held := coll.RouteCombine(pe, items, destFn, combine)
-		out := make(map[uint64]int64, len(held))
+		out.Reset()
 		for _, kv := range held {
-			out[kv.Key] += kv.Count
+			out.Add(kv.Key, kv.Count)
 		}
 		return out
 	default:
 		panic("dht: unknown route mode")
 	}
+}
+
+// CountKeys is CountKV for callers holding a Go map; it returns a map.
+// Prefer CountKV + Table on hot paths — this wrapper pays the map churn
+// CountKV exists to avoid.
+func CountKeys(pe *comm.PE, local map[uint64]int64, mode RouteMode) map[uint64]int64 {
+	items := make([]KV, 0, len(local))
+	for k, c := range local {
+		items = append(items, KV{k, c})
+	}
+	t := CountKV(pe, items, mode)
+	out := make(map[uint64]int64, t.Len())
+	t.ForEach(func(k uint64, c int64) { out[k] = c })
+	t.Release()
+	return out
 }
 
 // HC is a hashed cell count: the dSBF wire format. Hash and Count are
@@ -116,18 +133,18 @@ func cellOf(key uint64) uint32 { return uint32(Mix(key) >> 32) }
 // cellOwner distributes cells over PEs by range-ish hashing.
 func cellOwner(cell uint32, p int) int { return int(uint64(cell) % uint64(p)) }
 
-// BuildSBF inserts locally aggregated counts as (hash, count) cells.
-// Counts are saturated at 2^32−1 per message (ample for sample counts).
-// Collective.
-func BuildSBF(pe *comm.PE, local map[uint64]int64) *SBF {
+// BuildSBF inserts locally aggregated counts (a sampled count table) as
+// (hash, count) cells. Counts are saturated at 2^32−1 per message (ample
+// for sample counts). The table is only read. Collective.
+func BuildSBF(pe *comm.PE, local *Table) *SBF {
 	p := pe.P()
 	s := &SBF{pe: pe, Cells: map[uint32]int64{}, local: map[uint32][]KV{}}
 	cellAgg := make(map[uint32]int64)
-	for k, c := range local {
+	local.ForEach(func(k uint64, c int64) {
 		cell := cellOf(k)
 		s.local[cell] = append(s.local[cell], KV{k, c})
 		cellAgg[cell] += c
-	}
+	})
 	items := make([]HC, 0, len(cellAgg))
 	for cell, c := range cellAgg {
 		cc := c

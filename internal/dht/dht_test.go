@@ -19,6 +19,15 @@ func localCountsFor(seed int64, rank, universe, items int) map[uint64]int64 {
 	return m
 }
 
+// tableOf loads a count map into a fresh Table (test convenience).
+func tableOf(m map[uint64]int64) *Table {
+	t := NewTable(len(m))
+	for k, c := range m {
+		t.Add(k, c)
+	}
+	return t
+}
+
 func globalExpected(seed int64, p, universe, items int) map[uint64]int64 {
 	want := map[uint64]int64{}
 	for r := 0; r < p; r++ {
@@ -111,8 +120,9 @@ func TestSBFCountsMatch(t *testing.T) {
 		m := comm.NewMachine(comm.DefaultConfig(p))
 		cellsByPE := make([]map[uint32]int64, p)
 		m.MustRun(func(pe *comm.PE) {
-			local := localCountsFor(7, pe.Rank(), 300, 400)
+			local := tableOf(localCountsFor(7, pe.Rank(), 300, 400))
 			s := BuildSBF(pe, local)
+			local.Release()
 			cellsByPE[pe.Rank()] = s.Cells
 		})
 		// Cell sums must equal the key-count sums grouped by cell
@@ -147,8 +157,9 @@ func TestSBFResolveSplitsCollisions(t *testing.T) {
 	m := comm.NewMachine(comm.DefaultConfig(p))
 	resolvedByPE := make([][]KV, p)
 	m.MustRun(func(pe *comm.PE) {
-		local := localCountsFor(11, pe.Rank(), 100, 300)
+		local := tableOf(localCountsFor(11, pe.Rank(), 100, 300))
 		s := BuildSBF(pe, local)
+		local.Release()
 		// Resolve every cell: must reconstruct the full exact table.
 		var cells []uint32
 		for k := range want {

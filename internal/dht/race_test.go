@@ -1,0 +1,5 @@
+//go:build race
+
+package dht
+
+const raceEnabled = true

@@ -1,0 +1,196 @@
+package dht
+
+import (
+	"fmt"
+
+	"commtopk/internal/commbuf"
+)
+
+// Table is an open-addressing (linear-probing) uint64 → int64 count
+// table whose slot array is a pooled buffer (internal/commbuf). The
+// frequent-objects and sum-aggregation layers build and discard a count
+// table per query — and, on the hypercube insertion route, one per
+// routing step — so the Go map they used churned O(distinct keys) of
+// allocation per query. A Table recycles its slots through the pool:
+// steady-state queries allocate nothing for counting.
+//
+// Iteration (ForEach, AppendKVs) is in slot order, which is a pure
+// function of the insertion sequence — deterministic wherever the
+// insertions are, unlike Go map iteration. Keys hash through Mix, the
+// same finalizer that shards keys across PEs.
+//
+// A Table is not safe for concurrent use; like all per-PE state it lives
+// on one PE at a time. Call Release to return the slots to the pool (the
+// zero Table and a released Table are both usable again and simply
+// re-acquire slots on first insert).
+type Table struct {
+	slots *[]tableSlot
+	used  int
+	total int64
+}
+
+type tableSlot struct {
+	key  uint64
+	val  int64
+	live bool
+}
+
+// NewTable returns a table pre-sized for about hint live keys.
+func NewTable(hint int) *Table {
+	t := &Table{}
+	if hint > 0 {
+		t.grow(slotsFor(hint))
+	}
+	return t
+}
+
+// slotsFor returns the power-of-two slot count that keeps hint keys
+// under the ~2/3 load-factor ceiling.
+func slotsFor(hint int) int {
+	n := 16
+	for n*2 < hint*3 {
+		n <<= 1
+	}
+	return n
+}
+
+// Len returns the number of live keys.
+func (t *Table) Len() int { return t.used }
+
+// Total returns the sum of all counts — maintained incrementally, so
+// realized sample sizes cost O(1) instead of a full scan.
+func (t *Table) Total() int64 { return t.total }
+
+// Add increments key's count by delta, inserting it if absent.
+func (t *Table) Add(key uint64, delta int64) {
+	t.total += delta
+	slot := t.probe(key)
+	if !slot.live {
+		if t.ensure() {
+			slot = t.probe(key)
+		}
+		slot.key, slot.val, slot.live = key, 0, true
+		t.used++
+	}
+	slot.val += delta
+}
+
+// Set stores val for key, replacing any previous value. Total tracks the
+// stored values like Add's deltas would.
+func (t *Table) Set(key uint64, val int64) {
+	slot := t.probe(key)
+	if !slot.live {
+		if t.ensure() {
+			slot = t.probe(key)
+		}
+		slot.key, slot.live = key, true
+		t.used++
+	} else {
+		t.total -= slot.val
+	}
+	slot.val = val
+	t.total += val
+}
+
+// Get returns key's count and whether it is present.
+func (t *Table) Get(key uint64) (int64, bool) {
+	if t.slots == nil || t.used == 0 {
+		return 0, false
+	}
+	slot := t.probe(key)
+	return slot.val, slot.live
+}
+
+// probe returns the slot holding key, or the empty slot where it would
+// be inserted. Requires a non-nil slot array unless called via ensure.
+func (t *Table) probe(key uint64) *tableSlot {
+	if t.slots == nil {
+		t.grow(16)
+	}
+	s := *t.slots
+	mask := uint64(len(s) - 1)
+	for i := Mix(key) & mask; ; i = (i + 1) & mask {
+		if !s[i].live || s[i].key == key {
+			return &s[i]
+		}
+	}
+}
+
+// ensure grows the table if the next insert would push the load factor
+// past ~2/3, reporting whether a rehash happened (invalidating slots).
+func (t *Table) ensure() bool {
+	if t.slots != nil && (t.used+1)*3 <= len(*t.slots)*2 {
+		return false
+	}
+	n := 16
+	if t.slots != nil {
+		n = len(*t.slots) * 2
+	}
+	t.grow(n)
+	return true
+}
+
+// grow rehashes into a pooled slot array of exactly n (power-of-two)
+// slots, recycling the previous array.
+func (t *Table) grow(n int) {
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dht: slot count %d not a power of two", n))
+	}
+	old := t.slots
+	fresh := commbuf.For[tableSlot]().Get(n)
+	clear(*fresh)
+	t.slots = fresh
+	if old != nil {
+		mask := uint64(n - 1)
+		for _, s := range *old {
+			if !s.live {
+				continue
+			}
+			i := Mix(s.key) & mask
+			for (*fresh)[i].live {
+				i = (i + 1) & mask
+			}
+			(*fresh)[i] = s
+		}
+		commbuf.For[tableSlot]().Put(old)
+	}
+}
+
+// ForEach calls f for every live (key, count) pair in slot order. f must
+// not mutate the table.
+func (t *Table) ForEach(f func(key uint64, count int64)) {
+	if t.slots == nil {
+		return
+	}
+	for _, s := range *t.slots {
+		if s.live {
+			f(s.key, s.val)
+		}
+	}
+}
+
+// AppendKVs appends the live entries to dst in slot order.
+func (t *Table) AppendKVs(dst []KV) []KV {
+	t.ForEach(func(k uint64, c int64) {
+		dst = append(dst, KV{Key: k, Count: c})
+	})
+	return dst
+}
+
+// Reset clears the table for reuse, keeping its slot array.
+func (t *Table) Reset() {
+	if t.slots != nil {
+		clear(*t.slots)
+	}
+	t.used, t.total = 0, 0
+}
+
+// Release returns the slot array to the pool; the table remains usable
+// and re-acquires slots on the next insert.
+func (t *Table) Release() {
+	if t.slots != nil {
+		commbuf.For[tableSlot]().Put(t.slots)
+		t.slots = nil
+	}
+	t.used, t.total = 0, 0
+}

@@ -19,21 +19,37 @@ func SortKVDesc(items []KV) {
 	})
 }
 
-// SelectTopK returns the k entries with the highest counts from a
-// DHT-sharded count table, on all PEs, using the unsorted selection
+// SelectTopKTable returns the k entries with the highest counts from a
+// DHT-sharded count Table, on all PEs, using the unsorted selection
 // algorithm of Section 4.1 on the counts (descending order is realized by
 // complementing the count). Ties at the threshold are split
 // deterministically — across PEs with a prefix sum, within a PE by
-// ascending key, so map iteration order cannot leak into the result —
+// ascending key, so shard iteration order cannot leak into the result —
 // and exactly k entries are returned (fewer if fewer exist globally).
 // Shared by the frequent-objects (§7) and sum-aggregation (§8) layers.
-// Collective.
+// The shard table is only read. Collective.
+func SelectTopKTable(pe *comm.PE, shard *Table, k int, rng *xrand.RNG) []KV {
+	items := comm.ScratchSlice[KV](pe, "dht.topk.items", shard.Len())[:0]
+	items = shard.AppendKVs(items)
+	return selectTopKItems(pe, items, k, rng)
+}
+
+// SelectTopK is SelectTopKTable for callers holding a Go map.
 func SelectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []KV {
-	items := make([]KV, 0, len(shard))
-	ords := make([]uint64, 0, len(shard))
+	items := comm.ScratchSlice[KV](pe, "dht.topk.items", len(shard))[:0]
 	for key, c := range shard {
 		items = append(items, KV{Key: key, Count: c})
-		ords = append(ords, ^uint64(c))
+	}
+	return selectTopKItems(pe, items, k, rng)
+}
+
+// selectTopKItems is the shared selection core. items is consumed as
+// scratch (it may be reordered); the returned slice is freshly gathered
+// and caller-owned.
+func selectTopKItems(pe *comm.PE, items []KV, k int, rng *xrand.RNG) []KV {
+	ords := comm.ScratchSlice[uint64](pe, "dht.topk.ords", len(items))[:0]
+	for _, it := range items {
+		ords = append(ords, ^uint64(it.Count))
 	}
 	total := coll.SumAll(pe, int64(len(items)))
 	if total == 0 {
@@ -46,21 +62,30 @@ func SelectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []KV
 	}
 	thr := sel.Kth(pe, ords, int64(k), rng)
 	thrCount := int64(^thr)
-	var selected, tied []KV
-	for _, it := range items {
+	// Partition in place: strictly-above entries to the front, threshold
+	// ties right behind them — no per-query selected/tied slices.
+	nSel, nTied := 0, 0
+	for i, it := range items {
 		if it.Count > thrCount {
-			selected = append(selected, it)
+			items[i] = items[nSel+nTied]
+			if nTied > 0 {
+				items[nSel+nTied] = items[nSel]
+			}
+			items[nSel] = it
+			nSel++
 		} else if it.Count == thrCount {
-			tied = append(tied, it)
+			items[i] = items[nSel+nTied]
+			items[nSel+nTied] = it
+			nTied++
 		}
 	}
-	nAbove := coll.SumAll(pe, int64(len(selected)))
+	tied := items[nSel : nSel+nTied]
+	nAbove := coll.SumAll(pe, int64(nSel))
 	needTies := int64(k) - nAbove
-	prevTies := coll.ExScanSum(pe, int64(len(tied)))
-	take := min(max(needTies-prevTies, 0), int64(len(tied)))
+	prevTies := coll.ExScanSum(pe, int64(nTied))
+	take := min(max(needTies-prevTies, 0), int64(nTied))
 	sort.Slice(tied, func(i, j int) bool { return tied[i].Key < tied[j].Key })
-	selected = append(selected, tied[:take]...)
-	out := coll.AllGatherConcat(pe, selected)
+	out := coll.AllGatherConcat(pe, items[:nSel+int(take)])
 	SortKVDesc(out)
 	return out
 }

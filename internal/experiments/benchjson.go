@@ -41,8 +41,17 @@ type BenchResult struct {
 	P       int    `json:"p,omitempty"`
 	Backend string `json:"backend,omitempty"`
 	// MachineBytes is the measured live-heap cost of constructing the
-	// machine (message queues; worker stacks are not heap).
+	// machine (message queues; goroutine stacks are not heap).
 	MachineBytes float64 `json:"machine_bytes,omitempty"`
+	// Workers is the mailbox scheduler width w (0 on the channel matrix);
+	// Goroutines the resident process goroutine count measured while the
+	// machine was live — the PR 3 decoupling claim: Goroutines tracks w,
+	// not P, even after runs that parked thousands of PE bodies.
+	Workers    int `json:"workers,omitempty"`
+	Goroutines int `json:"goroutines,omitempty"`
+	// Note carries entry-specific context (reduced n/p at huge p, the
+	// materializing-variant memory a chunked gather avoided, …).
+	Note string `json:"note,omitempty"`
 	// Skipped records why a configuration was refused (e.g. the channel
 	// matrix's estimated queue memory exceeding the harness budget) — the
 	// entry then carries no measurements.
@@ -72,9 +81,12 @@ type benchCase struct {
 // benchSuite is the fixed benchmark set of the pipeline. It mirrors the
 // root bench_test.go families that gate acceptance (Table 1 unsorted
 // selection and the substrate collectives) at the same configurations.
-// Every case exists on both backends: the original names keep the
-// channel matrix (so they stay comparable against earlier reports) and
-// the "/mailbox" twins measure the scalable runtime on identical work.
+// Every case exists on both backends. Since the PR 3 default flip the
+// base names measure the mailbox runtime (what DefaultConfig now means,
+// and what the root bench families run); the "/chanmatrix" twins keep
+// the channel-matrix reference measurable, and the legacy "/mailbox"
+// twins of the PR 2 reports map onto the new base names when comparing
+// across the flip.
 func benchSuite() []benchCase {
 	var cases []benchCase
 	selCfg := func(name string, cfg comm.Config, kth func(pe *comm.PE, local []uint64, k int64, rng *xrand.RNG) uint64) {
@@ -96,7 +108,7 @@ func benchSuite() []benchCase {
 		}})
 	}
 	selCfg("Table1/UnsortedSelection", comm.DefaultConfig(16), sel.Kth[uint64])
-	selCfg("Table1/UnsortedSelection/mailbox", comm.MailboxConfig(16), sel.Kth[uint64])
+	selCfg("Table1/UnsortedSelection/chanmatrix", comm.MatrixConfig(16), sel.Kth[uint64])
 	selCfg("Table1/UnsortedSelectionOldRandomized", comm.DefaultConfig(16), sel.KthRandomized[uint64])
 	subs := []struct {
 		name string
@@ -110,12 +122,12 @@ func benchSuite() []benchCase {
 	}
 	for _, s := range subs {
 		body := s.body
-		for _, backend := range []comm.Backend{comm.BackendChannelMatrix, comm.BackendMailbox} {
+		for _, backend := range []comm.Backend{comm.BackendMailbox, comm.BackendChannelMatrix} {
 			name := "Substrate/Collectives/" + s.name
 			cfg := comm.DefaultConfig(64)
-			if backend == comm.BackendMailbox {
-				name += "/mailbox"
-				cfg.Backend = comm.BackendMailbox
+			if backend == comm.BackendChannelMatrix {
+				name += "/chanmatrix"
+				cfg.Backend = comm.BackendChannelMatrix
 			}
 			cases = append(cases, benchCase{
 				name: name,
@@ -174,7 +186,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 				c.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp))
 		}
 	}
-	out = append(out, ScalingSuite(ScalingPList(1<<14), ScalingMemBudgetBytes, progress)...)
+	out = append(out, ScalingSuite(ScalingPList(1<<17), ScalingMemBudgetBytes, progress)...)
 	return out
 }
 

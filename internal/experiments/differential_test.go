@@ -94,6 +94,33 @@ func diffOps(perPE int) []diffOp {
 			}
 			return flat
 		}},
+		{"AllGatherChunked", func(pe *comm.PE, seed int64) any {
+			data := make([]int64, pe.Rank()%4)
+			for i := range data {
+				data[i] = seed + int64(pe.Rank()*7+i)
+			}
+			flat := make([]int64, 0, 4*pe.P())
+			blocks := make([][]int64, pe.P())
+			coll.AllGatherChunked(pe, data, 3, func(src int, block []int64) {
+				blocks[src] = append([]int64(nil), block...)
+			})
+			for _, b := range blocks {
+				flat = append(flat, b...)
+			}
+			return flat
+		}},
+		{"HypercubeA2AChunked", func(pe *comm.PE, seed int64) any {
+			items := make([]coll.Routed[int64], pe.P())
+			for d := range items {
+				items[d] = coll.Routed[int64]{Dest: d, Payload: seed + int64(pe.Rank()+d)}
+			}
+			got := coll.AllToAllCombineChunked(pe, items, 2, nil)
+			var sum int64
+			for _, it := range got {
+				sum += it.Payload
+			}
+			return sum
+		}},
 		{"HypercubeA2A", func(pe *comm.PE, seed int64) any {
 			items := make([]coll.Routed[int64], pe.P())
 			for d := range items {
@@ -155,7 +182,7 @@ func TestBackendDifferential(t *testing.T) {
 	for _, p := range []int{4, 16, 64} {
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
 			seed := int64(1000 + p)
-			chanRes, chanStats := runDiffSuite(t, comm.DefaultConfig(p), seed, perPE)
+			chanRes, chanStats := runDiffSuite(t, comm.MatrixConfig(p), seed, perPE)
 			boxRes, boxStats := runDiffSuite(t, comm.MailboxConfig(p), seed, perPE)
 			ops := diffOps(perPE)
 			for i, op := range ops {
@@ -171,12 +198,42 @@ func TestBackendDifferential(t *testing.T) {
 	}
 }
 
+// TestBackendDifferentialShardedScheduler pins the sharded scheduler
+// against the channel-matrix reference in the multiplexed regime — far
+// fewer shards than PEs (w = 4, p = 64, so every shard queue is 16 deep
+// and every collective forces driver hand-offs) plus the degenerate
+// single-shard machine. Results and metered statistics must be
+// bit-identical: scheduling order may differ wildly, but the per-PE RNG
+// streams, per-sender FIFO delivery, and above-transport metering make
+// every observable deterministic.
+func TestBackendDifferentialShardedScheduler(t *testing.T) {
+	const p, perPE = 64, 1 << 10
+	const seed = int64(7700)
+	chanRes, chanStats := runDiffSuite(t, comm.MatrixConfig(p), seed, perPE)
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			cfg := comm.MailboxConfig(p)
+			cfg.Workers = w
+			boxRes, boxStats := runDiffSuite(t, cfg, seed, perPE)
+			for i, op := range diffOps(perPE) {
+				if !reflect.DeepEqual(chanRes[i], boxRes[i]) {
+					t.Errorf("%s: results diverge at w=%d", op.name, w)
+				}
+				if chanStats[i] != boxStats[i] {
+					t.Errorf("%s: stats diverge at w=%d:\n  chanmatrix: %+v\n  mailbox:    %+v",
+						op.name, w, chanStats[i], boxStats[i])
+				}
+			}
+		})
+	}
+}
+
 // TestBackendDifferentialRepeatedRuns pins cross-run state handling: tag
 // sequences, scratch stores and the persistent worker pool must leave the
 // machines equivalent after many reuse cycles.
 func TestBackendDifferentialRepeatedRuns(t *testing.T) {
 	const p, rounds = 8, 5
-	mc := comm.NewMachine(comm.DefaultConfig(p))
+	mc := comm.NewMachine(comm.MatrixConfig(p))
 	mb := comm.NewMachine(comm.MailboxConfig(p))
 	defer mb.Close()
 	for r := 0; r < rounds; r++ {

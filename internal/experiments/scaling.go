@@ -12,25 +12,44 @@ import (
 	"commtopk/internal/xrand"
 )
 
-// The scaling suite: the collective suite and Table-1 unsorted selection
-// at p = 256…16384 — PE counts where the paper's O(α log p) startup
-// bounds become visible, and where the channel-matrix backend's
-// O(p²·ChanCap) queue memory exceeds any sane harness budget (p = 4096
-// alone would need ~50 GiB of channel buffers). Each configuration is
-// guarded by comm.QueueBytes against ScalingMemBudgetBytes: over-budget
-// machines are recorded as skipped with the estimate, not attempted —
-// that refusal is itself the measurement the mailbox backend exists to
-// change.
+// The scaling suite: the O(log p) collective set, the chunked gather
+// collectives, and Table-1 unsorted selection at p = 256…131072 — PE
+// counts where the paper's O(α log p) startup bounds become visible, and
+// where the channel-matrix backend's O(p²·ChanCap) queue memory exceeds
+// any sane harness budget (p = 4096 alone would need ~50 GiB of channel
+// buffers). Each configuration is guarded by comm.MachineBytes (queues +
+// PE handles + scheduler state) against ScalingMemBudgetBytes:
+// over-budget machines are recorded as skipped with the estimate, not
+// attempted — that refusal is itself the measurement the mailbox backend
+// exists to change. The gather workload has a second guard: the
+// materializing all-gather's O(p·m) per-PE results are checked against
+// the same budget (refused from p = 16384), while the chunked variant is
+// capped only by the p²·m aggregate data movement every all-gather
+// must perform (a host-time budget, recorded when it trips).
+//
+// Since PR 3 each mailbox entry also records the scheduler width w and
+// the process goroutine count measured while the machine is resident —
+// the tentpole claim that goroutines no longer scale with p.
 
 // ScalingMemBudgetBytes is the harness memory budget for up-front
-// message-queue allocation: 1.5 GiB, roomy for everything O(p) and
+// machine allocation: 1.5 GiB, roomy for everything O(p) and
 // unreachable for the channel matrix beyond p ≈ 512.
 const ScalingMemBudgetBytes int64 = 3 << 29
+
+// scalingGatherChunk is the chunked collectives' block window c: per-PE
+// gather memory is O(m·c) and the ring startup count p/c − 1.
+const scalingGatherChunk = 64
+
+// scalingGatherMaxMoved caps the gather workload by aggregate data
+// movement (p² blocks of gatherBlockLen words): ~2.1e9 moved words ≈
+// 17 GB of memcpy per op is the most this harness spends on one
+// configuration (p = 16384 with 4-word blocks).
+const scalingGatherMaxMoved int64 = 3 << 30
 
 // ScalingPList returns the scaling-suite PE counts up to pmax.
 func ScalingPList(pmax int) []int {
 	var out []int
-	for _, p := range []int{256, 1024, 4096, 16384} {
+	for _, p := range []int{256, 1024, 4096, 16384, 65536, 131072} {
 		if p <= pmax {
 			out = append(out, p)
 		}
@@ -38,15 +57,25 @@ func ScalingPList(pmax int) []int {
 	return out
 }
 
-// scalingSelPerPE keeps the selection workload's total memory O(p·perPE)
-// manageable at p = 16384 (16384 × 1024 × 8 B = 128 MiB of input).
-const scalingSelPerPE = 1 << 10
+// scalingSelPerPE returns the selection workload's per-PE input size:
+// 2^10 through p = 16384 (so those entries stay comparable with earlier
+// reports), halved stepwise above so the p·perPE input plus the per-PE
+// partition scratch stays inside the harness budget (131072 × 1024 × 8 B
+// would be 1 GiB of input alone, doubled by scratch).
+func scalingSelPerPE(p int) int {
+	switch {
+	case p <= 1<<14:
+		return 1 << 10
+	case p <= 1<<16:
+		return 1 << 8
+	default:
+		return 1 << 7
+	}
+}
 
 // scalingCollectivesBody is one op of the collective scaling workload:
 // the O(log p)-startup collectives (broadcast, all-reduce, prefix sum,
-// barrier) whose memory footprint stays O(p) at any scale. The
-// O(p·total)-memory gathers are exercised by the fixed suite at p = 64
-// and by the selection workload's internal sample gathers.
+// barrier) whose memory footprint stays O(p) at any scale.
 func scalingCollectivesBody(pe *comm.PE) {
 	coll.Broadcast(pe, 0, []int64{1, 2, 3, 4})
 	coll.AllReduceScalar(pe, int64(pe.Rank()), func(a, b int64) int64 { return a + b })
@@ -54,9 +83,33 @@ func scalingCollectivesBody(pe *comm.PE) {
 	coll.Barrier(pe)
 }
 
+// gatherBlockLen is the per-PE block size of the gather workload.
+const gatherBlockLen = 4
+
+// scalingGatherBody is one op of the chunked-gather workload: every PE
+// receives every other PE's block through the streaming all-gather
+// (visited, never materialized — per-PE memory O(m·chunk) instead of the
+// O(p·m) that kept gathers out of the suite), plus a chunk-framed
+// hypercube all-to-all. The checksum keeps the visit honest.
+func scalingGatherBody(pe *comm.PE) {
+	var block [gatherBlockLen]int64
+	for i := range block {
+		block[i] = int64(pe.Rank() + i)
+	}
+	var sum int64
+	coll.AllGatherChunked(pe, block[:], scalingGatherChunk, func(src int, b []int64) {
+		sum += b[0]
+	})
+	items := []coll.Routed[int64]{
+		{Dest: (pe.Rank() + 1) % pe.P(), Payload: sum},
+		{Dest: (pe.Rank() + pe.P()/2) % pe.P(), Payload: 1},
+	}
+	coll.AllToAllCombineChunked(pe, items, scalingGatherChunk, nil)
+}
+
 // heapLive settles the heap and returns live bytes. Two GC cycles: the
-// first runs finalizers of earlier machines (releasing their worker
-// pools), the second collects what the finalizers unpinned.
+// first runs finalizers of earlier machines (releasing their scheduler
+// goroutines), the second collects what the finalizers unpinned.
 func heapLive() uint64 {
 	runtime.GC()
 	runtime.GC()
@@ -68,7 +121,7 @@ func heapLive() uint64 {
 // measureScaling times iters runs of body on m (after one warmup run)
 // and fills the communication metrics from the machine's stats.
 func measureScaling(m *comm.Machine, iters int, body func(pe *comm.PE)) (nsPerOp float64, s comm.Stats) {
-	m.MustRun(body) // warmup: worker spawn, pool and scratch warm
+	m.MustRun(body) // warmup: scheduler spawn, pool and scratch warm
 	m.ResetStats()
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
@@ -85,9 +138,22 @@ func measureScaling(m *comm.Machine, iters int, body func(pe *comm.PE)) (nsPerOp
 	return float64(elapsed.Nanoseconds()) / float64(iters), s
 }
 
+// residentGoroutines waits briefly for transient run goroutines (parked
+// PE bodies) to retire and returns the settled process goroutine count —
+// the number a resident machine pins between runs.
+func residentGoroutines(bound int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) && n > bound {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
 // ScalingSuite runs the scaling workloads for every p in pList on both
-// backends, refusing configurations whose estimated queue memory exceeds
-// budget. progress (optional) receives one line per entry.
+// backends, refusing configurations whose estimated machine memory
+// exceeds budget. progress (optional) receives one line per entry.
 func ScalingSuite(pList []int, budget int64, progress func(string)) []BenchResult {
 	var out []BenchResult
 	for _, p := range pList {
@@ -98,8 +164,8 @@ func ScalingSuite(pList []int, budget int64, progress func(string)) []BenchResul
 					if r.Skipped != "" {
 						progress(fmt.Sprintf("%-44s SKIPPED: %s", r.Name, r.Skipped))
 					} else {
-						progress(fmt.Sprintf("%-44s %14.0f ns/op %10.0f words/PE %8.0f starts/PE %10.0f machine B",
-							r.Name, r.NsPerOp, r.WordsPerPE, r.StartsPerPE, r.MachineBytes))
+						progress(fmt.Sprintf("%-44s %14.0f ns/op %10.0f words/PE %8.0f starts/PE %10.0f machine B %5d goroutines",
+							r.Name, r.NsPerOp, r.WordsPerPE, r.StartsPerPE, r.MachineBytes, r.Goroutines))
 					}
 				}
 			}
@@ -112,16 +178,23 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 	cfg := comm.DefaultConfig(p)
 	cfg.Backend = backend
 	collName := fmt.Sprintf("Scaling/Collectives/p=%d/%s", p, backend)
+	gatherName := fmt.Sprintf("Scaling/GatherChunked/p=%d/%s", p, backend)
 	selName := fmt.Sprintf("Scaling/Table1Selection/p=%d/%s", p, backend)
-	if qb := comm.QueueBytes(cfg); qb > budget {
-		reason := fmt.Sprintf("estimated message-queue memory %.2f GiB exceeds the %.1f GiB harness budget",
-			float64(qb)/(1<<30), float64(budget)/(1<<30))
-		return []BenchResult{
-			{Name: collName, P: p, Backend: backend.String(), Skipped: reason},
-			{Name: selName, P: p, Backend: backend.String(), Skipped: reason},
-		}
+	res := func(name string) BenchResult {
+		return BenchResult{Name: name, P: p, Backend: backend.String(), Workers: comm.SchedWorkers(cfg)}
+	}
+	skip := func(name, reason string) BenchResult {
+		r := res(name)
+		r.Skipped = reason
+		return r
+	}
+	if mb := comm.MachineBytes(cfg); mb > budget {
+		reason := fmt.Sprintf("estimated machine memory %.2f GiB exceeds the %.1f GiB harness budget",
+			float64(mb)/(1<<30), float64(budget)/(1<<30))
+		return []BenchResult{skip(collName, reason), skip(gatherName, reason), skip(selName, reason)}
 	}
 
+	baseline := runtime.NumGoroutine()
 	heapBefore := heapLive()
 	m := comm.NewMachine(cfg)
 	// Signed delta clamped at zero: the first GC may also reclaim garbage
@@ -129,27 +202,62 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 	machineBytes := max(float64(int64(heapLive())-int64(heapBefore)), 0)
 	defer m.Close()
 
+	fill := func(r BenchResult, ns float64, s comm.Stats) BenchResult {
+		r.MachineBytes = machineBytes
+		r.NsPerOp = ns
+		r.WordsPerPE = float64(s.BottleneckWords())
+		r.StartsPerPE = float64(s.MaxSends)
+		r.MaxClock = s.MaxClock
+		// Goroutine residency is the tentpole claim: measured on the live
+		// process while the machine (which has just run workloads that
+		// parked thousands of PE bodies) is still resident.
+		r.Goroutines = residentGoroutines(baseline + r.Workers + 2)
+		return r
+	}
+
 	var out []BenchResult
 	ns, s := measureScaling(m, 5, scalingCollectivesBody)
-	out = append(out, BenchResult{
-		Name: collName, P: p, Backend: backend.String(), MachineBytes: machineBytes,
-		NsPerOp: ns, WordsPerPE: float64(s.BottleneckWords()), StartsPerPE: float64(s.MaxSends), MaxClock: s.MaxClock,
-	})
+	out = append(out, fill(res(collName), ns, s))
 
+	// Gather workload: refuse what must be refused, loudly. The
+	// materializing all-gather would hold p blocks on every PE; the
+	// chunked one moves the same p² blocks through O(m·chunk) windows,
+	// bounded here only by host time.
+	matBytes := int64(p) * int64(p) * gatherBlockLen * 8
+	moved := int64(p) * int64(p) * gatherBlockLen
+	switch {
+	case moved > scalingGatherMaxMoved:
+		out = append(out, skip(gatherName, fmt.Sprintf(
+			"all-gather moves p²·m = %.1e words per op; over the harness host-time budget (materializing variant would also need %.1f GiB of results)",
+			float64(moved), float64(matBytes)/(1<<30))))
+	default:
+		iters := 3
+		if moved > scalingGatherMaxMoved/8 {
+			iters = 1
+		}
+		ns, s = measureScaling(m, iters, scalingGatherBody)
+		r := fill(res(gatherName), ns, s)
+		if matBytes > budget {
+			r.Note = fmt.Sprintf("materializing AllGatherv would need %.1f GiB of results; chunked window is %.1f MiB",
+				float64(matBytes)/(1<<30), float64(int64(p)*scalingGatherChunk*gatherBlockLen*8)/(1<<20))
+		}
+		out = append(out, r)
+	}
+
+	perPE := scalingSelPerPE(p)
 	locals := make([][]uint64, p)
 	for r := 0; r < p; r++ {
-		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), scalingSelPerPE, 12)
+		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
 	}
-	n := int64(p) * scalingSelPerPE
+	n := int64(p) * int64(perPE)
 	// Fixed pivot seed: every measured run takes the same communication
 	// path, so the per-op stats are exact rather than averaged estimates.
 	ns, s = measureScaling(m, 3, func(pe *comm.PE) {
 		sel.Kth(pe, locals[pe.Rank()], n/2, xrand.NewPE(17, pe.Rank()))
 	})
-	out = append(out, BenchResult{
-		Name: selName, P: p, Backend: backend.String(), MachineBytes: machineBytes,
-		NsPerOp: ns, WordsPerPE: float64(s.BottleneckWords()), StartsPerPE: float64(s.MaxSends), MaxClock: s.MaxClock,
-	})
+	r := fill(res(selName), ns, s)
+	r.Note = fmt.Sprintf("n/p=%d", perPE)
+	out = append(out, r)
 	return out
 }
 
@@ -157,14 +265,14 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 // table for `topkbench -exp scaling`.
 func ScalingTable(pmax int) Table {
 	t := Table{
-		Title: "Scaling: collectives and Table-1 selection at large p (mailbox vs channel matrix)",
-		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front queue allocation; over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier; selection: n/p=%d, k=n/2",
-			float64(ScalingMemBudgetBytes)/(1<<30), scalingSelPerPE),
-		Header: []string{"workload", "p", "backend", "ns/op", "words/PE", "start/PE", "T_model", "machine MB"},
+		Title: "Scaling: collectives, chunked gathers and Table-1 selection at large p (mailbox vs channel matrix)",
+		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front machine allocation (comm.MachineBytes); over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier; gather op = chunked all-gather (m=%d, chunk=%d) + chunked hypercube A2A\nselection: k=n/2, n/p=2^10 through p=2^14 then reduced (see entry notes); goroutines = resident process count with the machine live (w = scheduler width)",
+			float64(ScalingMemBudgetBytes)/(1<<30), gatherBlockLen, scalingGatherChunk),
+		Header: []string{"workload", "p", "backend", "ns/op", "words/PE", "start/PE", "T_model", "machine MB", "w", "goroutines"},
 	}
 	for _, r := range ScalingSuite(ScalingPList(pmax), ScalingMemBudgetBytes, nil) {
 		if r.Skipped != "" {
-			t.Rows = append(t.Rows, []string{r.Name, fmt.Sprint(r.P), r.Backend, "—", "—", "—", "—", r.Skipped})
+			t.Rows = append(t.Rows, []string{r.Name, fmt.Sprint(r.P), r.Backend, "—", "—", "—", "—", r.Skipped, "—", "—"})
 			continue
 		}
 		t.Rows = append(t.Rows, []string{
@@ -174,6 +282,8 @@ func ScalingTable(pmax int) Table {
 			fmt.Sprintf("%.0f", r.StartsPerPE),
 			modelMs(r.MaxClock),
 			fmt.Sprintf("%.2f", r.MachineBytes/(1<<20)),
+			fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Goroutines),
 		})
 	}
 	return t

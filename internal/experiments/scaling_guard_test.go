@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+// TestScaling65536WithinBudgets is the CI smoke for the large-p regime:
+// a p = 65536 mailbox machine runs a parking-heavy collective workload
+// and the process must stay inside the scaling suite's 1.5 GiB memory
+// budget (RSS as the runtime sees it: everything ever reserved from the
+// OS, heap and goroutine stacks included) while the resident goroutine
+// count stays at scheduler width, not PE count. Skipped under -short so
+// quick local cycles are not taxed; CI runs it explicitly.
+func TestScaling65536WithinBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("p=65536 smoke skipped in -short mode")
+	}
+	const p = 1 << 16
+	baseline := runtime.NumGoroutine()
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	w := m.Workers()
+	body := func(pe *comm.PE) {
+		// Dissemination scan + reverse ring: tens of thousands of PE
+		// bodies park at least once per run.
+		coll.ExScanSum(pe, int64(pe.Rank()))
+		tag := pe.NextCollTag()
+		pe.Send((pe.Rank()-1+p)%p, tag, nil, 1)
+		pe.Recv((pe.Rank()+1)%p, tag)
+	}
+	m.MustRun(body)
+	m.MustRun(body)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if int64(ms.Sys) > ScalingMemBudgetBytes {
+		t.Errorf("process reserved %.2f GiB from the OS at p=%d; scaling budget is %.1f GiB",
+			float64(ms.Sys)/(1<<30), p, float64(ScalingMemBudgetBytes)/(1<<30))
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	goroutines := runtime.NumGoroutine()
+	for time.Now().Before(deadline) && goroutines > baseline+w+2 {
+		time.Sleep(10 * time.Millisecond)
+		goroutines = runtime.NumGoroutine()
+	}
+	if goroutines > baseline+w+2 {
+		t.Errorf("resident goroutines %d (baseline %d) exceed w+O(1) with w=%d at p=%d",
+			goroutines, baseline, w, p)
+	}
+}

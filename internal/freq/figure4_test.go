@@ -76,8 +76,10 @@ func TestFigure4PaperExample(t *testing.T) {
 		m.MustRun(func(pe *comm.PE) {
 			rng := xrand.NewPE(seed, pe.Rank())
 			agg := sampleCounts(locals[pe.Rank()], 0.3, rng)
-			shard := countShard(pe, agg)
-			top := dht.SelectTopK(pe, shard, 5, rng)
+			shard := countShard(pe, agg, dht.RouteHypercube)
+			agg.Release()
+			top := dht.SelectTopKTable(pe, shard, 5, rng)
+			shard.Release()
 			if pe.Rank() == 0 {
 				got = keysOf(top)
 			}
@@ -99,10 +101,4 @@ func TestFigure4PaperExample(t *testing.T) {
 	if zeroErr == 0 {
 		t.Error("no trial was exact; sampling pipeline looks broken")
 	}
-}
-
-// countShard is the Figure 4 counting step (hash-distributed sample
-// counts), shared by the example test.
-func countShard(pe *comm.PE, agg map[uint64]int64) map[uint64]int64 {
-	return dht.CountKeys(pe, agg, dht.RouteHypercube)
 }

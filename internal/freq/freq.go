@@ -69,28 +69,32 @@ type Result struct {
 }
 
 // sampleCounts draws a Bernoulli(rho) sample of the local input and
-// aggregates it by key (the Section 7.4 local-aggregation refinement).
-func sampleCounts(local []uint64, rho float64, rng *xrand.RNG) map[uint64]int64 {
-	agg := make(map[uint64]int64)
+// aggregates it by key (the Section 7.4 local-aggregation refinement)
+// into a pooled count table the caller must Release. The input scan
+// order fixes both the RNG consumption and the table's iteration order,
+// so downstream candidate sets are deterministic per seed.
+func sampleCounts(local []uint64, rho float64, rng *xrand.RNG) *dht.Table {
+	agg := dht.NewTable(0)
 	if rho >= 1 {
 		for _, x := range local {
-			agg[x]++
+			agg.Add(x, 1)
 		}
 		return agg
 	}
 	s := xrand.NewSkipSampler(rng, rho)
 	for idx := s.Next(); idx < int64(len(local)); idx = s.Next() {
-		agg[local[idx]]++
+		agg.Add(local[idx], 1)
 	}
 	return agg
 }
 
-func mapSize(m map[uint64]int64) int64 {
-	var t int64
-	for _, c := range m {
-		t += c
-	}
-	return t
+// countShard routes a sampled count table into the DHT and returns the
+// owned shard as a pooled table (caller releases). The KV staging buffer
+// is per-PE scratch, so a steady-state query allocates only in the
+// routing collective itself.
+func countShard(pe *comm.PE, agg *dht.Table, route dht.RouteMode) *dht.Table {
+	items := comm.ScratchSlice[dht.KV](pe, "freq.count.items", agg.Len())[:0]
+	return dht.CountKV(pe, agg.AppendKVs(items), route)
 }
 
 // PAC computes an (ε, δ)-approximation of the top-k most frequent objects
@@ -101,9 +105,11 @@ func PAC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	n := coll.SumAll(pe, int64(len(local)))
 	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
 	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
-	shard := dht.CountKeys(pe, agg, p.Route)
-	top := dht.SelectTopK(pe, shard, p.K, rng)
+	sampleSize := coll.SumAll(pe, agg.Total())
+	shard := countShard(pe, agg, p.Route)
+	agg.Release()
+	top := dht.SelectTopKTable(pe, shard, p.K, rng)
+	shard.Release()
 	for i := range top {
 		top[i].Count = int64(float64(top[i].Count)/rho + 0.5)
 	}
@@ -130,9 +136,11 @@ func EC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 // sampled, count them exactly, return the exact top-k among them.
 func ecCore(pe *comm.PE, local []uint64, p Params, kStar int, rho float64, rng *xrand.RNG) Result {
 	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
-	shard := dht.CountKeys(pe, agg, p.Route)
-	candidates := dht.SelectTopK(pe, shard, kStar, rng)
+	sampleSize := coll.SumAll(pe, agg.Total())
+	shard := countShard(pe, agg, p.Route)
+	agg.Release()
+	candidates := dht.SelectTopKTable(pe, shard, kStar, rng)
+	shard.Release()
 
 	exact := countExactly(pe, local, candidateKeys(candidates))
 	if len(exact) > p.K {
@@ -194,12 +202,14 @@ func PEC(pe *comm.PE, local []uint64, p Params, eps0 float64, rng *xrand.RNG) Re
 	n := coll.SumAll(pe, int64(len(local)))
 	rho0 := min(1, stats.PACSampleSize(n, p.K, eps0, p.Delta)/float64(n))
 	agg := sampleCounts(local, rho0, rng)
-	stage1Size := coll.SumAll(pe, mapSize(agg))
-	shard := dht.CountKeys(pe, agg, p.Route)
+	stage1Size := coll.SumAll(pe, agg.Total())
+	shard := countShard(pe, agg, p.Route)
+	agg.Release()
 
 	// Inspect the head of the sampled frequency distribution.
 	m := max(4*p.K, 64)
-	head := dht.SelectTopK(pe, shard, m, rng)
+	head := dht.SelectTopKTable(pe, shard, m, rng)
+	shard.Release()
 	countsDesc := make([]int64, len(head))
 	for i, it := range head {
 		countsDesc[i] = it.Count
@@ -259,30 +269,24 @@ func Naive(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	n := coll.SumAll(pe, int64(len(local)))
 	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
 	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
+	sampleSize := coll.SumAll(pe, agg.Total())
 
 	// Direct delivery to the coordinator: rank 0 receives p-1 messages.
 	tag := pe.NextCollTag()
 	var top []dht.KV
 	if pe.Rank() == 0 {
-		merged := make(map[uint64]int64, len(agg))
-		for k, c := range agg {
-			merged[k] += c
-		}
 		for src := 1; src < pe.P(); src++ {
 			rx, _ := pe.Recv(src, tag)
 			for _, kv := range rx.([]dht.KV) {
-				merged[kv.Key] += kv.Count
+				agg.Add(kv.Key, kv.Count)
 			}
 		}
-		top = topKLocal(merged, p.K)
+		top = topKLocal(agg, p.K)
 	} else {
-		out := make([]dht.KV, 0, len(agg))
-		for k, c := range agg {
-			out = append(out, dht.KV{Key: k, Count: c})
-		}
+		out := agg.AppendKVs(make([]dht.KV, 0, agg.Len()))
 		pe.Send(0, tag, out, int64(len(out))*coll.WordsOf[dht.KV]())
 	}
+	agg.Release()
 	top = coll.Broadcast(pe, 0, top)
 	items := make([]dht.KV, len(top))
 	for i, it := range top {
@@ -300,13 +304,14 @@ func NaiveTree(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	n := coll.SumAll(pe, int64(len(local)))
 	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
 	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
+	sampleSize := coll.SumAll(pe, agg.Total())
 
 	merged := treeReduceCounts(pe, agg)
 	var top []dht.KV
 	if pe.Rank() == 0 {
 		top = topKLocal(merged, p.K)
 	}
+	agg.Release()
 	top = coll.Broadcast(pe, 0, top)
 	items := make([]dht.KV, len(top))
 	for i, it := range top {
@@ -315,14 +320,11 @@ func NaiveTree(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	return Result{Items: items, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
 }
 
-// treeReduceCounts merges count tables up a binomial tree rooted at 0;
-// the root returns the global table, others nil.
-func treeReduceCounts(pe *comm.PE, local map[uint64]int64) map[uint64]int64 {
+// treeReduceCounts merges count tables up a binomial tree rooted at 0,
+// accumulating directly into acc (consumed); the root returns the global
+// table (acc itself), others nil.
+func treeReduceCounts(pe *comm.PE, acc *dht.Table) *dht.Table {
 	p := pe.P()
-	acc := make(map[uint64]int64, len(local))
-	for k, c := range local {
-		acc[k] = c
-	}
 	if p == 1 {
 		return acc
 	}
@@ -330,10 +332,7 @@ func treeReduceCounts(pe *comm.PE, local map[uint64]int64) map[uint64]int64 {
 	vr := pe.Rank()
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
-			out := make([]dht.KV, 0, len(acc))
-			for k, c := range acc {
-				out = append(out, dht.KV{Key: k, Count: c})
-			}
+			out := acc.AppendKVs(make([]dht.KV, 0, acc.Len()))
 			pe.Send(vr&^mask, tag, out, int64(len(out))*coll.WordsOf[dht.KV]())
 			return nil
 		}
@@ -341,18 +340,15 @@ func treeReduceCounts(pe *comm.PE, local map[uint64]int64) map[uint64]int64 {
 		if src < p {
 			rx, _ := pe.Recv(src, tag)
 			for _, kv := range rx.([]dht.KV) {
-				acc[kv.Key] += kv.Count
+				acc.Add(kv.Key, kv.Count)
 			}
 		}
 	}
 	return acc
 }
 
-func topKLocal(m map[uint64]int64, k int) []dht.KV {
-	all := make([]dht.KV, 0, len(m))
-	for key, c := range m {
-		all = append(all, dht.KV{Key: key, Count: c})
-	}
+func topKLocal(t *dht.Table, k int) []dht.KV {
+	all := t.AppendKVs(make([]dht.KV, 0, t.Len()))
 	dht.SortKVDesc(all)
 	if len(all) > k {
 		all = all[:k]
@@ -364,10 +360,10 @@ func topKLocal(m map[uint64]int64, k int) []dht.KV {
 // the DHT — the ground truth used by tests and experiment scoring (not
 // communication-efficient; Θ(distinct keys) volume). Collective.
 func ExactTopK(pe *comm.PE, local []uint64, k int, route dht.RouteMode, rng *xrand.RNG) []dht.KV {
-	agg := make(map[uint64]int64, len(local))
-	for _, x := range local {
-		agg[x]++
-	}
-	shard := dht.CountKeys(pe, agg, route)
-	return dht.SelectTopK(pe, shard, k, rng)
+	agg := sampleCounts(local, 1, rng)
+	shard := countShard(pe, agg, route)
+	agg.Release()
+	out := dht.SelectTopKTable(pe, shard, k, rng)
+	shard.Release()
+	return out
 }

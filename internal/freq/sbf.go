@@ -27,8 +27,9 @@ func ECSBF(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	rho := min(1, stats.ECSampleSize(n, kStar, p.Eps, p.Delta)/float64(n))
 
 	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, mapSize(agg))
+	sampleSize := coll.SumAll(pe, agg.Total())
 	sbf := dht.BuildSBF(pe, agg)
+	agg.Release()
 
 	kappa := kStar/2 + 8
 	var resolved []dht.KV
@@ -60,16 +61,17 @@ func ECSBF(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 // selectTopCells picks the m cells with the highest counts from the
 // distributed cell table (all PEs receive the same cell list). Collective.
 func selectTopCells(pe *comm.PE, cells map[uint32]int64, m int, rng *xrand.RNG) []uint32 {
-	asKeys := make(map[uint64]int64, len(cells))
+	asKeys := dht.NewTable(len(cells))
 	for cell, c := range cells {
-		asKeys[uint64(cell)] = c
+		asKeys.Add(uint64(cell), c)
 	}
-	// selectTopK hashes by dht.Owner; ownership differs from cellOwner but
+	// Selection hashes by dht.Owner; ownership differs from cellOwner but
 	// correctness only needs *some* consistent sharding, which re-sharding
 	// through CountKeys would provide — yet the counts here are already
 	// global (each cell lives on exactly one PE), so selection can run
 	// directly on the local tables.
-	top := dht.SelectTopK(pe, asKeys, m, rng)
+	top := dht.SelectTopKTable(pe, asKeys, m, rng)
+	asKeys.Release()
 	out := make([]uint32, len(top))
 	for i, kv := range top {
 		out[i] = uint32(kv.Key)

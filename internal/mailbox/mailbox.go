@@ -1,6 +1,8 @@
 // Package mailbox is the scalable message runtime behind the simulated
 // machine's mailbox backend (comm.BackendMailbox): per-receiver
-// multi-producer/single-consumer mailboxes and a persistent worker pool.
+// multi-producer/single-consumer mailboxes and the sharded worker
+// scheduler (Sched) that multiplexes the p PE bodies over w ≪ p shards,
+// so a resident machine holds O(w) goroutines rather than one per PE.
 //
 // The original engine allocates a buffered channel per ordered PE pair —
 // O(p²·ChanCap) queue memory — which caps simulated scale far below the

@@ -124,26 +124,36 @@ func TestConcurrentSenders(t *testing.T) {
 	wg.Wait()
 }
 
-func TestWorkersRunAllRanks(t *testing.T) {
-	const n = 16
-	w := NewWorkers(n)
-	defer w.Close()
-	var hits [n]atomic.Int32
-	for round := 0; round < 3; round++ {
-		w.Run(func(rank int) { hits[rank].Add(1) })
-	}
-	for r := range hits {
-		if got := hits[r].Load(); got != 3 {
-			t.Errorf("rank %d ran %d times, want 3", r, got)
+func TestSchedRunAllRanks(t *testing.T) {
+	for _, tc := range []struct{ p, w int }{{16, 16}, {16, 4}, {16, 1}, {5, 3}, {1, 8}} {
+		sc := NewSched(tc.p, tc.w)
+		hits := make([]atomic.Int32, tc.p)
+		for round := 0; round < 3; round++ {
+			sc.Run(func(rank int) { hits[rank].Add(1) })
 		}
+		for r := range hits {
+			if got := hits[r].Load(); got != 3 {
+				t.Errorf("p=%d w=%d: rank %d ran %d times, want 3", tc.p, tc.w, r, got)
+			}
+		}
+		sc.Close()
 	}
 }
 
-func TestWorkersCloseReleasesGoroutines(t *testing.T) {
+func TestSchedWorkersClamped(t *testing.T) {
+	if got := NewSched(4, 64).Workers(); got != 4 {
+		t.Errorf("w clamped to %d, want 4", got)
+	}
+	if got := NewSched(64, 0).Workers(); got != 1 {
+		t.Errorf("w clamped to %d, want 1", got)
+	}
+}
+
+func TestSchedCloseReleasesGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
-	w := NewWorkers(32)
-	w.Run(func(rank int) {})
-	w.Close()
+	sc := NewSched(256, 4)
+	sc.Run(func(rank int) {})
+	sc.Close()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		if runtime.NumGoroutine() <= before+2 {
@@ -152,4 +162,74 @@ func TestWorkersCloseReleasesGoroutines(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Errorf("goroutines not released: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestSchedResidentGoroutinesBounded pins the tentpole claim at the
+// scheduler layer: between runs, a scheduler for p ranks keeps at most w
+// idle goroutines, no matter how many bodies parked during the run.
+func TestSchedResidentGoroutinesBounded(t *testing.T) {
+	const p, w = 2048, 4
+	before := runtime.NumGoroutine()
+	boxes := make([]*Box, p)
+	for i := range boxes {
+		boxes[i] = New()
+	}
+	sc := NewSched(p, w)
+	defer sc.Close()
+	// A ring in which every rank first waits for its predecessor: rank 0
+	// unblocks the cascade, so nearly every body parks once.
+	for round := 0; round < 3; round++ {
+		sc.Run(func(rank int) {
+			if rank > 0 {
+				if _, ok := boxes[rank].TryTake(rank - 1); !ok {
+					sc.WillPark(rank)
+					if _, ok := boxes[rank].Take(rank - 1); !ok {
+						t.Error("unexpected interrupt")
+					}
+				}
+			}
+			if rank+1 < p {
+				boxes[rank+1].Put(Msg{Src: rank})
+			}
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		if after = runtime.NumGoroutine(); after <= before+w+1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("resident goroutines not O(w): before=%d after=%d (w=%d, p=%d)", before, after, w, p)
+}
+
+// TestSchedParkUnparkStress is the -race stress for the driver hand-off:
+// many ranks over few shards, every body blocking on a pseudo-random
+// partner so driver roles bounce between goroutines, repeated across
+// runs so spares are spawned, reused, and retired.
+func TestSchedParkUnparkStress(t *testing.T) {
+	const p, w, rounds = 64, 3, 20
+	boxes := make([]*Box, p)
+	for i := range boxes {
+		boxes[i] = New()
+	}
+	sc := NewSched(p, w)
+	defer sc.Close()
+	for round := 0; round < rounds; round++ {
+		shift := 1 + round%(p-1)
+		sc.Run(func(rank int) {
+			dst := (rank + shift) % p
+			src := (rank - shift + p) % p
+			boxes[dst].Put(Msg{Src: rank, Tag: uint64(round)})
+			m, ok := boxes[rank].TryTake(src)
+			if !ok {
+				sc.WillPark(rank)
+				m, ok = boxes[rank].Take(src)
+			}
+			if !ok || m.Tag != uint64(round) {
+				t.Errorf("round %d rank %d: got %+v ok=%v", round, rank, m, ok)
+			}
+		})
+	}
 }

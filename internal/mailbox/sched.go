@@ -1,0 +1,230 @@
+package mailbox
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Sched is the sharded worker scheduler that decouples goroutines from
+// PEs. The previous runtime (and the channel-matrix engine) dedicated one
+// goroutine to every PE, so a resident p-PE machine held p parked
+// goroutine stacks — ~2–8 KB each, which dominates machine memory long
+// before the O(p) mailboxes do (p = 131072 ≈ 0.25–1 GiB of stacks doing
+// nothing between runs). Sched instead multiplexes the p PE bodies over
+// w ≪ p shards, each a run queue over a contiguous rank range:
+//
+//   - w permanent workers, one per shard, started on the first Run and
+//     kicked over buffered channels. A worker pops ranks off its shard's
+//     queue and runs each PE body inline on its own stack; a Run whose
+//     bodies never block dispatches entirely on these w goroutines and
+//     allocates nothing.
+//   - When a body is about to block in a receive, it calls WillPark. If
+//     the goroutine currently holds its shard's driver role and the
+//     shard still has queued ranks, the role is handed off — to a
+//     permanent worker whose own shard is drained (they multiplex on the
+//     hand-off channel between assignments) or, if all are busy, to a
+//     freshly spawned transient goroutine — so the queue keeps draining
+//     while the body sleeps on its mailbox condition variable. The
+//     parked body keeps its goroutine (Go cannot suspend a stack any
+//     other way), but that goroutine is transient: it exits as soon as
+//     the body finishes, having lost its driver role.
+//
+// The resulting resident goroutine count — what a machine costs while it
+// merely exists between runs — is exactly w, pinned by
+// TestMailboxGoroutineCountResident in internal/comm. During a run the
+// transient count is w plus the number of simultaneously parked bodies,
+// which is workload-dependent (a collective in which every PE waits on a
+// partner can park O(p) bodies at once); those transient stacks are
+// reclaimed when the run ends. StateBytes reports the scheduler's own
+// footprint so the machine-memory estimators stay honest.
+//
+// Concurrency contract: Run and Close are called from one coordinating
+// goroutine at a time, and exec must not panic (wrap bodies with recover
+// at the call site) — the same contract the previous pool had. WillPark
+// is called only from inside exec, on the goroutine running that rank.
+type Sched struct {
+	shards []shard
+	// driverOf[rank] is the shard index whose driver role the goroutine
+	// running rank currently holds, or -1. Only ever accessed by the
+	// goroutine running that rank: the driver sets it before exec, WillPark
+	// clears it on hand-off, the driver reads it after exec to learn
+	// whether it is still driving. No atomics needed.
+	driverOf []int32
+	// kick[i] (buffered, cap 1) starts permanent worker i on its own
+	// shard; work hands a parked driver's shard to whichever permanent
+	// worker is between assignments. work is unbuffered: a send succeeds
+	// only if a worker is actually parked in receive, so hand-off never
+	// blocks (transient spawn on the miss) and never strands a role.
+	kick []chan struct{}
+	work chan int32
+	// wg counts PE bodies still open in the current Run.
+	wg      sync.WaitGroup
+	exec    func(rank int)
+	started bool
+
+	closeOnce sync.Once
+}
+
+// shard is one run queue: the contiguous rank range [lo, hi) and the
+// cursor of the next rank to start. The cursor is atomic because drivers
+// overlap run boundaries: a driver that has just finished its shard's
+// last body (and released the run's WaitGroup) re-checks the cursor
+// while the coordinator may already be resetting it for the next run —
+// and a hand-off can give a shard a second driver while such a straggler
+// is still looping. Atomic fetch-add pops make every interleaving safe:
+// each rank is claimed exactly once, and a straggler that claims a rank
+// of the new run simply becomes one of its drivers (its cursor load
+// orders it after the coordinator's exec/WaitGroup writes).
+type shard struct {
+	lo, hi int
+	next   atomic.Int32
+}
+
+// NewSched creates a scheduler for p ranks over w shards (clamped to
+// 1 ≤ w ≤ p). No goroutines are started until the first Run.
+func NewSched(p, w int) *Sched {
+	if w < 1 {
+		w = 1
+	}
+	if w > p {
+		w = p
+	}
+	sc := &Sched{
+		shards:   make([]shard, w),
+		driverOf: make([]int32, p),
+		kick:     make([]chan struct{}, w),
+		work:     make(chan int32),
+	}
+	for i := range sc.shards {
+		sc.shards[i].lo = i * p / w
+		sc.shards[i].hi = (i + 1) * p / w
+		sc.shards[i].next.Store(int32(sc.shards[i].hi)) // empty until Run
+		sc.kick[i] = make(chan struct{}, 1)
+	}
+	for i := range sc.driverOf {
+		sc.driverOf[i] = -1
+	}
+	return sc
+}
+
+// Workers returns the shard count w.
+func (sc *Sched) Workers() int { return len(sc.shards) }
+
+// Run executes exec(rank) for every rank and blocks until all return.
+// Ranks within a shard start in increasing order; a rank that blocks
+// hands its shard to another goroutine (see WillPark), so queued ranks
+// never wait on a parked one.
+func (sc *Sched) Run(exec func(rank int)) {
+	sc.exec = exec
+	sc.wg.Add(len(sc.driverOf))
+	for i := range sc.shards {
+		sc.shards[i].next.Store(int32(sc.shards[i].lo))
+	}
+	if !sc.started {
+		sc.started = true
+		for i := range sc.kick {
+			go sc.worker(sc.kick[i], int32(i))
+		}
+	}
+	for i := range sc.kick {
+		sc.kick[i] <- struct{}{}
+	}
+	sc.wg.Wait()
+	sc.exec = nil
+}
+
+// worker is a permanent scheduler goroutine: kicked once per Run for its
+// own shard, and available for driver hand-offs from parked bodies in
+// any shard between assignments.
+func (sc *Sched) worker(kick chan struct{}, own int32) {
+	for {
+		select {
+		case _, ok := <-kick:
+			if !ok {
+				return
+			}
+			sc.drive(own)
+		case s, ok := <-sc.work:
+			if !ok {
+				return
+			}
+			sc.drive(s)
+		}
+	}
+}
+
+// handOff gives shard s's driver role to a permanent worker parked
+// between assignments, or spawns a transient goroutine when none is.
+// Never blocks.
+func (sc *Sched) handOff(s int32) {
+	select {
+	case sc.work <- s:
+	default:
+		go sc.drive(s)
+	}
+}
+
+// drive pops ranks off shard s and runs their bodies inline until the
+// queue is empty or the running body hands the driver role away.
+func (sc *Sched) drive(s int32) {
+	sh := &sc.shards[s]
+	for {
+		i := int(sh.next.Add(1)) - 1
+		if i >= sh.hi {
+			return
+		}
+		sc.driverOf[i] = s
+		sc.exec(i)
+		lost := sc.driverOf[i] < 0
+		sc.driverOf[i] = -1
+		sc.wg.Done()
+		if lost {
+			return // the role (and sh) now belong to another goroutine
+		}
+	}
+}
+
+// WillPark declares that the body running rank is about to block waiting
+// for a message. If that body holds its shard's driver role and the shard
+// has unstarted ranks, the role is handed off so the queue keeps
+// draining; otherwise it is a cheap no-op. Must be called from inside
+// exec on the goroutine running rank. Calling it and then not blocking
+// (the message arrived meanwhile) is harmless — the role is simply gone.
+func (sc *Sched) WillPark(rank int) {
+	s := sc.driverOf[rank]
+	if s < 0 {
+		return
+	}
+	sc.driverOf[rank] = -1
+	// A stale read here only costs a spurious hand-off (the receiving
+	// worker finds the queue empty); ranks are claimed atomically in drive.
+	if int(sc.shards[s].next.Load()) < sc.shards[s].hi {
+		sc.handOff(s)
+	}
+}
+
+// Close releases the permanent worker goroutines. Must not overlap a
+// Run; Run must not be called afterwards. Idempotent.
+func (sc *Sched) Close() {
+	sc.closeOnce.Do(func() {
+		close(sc.work)
+		for _, c := range sc.kick {
+			close(c)
+		}
+	})
+}
+
+// StateBytes estimates the scheduler's resident memory for p ranks and w
+// shards: shard, kick-channel, and driver bookkeeping plus the w
+// permanent goroutine stacks. Goroutine stacks start at ~8 KB of
+// reserved address space; the estimate charges that in full so
+// machine-memory claims err high.
+func StateBytes(p, w int) int64 {
+	if w > p {
+		w = p
+	}
+	const stackBytes = 8 << 10
+	const kickBytes = 96 + 16 // hchan + slot + slice entry
+	return int64(w)*(int64(unsafe.Sizeof(shard{}))+kickBytes+stackBytes) + int64(p)*4
+}

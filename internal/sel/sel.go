@@ -171,10 +171,13 @@ func pickPivots[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG) (
 	if rho > 1 {
 		rho = 1
 	}
-	// The sample lives in a per-PE scratch buffer sized for 4× the
-	// expected draw; if an unlucky draw grows it anyway, the grown buffer
-	// is stored back so the growth is paid at most once per size.
-	scratch := comm.ScratchSlice[K](pe, "sel.pivots.sample", int(4*target)+8)
+	// The sample lives in a per-PE scratch buffer sized for 4× this PE's
+	// expected draw (the global target spread over p PEs — sizing it for
+	// the whole sample charged every PE Θ(√p) words of scratch, ~6 GiB
+	// across a p = 131072 machine); if an unlucky draw or a skewed
+	// residual grows it anyway, the grown buffer is stored back so the
+	// growth is paid at most once per size.
+	scratch := comm.ScratchSlice[K](pe, "sel.pivots.sample", int(4*target)/pe.P()+16)
 	sample := scratch[:0]
 	sk := xrand.NewSkipSampler(rng, rho)
 	for idx := sk.Next(); idx < int64(len(s)); idx = sk.Next() {
