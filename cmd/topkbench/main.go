@@ -8,11 +8,12 @@
 //
 // Larger -perpe / -pmax approach the paper's scales at the cost of run
 // time; the defaults finish in minutes on a laptop. `-exp scaling` (not
-// part of `all`) runs the large-p suite — the O(log p) collectives, the
-// chunked gather collectives, and Table-1 selection at p = 256…131072 on
-// the mailbox backend (sharded scheduler, so goroutines stay O(w) while
-// the machines are resident), with the channel matrix refused beyond the
-// harness memory budget.
+// part of `all`) runs the large-p suite — the O(log p) collectives
+// (continuation-scheduled on the mailbox backend, with blocking A/B
+// twins), the chunked and strided gather workloads, and Table-1
+// selection at p = 256…131072, with the channel matrix refused beyond
+// the harness memory budget. `-quick` selects the CI tier (p ≤ 4096,
+// one run per op, no A/B twins).
 //
 // Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
 //
@@ -37,6 +38,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, all)")
+	quick := flag.Bool("quick", false, "with -exp scaling: the CI tier — p capped at 4096, one run per op, no blocking A/B twins")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
@@ -53,7 +55,7 @@ func main() {
 		// comparable PR-over-PR); the experiment sweep flags do not apply.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "pmax", "perpe", "k", "seed":
+			case "exp", "pmax", "perpe", "k", "seed", "quick":
 				fmt.Fprintf(os.Stderr, "topkbench: -%s is ignored in -json mode (the pipeline suite is fixed; see EXPERIMENTS.md)\n", f.Name)
 			}
 		})
@@ -120,20 +122,24 @@ func main() {
 	}
 	if *exp == "scaling" {
 		// Not part of -exp all: the large-p machines take minutes. With
-		// -pmax unset, the suite runs its full range (p up to 131072); an
-		// explicit -pmax caps it (below 256 nothing qualifies — say so
-		// rather than silently running the big machines anyway).
+		// -pmax unset, the suite runs its full range (p up to 131072, or
+		// 4096 in the -quick CI tier); an explicit -pmax caps it (below 256
+		// nothing qualifies — say so rather than silently running the big
+		// machines anyway).
 		scaleMax := 1 << 17
+		if *quick {
+			scaleMax = experiments.ScalingQuickPMax
+		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "pmax" {
-				scaleMax = *pmax
+				scaleMax = min(scaleMax, *pmax)
 			}
 		})
 		if scaleMax < 256 {
 			fmt.Fprintf(os.Stderr, "topkbench: -exp scaling starts at p=256; -pmax %d selects no configurations\n", scaleMax)
 			os.Exit(2)
 		}
-		tables = append(tables, experiments.ScalingTable(scaleMax))
+		tables = append(tables, experiments.ScalingTable(scaleMax, *quick))
 	}
 
 	if len(tables) == 0 {

@@ -14,7 +14,6 @@ package agg
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sort"
 
 	"commtopk/internal/coll"
@@ -65,41 +64,41 @@ type Result struct {
 }
 
 // LocalAggregate sums values per key — the first step of Section 8.1 and
-// a useful public helper.
-func LocalAggregate(keys []uint64, values []float64) map[uint64]float64 {
+// a useful public helper. The result is a pooled dht.SumTable (the last
+// query-path structure that was a Go map until PR 4): the caller owns it
+// and should Release it when done so steady-state queries stay
+// allocation-lean.
+func LocalAggregate(keys []uint64, values []float64) *dht.SumTable {
 	if len(keys) != len(values) {
 		panic("agg: keys/values length mismatch")
 	}
-	m := make(map[uint64]float64, len(keys))
+	t := dht.NewSumTable(len(keys))
 	for i, k := range keys {
 		v := values[i]
 		if v < 0 {
 			panic("agg: negative value")
 		}
-		m[k] += v
+		t.Add(k, v)
 	}
-	return m
+	return t
 }
 
 // sampleAggregated converts aggregated values into integer sample counts
 // (as KV pairs in ascending key order): floor + Bernoulli residual
-// (Section 8.1). Keys are visited in sorted order so each key's
-// Bernoulli draw is a fixed function of the RNG stream: iterating the
-// map directly let Go's randomized iteration order decide which key
-// consumed which deviate, making the sampled counts — and hence ECSum's
-// candidate set and realized ε̃ — vary between runs with identical seeds
-// (the agg.TestECSumIsExact flake). The second result is the realized
-// local sample size.
-func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) ([]dht.KV, int64) {
-	keys := make([]uint64, 0, len(local))
-	for k := range local {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	out := make([]dht.KV, 0, len(local))
+// (Section 8.1). Keys are visited in sorted order (dht.SortedKeys) so
+// each key's Bernoulli draw is a fixed function of the RNG stream:
+// iterating in table (or, before PR 4, Go-map) order would let the
+// layout decide which key consumed which deviate, making the sampled
+// counts — and hence ECSum's candidate set and realized ε̃ — vary
+// between runs with identical seeds (the agg.TestECSumIsExact flake).
+// The second result is the realized local sample size.
+func sampleAggregated(local *dht.SumTable, vavg float64, rng *xrand.RNG) ([]dht.KV, int64) {
+	keys := local.SortedKeys(make([]uint64, 0, local.Len()))
+	out := make([]dht.KV, 0, local.Len())
 	var total int64
 	for _, k := range keys {
-		q := local[k] / vavg
+		v, _ := local.Get(k)
+		q := v / vavg
 		c := int64(q)
 		if rng.Bernoulli(q - float64(c)) {
 			c++
@@ -117,8 +116,9 @@ func sampleAggregated(local map[uint64]float64, vavg float64, rng *xrand.RNG) ([
 func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
 	p.validate()
 	local := LocalAggregate(keys, values)
+	defer local.Release()
 	n := coll.SumAll(pe, int64(len(keys)))
-	mTotal := sumAllFloat(pe, totalOf(local))
+	mTotal := sumAllFloat(pe, local.Total())
 	if mTotal <= 0 {
 		return Result{}
 	}
@@ -144,8 +144,9 @@ func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG)
 func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
 	p.validate()
 	local := LocalAggregate(keys, values)
+	defer local.Release()
 	n := coll.SumAll(pe, int64(len(keys)))
-	mTotal := sumAllFloat(pe, totalOf(local))
+	mTotal := sumAllFloat(pe, local.Total())
 	if mTotal <= 0 {
 		return Result{}
 	}
@@ -175,7 +176,7 @@ func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RN
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sums := make([]float64, len(ids))
 	for i, id := range ids {
-		sums[i] = local[id]
+		sums[i], _ = local.Get(id)
 	}
 	var items []ItemSum
 	if len(ids) > 0 {
@@ -201,17 +202,15 @@ func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RN
 // for tests; not communication-efficient). Collective.
 func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht.RouteMode, rng *xrand.RNG) []ItemSum {
 	local := LocalAggregate(keys, values)
+	defer local.Release()
 	// Scale to fixed point so the counting DHT can carry sums. Sorted key
 	// order keeps the routed batches deterministic.
 	const scale = 1 << 20
-	ids := make([]uint64, 0, len(local))
-	for key := range local {
-		ids = append(ids, key)
-	}
-	slices.Sort(ids)
+	ids := local.SortedKeys(make([]uint64, 0, local.Len()))
 	fixed := make([]dht.KV, len(ids))
 	for i, key := range ids {
-		fixed[i] = dht.KV{Key: key, Count: int64(local[key] * scale)}
+		v, _ := local.Get(key)
+		fixed[i] = dht.KV{Key: key, Count: int64(v * scale)}
 	}
 	shard := dht.CountKV(pe, fixed, route)
 	top := dht.SelectTopKTable(pe, shard, k, rng)
@@ -221,22 +220,6 @@ func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) / scale}
 	}
 	return items
-}
-
-func totalOf(m map[uint64]float64) float64 {
-	var t float64
-	for _, v := range m {
-		t += v
-	}
-	return t
-}
-
-func mapSize(m map[uint64]int64) int64 {
-	var t int64
-	for _, c := range m {
-		t += c
-	}
-	return t
 }
 
 func sumAllFloat(pe *comm.PE, v float64) float64 {

@@ -169,8 +169,15 @@ func TestExactTopSums(t *testing.T) {
 
 func TestLocalAggregate(t *testing.T) {
 	m := LocalAggregate([]uint64{1, 2, 1}, []float64{1.5, 2, 0.5})
-	if m[1] != 2 || m[2] != 2 {
-		t.Errorf("aggregate = %v", m)
+	defer m.Release()
+	if v1, _ := m.Get(1); v1 != 2 {
+		t.Errorf("aggregate[1] = %v", v1)
+	}
+	if v2, _ := m.Get(2); v2 != 2 {
+		t.Errorf("aggregate[2] = %v", v2)
+	}
+	if m.Len() != 2 || m.Total() != 4 {
+		t.Errorf("Len=%d Total=%v", m.Len(), m.Total())
 	}
 	defer func() {
 		if recover() == nil {
@@ -183,7 +190,11 @@ func TestLocalAggregate(t *testing.T) {
 func TestSampleAggregatedDeviationAtMostOne(t *testing.T) {
 	// Per key, the sample count must deviate from v/vavg by < 1.
 	rng := xrand.New(37)
-	local := map[uint64]float64{1: 10.3, 2: 0.7, 3: 99.99}
+	local := dht.NewSumTable(3)
+	defer local.Release()
+	local.Add(1, 10.3)
+	local.Add(2, 0.7)
+	local.Add(3, 99.99)
 	const vavg = 1.0
 	for trial := 0; trial < 100; trial++ {
 		kvs, total := sampleAggregated(local, vavg, rng)
@@ -196,13 +207,13 @@ func TestSampleAggregatedDeviationAtMostOne(t *testing.T) {
 		if sum != total {
 			t.Fatalf("reported sample size %d, summed %d", total, sum)
 		}
-		for k, v := range local {
+		local.ForEach(func(k uint64, v float64) {
 			q := v / vavg
 			c := float64(s[k])
 			if c < math.Floor(q) || c > math.Ceil(q) {
 				t.Fatalf("key %d: count %v outside [floor,ceil] of %v", k, c, q)
 			}
-		}
+		})
 	}
 }
 

@@ -1,0 +1,368 @@
+package coll
+
+import (
+	"commtopk/internal/comm"
+	"commtopk/internal/commbuf"
+)
+
+// Continuation (Stepper) forms of the hot collectives, for
+// comm.Machine.RunAsync: the same protocols — same message schedule,
+// same metered words, startups and modeled clock, pinned by the
+// differential suite — expressed as resumable bodies. Where the blocking
+// forms park a goroutine per waiting PE (transiently O(p) stacks during
+// a collective at scale), a stepper suspends as data and the scheduler's
+// w workers keep driving: mid-run goroutine residency stays O(w).
+//
+// Each XxxStep factory returns a single-use Stepper for one PE; results
+// are delivered through the out callback (nil to discard). Compose
+// multi-collective bodies with comm.Seq, and reuse the same stepper
+// under a blocking body via comm.RunSteps — one implementation, both
+// execution modes.
+
+// BroadcastStep is the continuation form of Broadcast: root's data
+// reaches every PE along the binomial tree; out receives the (shared,
+// read-only) result slice.
+func BroadcastStep[T any](root int, data []T, out func([]T)) comm.Stepper {
+	var (
+		tag   comm.Tag
+		vr    int
+		mask  int
+		boxed any
+		h     *comm.RecvHandle
+		phase int
+	)
+	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+		p := pe.P()
+		for {
+			switch phase {
+			case 0:
+				if p == 1 {
+					phase = 3
+					continue
+				}
+				tag = pe.NextCollTag()
+				vr = (pe.Rank() - root + p) % p
+				mask = 1
+				for mask < p {
+					if vr&mask != 0 {
+						parent := ((vr &^ mask) + root) % p
+						h = pe.IRecv(parent, tag)
+						break
+					}
+					mask <<= 1
+				}
+				phase = 1
+				if h != nil && !h.Test() {
+					return h
+				}
+			case 1:
+				if h != nil {
+					rx, _ := h.Wait()
+					boxed = rx
+					data = rx.([]T)
+					h = nil
+				} else {
+					boxed = data
+				}
+				phase = 2
+			case 2:
+				words := sliceWords(data)
+				for mask >>= 1; mask > 0; mask >>= 1 {
+					child := vr | mask
+					if child < p && child != vr {
+						pe.Send((child+root)%p, tag, boxed, words)
+					}
+				}
+				phase = 3
+			default:
+				if out != nil {
+					out(data)
+				}
+				return nil
+			}
+		}
+	})
+}
+
+// AllReduceScalarStep is the continuation form of AllReduceScalar: the
+// non-power-of-two fold-in/out around recursive doubling, scalar
+// payloads in pooled one-element buffers, exactly as the blocking form
+// ships them.
+func AllReduceScalarStep[T any](v T, op func(a, b T) T, out func(T)) comm.Stepper {
+	var (
+		pool     *commbuf.Pool[T]
+		tag      comm.Tag
+		acc      T
+		rank     int
+		r, extra int
+		mask     int
+		h        *comm.RecvHandle
+		phase    int
+	)
+	const (
+		phInit = iota
+		phStragglerWait
+		phExtraWait
+		phRounds
+		phRoundWait
+		phFoldOut
+		phDone
+	)
+	w := WordsOf[T]()
+	send1 := func(pe *comm.PE, dst int, x T) {
+		b := pool.Get(1)
+		(*b)[0] = x
+		pe.Send(dst, tag, b, w)
+	}
+	take1 := func(h *comm.RecvHandle) T {
+		rxAny, _ := h.Wait()
+		rx := rxAny.(*[]T)
+		x := (*rx)[0]
+		pool.Put(rx)
+		return x
+	}
+	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+		p := pe.P()
+		for {
+			switch phase {
+			case phInit:
+				acc = v
+				if p == 1 {
+					phase = phDone
+					continue
+				}
+				pool = commbuf.For[T]()
+				tag = pe.NextCollTag()
+				rank = pe.Rank()
+				r = 1
+				for r*2 <= p {
+					r *= 2
+				}
+				extra = p - r
+				if rank >= r {
+					// Straggler: fold onto the low partner, await the result.
+					h = pe.IRecv(rank-r, tag)
+					send1(pe, rank-r, acc)
+					phase = phStragglerWait
+					if !h.Test() {
+						return h
+					}
+					continue
+				}
+				if rank < extra {
+					h = pe.IRecv(rank+r, tag)
+					phase = phExtraWait
+					if !h.Test() {
+						return h
+					}
+					continue
+				}
+				mask = 1
+				phase = phRounds
+			case phStragglerWait:
+				acc = take1(h)
+				h = nil
+				phase = phDone
+			case phExtraWait:
+				acc = op(acc, take1(h))
+				h = nil
+				mask = 1
+				phase = phRounds
+			case phRounds:
+				if mask >= r {
+					phase = phFoldOut
+					continue
+				}
+				partner := rank ^ mask
+				h = pe.IRecv(partner, tag)
+				send1(pe, partner, acc)
+				phase = phRoundWait
+				if !h.Test() {
+					return h
+				}
+			case phRoundWait:
+				acc = op(acc, take1(h))
+				h = nil
+				mask <<= 1
+				phase = phRounds
+			case phFoldOut:
+				if rank < extra {
+					send1(pe, rank+r, acc)
+				}
+				phase = phDone
+			default:
+				if out != nil {
+					out(acc)
+				}
+				return nil
+			}
+		}
+	})
+}
+
+// BarrierStep is the continuation form of Barrier (a zero-word
+// all-reduce, like the blocking Barrier).
+func BarrierStep() comm.Stepper {
+	return AllReduceScalarStep(int64(0), func(a, b int64) int64 { return a + b }, nil)
+}
+
+// ExScanSumStep is the continuation form of ExScanSum: the dissemination
+// scan followed by the shift-down round, identical wire schedule.
+func ExScanSumStep[T int | int64 | float64 | uint64](v T, out func(T)) comm.Stepper {
+	var (
+		pool  *commbuf.Pool[T]
+		tag   comm.Tag
+		acc   T
+		rank  int
+		d     int
+		h     *comm.RecvHandle
+		phase int
+	)
+	const (
+		phInit = iota
+		phRounds
+		phRoundWait
+		phShift
+		phShiftWait
+		phDone
+	)
+	w := WordsOf[T]()
+	send1 := func(pe *comm.PE, dst int, x T) {
+		b := pool.Get(1)
+		(*b)[0] = x
+		pe.Send(dst, tag, b, w)
+	}
+	take1 := func(h *comm.RecvHandle) T {
+		rxAny, _ := h.Wait()
+		rx := rxAny.(*[]T)
+		x := (*rx)[0]
+		pool.Put(rx)
+		return x
+	}
+	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+		p := pe.P()
+		for {
+			switch phase {
+			case phInit:
+				if p == 1 {
+					acc = 0
+					phase = phDone
+					continue
+				}
+				pool = commbuf.For[T]()
+				rank = pe.Rank()
+				tag = pe.NextCollTag()
+				acc = v
+				d = 1
+				phase = phRounds
+			case phRounds:
+				if d >= p {
+					tag = pe.NextCollTag()
+					phase = phShift
+					continue
+				}
+				if rank-d >= 0 {
+					h = pe.IRecv(rank-d, tag)
+				}
+				if rank+d < p {
+					send1(pe, rank+d, acc)
+				}
+				phase = phRoundWait
+				if h != nil && !h.Test() {
+					return h
+				}
+			case phRoundWait:
+				if h != nil {
+					acc = take1(h) + acc
+					h = nil
+				}
+				d <<= 1
+				phase = phRounds
+			case phShift:
+				if rank > 0 {
+					h = pe.IRecv(rank-1, tag)
+				}
+				if rank+1 < p {
+					send1(pe, rank+1, acc)
+				}
+				phase = phShiftWait
+				if h != nil && !h.Test() {
+					return h
+				}
+			case phShiftWait:
+				if h != nil {
+					acc = take1(h)
+					h = nil
+				} else {
+					acc = 0 // rank 0: exclusive prefix is the identity
+				}
+				phase = phDone
+			default:
+				if out != nil {
+					out(acc)
+				}
+				return nil
+			}
+		}
+	})
+}
+
+// GatherStrided delivers, to every PE, the blocks of its s = samples
+// strided sources {(rank + 1 + j·⌈(p−1)/s⌉) mod p : j < s} — a sampled
+// gather: the suite's answer to the p²·m aggregate movement that caps
+// full all-gathers on one host. Every PE still sends and receives
+// exactly s blocks (the sampling pattern is symmetric), so the measured
+// volume is s·m words and s startups per PE while per-PE memory stays
+// O(m) — blocks are visited, never materialized. visit observes views
+// of other PEs' memory (in-process read-only, like AllGatherv's result).
+// The exchange is round-staggered like AllToAll, so in-flight messages
+// stay O(p) rather than O(p·s).
+func GatherStrided[T any](pe *comm.PE, data []T, samples int, visit func(src int, block []T)) {
+	comm.RunSteps(pe, GatherStridedStep(data, samples, visit))
+}
+
+// GatherStridedStep is the continuation form of GatherStrided (and its
+// implementation — the blocking form drives the same stepper).
+func GatherStridedStep[T any](data []T, samples int, visit func(src int, block []T)) comm.Stepper {
+	var (
+		tag    comm.Tag
+		stride int
+		s      int
+		i      int
+		h      *comm.RecvHandle
+		inited bool
+	)
+	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+		p := pe.P()
+		if !inited {
+			inited = true
+			if p == 1 || samples < 1 {
+				return nil
+			}
+			s = min(samples, p-1)
+			stride = max((p-1)/s, 1)
+			tag = pe.NextCollTag()
+		}
+		if s == 0 {
+			return nil
+		}
+		words := sliceWords(data)
+		rank := pe.Rank()
+		for i < s {
+			off := 1 + i*stride
+			if h == nil {
+				h = pe.IRecv((rank+off)%p, tag)
+				// My block goes to the PE that samples me at this offset.
+				pe.Send((rank-off+p)%p, tag, data, words)
+				if !h.Test() {
+					return h
+				}
+			}
+			rx, _ := h.Wait()
+			h = nil
+			visit((rank+off)%p, rx.([]T))
+			i++
+		}
+		return nil
+	})
+}

@@ -1,0 +1,222 @@
+package coll
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+// The stepper forms must be bit-identical — results AND metered
+// statistics — to their blocking counterparts, on both backends, at
+// w < p scheduler widths, and whether driven by RunAsync or by RunSteps
+// inside a blocking body.
+
+// asyncPair is one blocking/stepper collective pair under test.
+type asyncPair struct {
+	name  string
+	block func(pe *comm.PE, out *any)
+	start func(pe *comm.PE, out *any) comm.Stepper
+}
+
+func asyncPairs() []asyncPair {
+	sum := func(a, b int64) int64 { return a + b }
+	return []asyncPair{
+		{
+			name: "Broadcast",
+			block: func(pe *comm.PE, out *any) {
+				var data []int64
+				if pe.Rank() == 0 {
+					data = []int64{3, 1, 4, 1, 5}
+				}
+				got := Broadcast(pe, 0, data)
+				*out = slices.Clone(got)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				var data []int64
+				if pe.Rank() == 0 {
+					data = []int64{3, 1, 4, 1, 5}
+				}
+				return BroadcastStep(0, data, func(got []int64) { *out = slices.Clone(got) })
+			},
+		},
+		{
+			name: "AllReduceScalar",
+			block: func(pe *comm.PE, out *any) {
+				*out = AllReduceScalar(pe, int64(pe.Rank())+7, sum)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return AllReduceScalarStep(int64(pe.Rank())+7, sum, func(v int64) { *out = v })
+			},
+		},
+		{
+			name:  "Barrier",
+			block: func(pe *comm.PE, out *any) { Barrier(pe); *out = true },
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return comm.Seq(BarrierStep(), comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+					*out = true
+					return nil
+				}))
+			},
+		},
+		{
+			name: "ExScanSum",
+			block: func(pe *comm.PE, out *any) {
+				*out = ExScanSum(pe, int64(pe.Rank()*2)+1)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return ExScanSumStep(int64(pe.Rank()*2)+1, func(v int64) { *out = v })
+			},
+		},
+		{
+			name: "GatherStrided",
+			block: func(pe *comm.PE, out *any) {
+				block := []int64{int64(pe.Rank()), int64(pe.Rank() * 2)}
+				var sum int64
+				GatherStrided(pe, block, 3, func(src int, b []int64) { sum += int64(src) + b[1] })
+				*out = sum
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				block := []int64{int64(pe.Rank()), int64(pe.Rank() * 2)}
+				var sum int64
+				return comm.Seq(
+					GatherStridedStep(block, 3, func(src int, b []int64) { sum += int64(src) + b[1] }),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = sum; return nil }),
+				)
+			},
+		},
+		{
+			name: "ChainedSuite",
+			block: func(pe *comm.PE, out *any) {
+				Broadcast(pe, 0, []int64{1, 2, 3, 4})
+				a := AllReduceScalar(pe, int64(pe.Rank()), sum)
+				b := ExScanSum(pe, int64(pe.Rank()))
+				Barrier(pe)
+				*out = a + b
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				var a, b int64
+				return comm.Seq(
+					BroadcastStep[int64](0, []int64{1, 2, 3, 4}, nil),
+					AllReduceScalarStep(int64(pe.Rank()), sum, func(v int64) { a = v }),
+					ExScanSumStep(int64(pe.Rank()), func(v int64) { b = v }),
+					BarrierStep(),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = a + b; return nil }),
+				)
+			},
+		},
+	}
+}
+
+// runPair executes one collective three ways on cfg — blocking body,
+// RunAsync steppers, and steppers driven by RunSteps inside a blocking
+// body — and requires identical per-PE results and machine stats.
+func runPair(t *testing.T, cfg comm.Config, pair asyncPair) {
+	t.Helper()
+	type outcome struct {
+		res   []any
+		stats comm.Stats
+	}
+	measure := func(run func(m *comm.Machine, res []any)) outcome {
+		m := comm.NewMachine(cfg)
+		defer m.Close()
+		res := make([]any, cfg.P)
+		run(m, res)
+		return outcome{res: res, stats: m.Stats()}
+	}
+	blocking := measure(func(m *comm.Machine, res []any) {
+		m.MustRun(func(pe *comm.PE) { pair.block(pe, &res[pe.Rank()]) })
+	})
+	async := measure(func(m *comm.Machine, res []any) {
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper { return pair.start(pe, &res[pe.Rank()]) })
+	})
+	stepped := measure(func(m *comm.Machine, res []any) {
+		m.MustRun(func(pe *comm.PE) { comm.RunSteps(pe, pair.start(pe, &res[pe.Rank()])) })
+	})
+	for i := range blocking.res {
+		if !equalAny(blocking.res[i], async.res[i]) {
+			t.Errorf("%s rank %d: blocking %v vs async %v", pair.name, i, blocking.res[i], async.res[i])
+		}
+		if !equalAny(blocking.res[i], stepped.res[i]) {
+			t.Errorf("%s rank %d: blocking %v vs RunSteps %v", pair.name, i, blocking.res[i], stepped.res[i])
+		}
+	}
+	if blocking.stats != async.stats {
+		t.Errorf("%s: stats diverge blocking vs async:\n  %+v\n  %+v", pair.name, blocking.stats, async.stats)
+	}
+	if blocking.stats != stepped.stats {
+		t.Errorf("%s: stats diverge blocking vs RunSteps:\n  %+v\n  %+v", pair.name, blocking.stats, stepped.stats)
+	}
+}
+
+func equalAny(a, b any) bool {
+	if as, ok := a.([]int64); ok {
+		bs, ok := b.([]int64)
+		return ok && slices.Equal(as, bs)
+	}
+	return a == b
+}
+
+func TestStepperCollectivesMatchBlocking(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 16, 64} {
+		for _, mk := range []func(int) comm.Config{comm.MailboxConfig, comm.MatrixConfig} {
+			cfg := mk(p)
+			t.Run(fmt.Sprintf("p=%d/%s", p, cfg.Backend), func(t *testing.T) {
+				for _, pair := range asyncPairs() {
+					runPair(t, cfg, pair)
+				}
+			})
+		}
+	}
+}
+
+// TestStepperCollectivesShardedScheduler pins the continuation path in
+// the multiplexed regime: w ≪ p, where every suspension crosses worker
+// boundaries and resumes land mid-batch.
+func TestStepperCollectivesShardedScheduler(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		cfg := comm.MailboxConfig(64)
+		cfg.Workers = w
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			for _, pair := range asyncPairs() {
+				runPair(t, cfg, pair)
+			}
+		})
+	}
+}
+
+// TestGatherStridedCoverage pins the sampling pattern: every PE visits
+// exactly s distinct non-self sources, and the global send/receive
+// volume balances.
+func TestGatherStridedCoverage(t *testing.T) {
+	const p, s = 32, 5
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	visited := make([][]int, p)
+	m.MustRun(func(pe *comm.PE) {
+		block := []int64{int64(pe.Rank())}
+		GatherStrided(pe, block, s, func(src int, b []int64) {
+			if b[0] != int64(src) {
+				t.Errorf("rank %d: block from %d carries %d", pe.Rank(), src, b[0])
+			}
+			visited[pe.Rank()] = append(visited[pe.Rank()], src)
+		})
+	})
+	for r, vs := range visited {
+		if len(vs) != s {
+			t.Errorf("rank %d visited %d sources, want %d", r, len(vs), s)
+		}
+		seen := map[int]bool{r: true}
+		for _, src := range vs {
+			if seen[src] {
+				t.Errorf("rank %d visited %d twice (or itself)", r, src)
+			}
+			seen[src] = true
+		}
+	}
+	st := m.Stats()
+	if st.MaxSends != s {
+		t.Errorf("MaxSends = %d, want %d", st.MaxSends, s)
+	}
+}

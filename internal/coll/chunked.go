@@ -70,6 +70,7 @@ func AllGatherChunked[T any](pe *comm.PE, data []T, chunk int, visit func(src in
 		for _, l := range lens[:cnt] {
 			elems += l
 		}
+		h := pe.IRecv(src, tag)
 		lp := ipool.Get(cnt)
 		copy(*lp, lens[:cnt])
 		dp := dpool.Get(int(elems))
@@ -77,7 +78,7 @@ func AllGatherChunked[T any](pe *comm.PE, data []T, chunk int, visit func(src in
 		wp := wpool.Get(1)
 		(*wp)[0] = bruckMsg[T]{lens: lp, data: dp}
 		pe.Send(dst, tag, wp, int64(cnt)+elems*WordsOf[T]())
-		rxAny, _ := pe.Recv(src, tag)
+		rxAny, _ := h.Wait()
 		rw := rxAny.(*[]bruckMsg[T])
 		rx := (*rw)[0]
 		lens = append(lens, (*rx.lens)...)
@@ -125,8 +126,9 @@ func AllGatherChunked[T any](pe *comm.PE, data []T, chunk int, visit func(src in
 		for _, l := range *batch.lens {
 			words += l
 		}
+		h := pe.IRecv(src, tag)
 		pe.Send(dst, tag, cur, int64(c)+words*WordsOf[T]())
-		rxAny, _ := pe.Recv(src, tag)
+		rxAny, _ := h.Wait()
 		cur = rxAny.(*[]bruckMsg[T])
 		rx := (*cur)[0]
 		srcGroup := ((rank / c) - r + g) % g
@@ -207,15 +209,18 @@ func routeCombineChunked[T any](pe *comm.PE, items []T, chunk int, dest func(T) 
 
 	hold := items
 	if rank >= r {
+		// Post the count receive before shipping so the fold-in hand-over
+		// and the eventual return frame overlap.
+		hc := pe.IRecv(rank-r, tag)
 		sendChunked(pe, rank-r, tag, chunk, hold)
-		hold = recvChunked(pe, rank-r, tag, chunk, hold[:0])
+		hold = recvChunkedPre(pe, hc, rank-r, tag, hold[:0])
 		if combine != nil {
 			hold = combine(hold)
 		}
 		return hold
 	}
 	if rank < extra {
-		hold = recvChunked(pe, rank+r, tag, chunk, hold)
+		hold = recvChunked(pe, rank+r, tag, hold)
 		if combine != nil {
 			hold = combine(hold)
 		}
@@ -236,8 +241,9 @@ func routeCombineChunked[T any](pe *comm.PE, items []T, chunk int, dest func(T) 
 				keep = append(keep, it)
 			}
 		}
+		hc := pe.IRecv(partner, tag)
 		sendChunked(pe, partner, tag, chunk, ship)
-		hold = recvChunked(pe, partner, tag, chunk, keep)
+		hold = recvChunkedPre(pe, hc, partner, tag, keep)
 		if combine != nil {
 			hold = combine(hold)
 		}
@@ -279,8 +285,15 @@ func sendChunked[T any](pe *comm.PE, dst int, tag comm.Tag, chunk int, items []T
 
 // recvChunked receives a sendChunked frame from src, appending the items
 // to dst and recycling the chunk buffers.
-func recvChunked[T any](pe *comm.PE, src int, tag comm.Tag, chunk int, dst []T) []T {
-	hp := recvOwned[int64](pe, src, tag)
+func recvChunked[T any](pe *comm.PE, src int, tag comm.Tag, dst []T) []T {
+	return recvChunkedPre(pe, pe.IRecv(src, tag), src, tag, dst)
+}
+
+// recvChunkedPre is recvChunked with the count word's receive already
+// posted (hc), so callers can overlap it with their own sends.
+func recvChunkedPre[T any](pe *comm.PE, hc *comm.RecvHandle, src int, tag comm.Tag, dst []T) []T {
+	rxAny, _ := hc.Wait()
+	hp := rxAny.(*[]int64)
 	n := int((*hp)[0])
 	commbuf.For[int64]().Put(hp)
 	pool := commbuf.For[T]()

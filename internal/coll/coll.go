@@ -285,9 +285,12 @@ func allReduceAcc[T any](pe *comm.PE, pool *commbuf.Pool[T], acc []T, op func(a,
 	}
 	extra := p - r
 	if rank >= r {
-		// Straggler: fold onto the low partner, then wait for the result.
+		// Straggler: fold onto the low partner, then wait for the result
+		// (receive posted up front so the two transfers overlap).
+		h := pe.IRecv(rank-r, tag)
 		sendCopy(pe, pool, rank-r, tag, acc)
-		rx := recvOwned[T](pe, rank-r, tag)
+		rxAny, _ := h.Wait()
+		rx := rxAny.(*[]T)
 		copy(acc, *rx)
 		pool.Put(rx)
 		return
@@ -408,12 +411,18 @@ func InScan[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
 	tag := pe.NextCollTag()
 	rank := pe.Rank()
 	for d := 1; d < p; d <<= 1 {
-		// acc currently covers ranks (rank-d, rank]; exchange to extend.
+		// acc currently covers ranks (rank-d, rank]; post the round's
+		// receive, then send, then fold — receive and send overlap.
+		var h *comm.RecvHandle
+		if rank-d >= 0 {
+			h = pe.IRecv(rank-d, tag)
+		}
 		if rank+d < p {
 			sendCopy(pe, pool, rank+d, tag, acc)
 		}
-		if rank-d >= 0 {
-			rx := recvOwned[T](pe, rank-d, tag)
+		if h != nil {
+			rxAny, _ := h.Wait()
+			rx := rxAny.(*[]T)
 			// acc = op(rx, acc): the earlier-ranks prefix is the left operand.
 			for i, v := range *rx {
 				acc[i] = op(v, acc[i])
@@ -435,13 +444,18 @@ func ExScan[T any](pe *comm.PE, x []T, op func(a, b T) T, identity []T) []T {
 	incl := InScan(pe, x, op)
 	tag := pe.NextCollTag()
 	rank := pe.Rank()
+	var h *comm.RecvHandle
+	if rank > 0 {
+		h = pe.IRecv(rank-1, tag)
+	}
 	if rank+1 < p {
 		sendCopy(pe, pool, rank+1, tag, incl)
 	}
 	if rank == 0 {
 		return slices.Clone(identity)
 	}
-	rx := recvOwned[T](pe, rank-1, tag)
+	rxAny, _ := h.Wait()
+	rx := rxAny.(*[]T)
 	out := slices.Clone(*rx)
 	pool.Put(rx)
 	return out
@@ -461,19 +475,28 @@ func ExScanSum[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
 	tag := pe.NextCollTag()
 	acc := v
 	for d := 1; d < p; d <<= 1 {
+		var h *comm.RecvHandle
+		if rank-d >= 0 {
+			h = pe.IRecv(rank-d, tag)
+		}
 		if rank+d < p {
 			b := pool.Get(1)
 			(*b)[0] = acc
 			pe.Send(rank+d, tag, b, w)
 		}
-		if rank-d >= 0 {
-			rx := recvOwned[T](pe, rank-d, tag)
+		if h != nil {
+			rxAny, _ := h.Wait()
+			rx := rxAny.(*[]T)
 			acc = (*rx)[0] + acc
 			pool.Put(rx)
 		}
 	}
 	// Shift down by one rank to make it exclusive.
 	tag = pe.NextCollTag()
+	var h *comm.RecvHandle
+	if rank > 0 {
+		h = pe.IRecv(rank-1, tag)
+	}
 	if rank+1 < p {
 		b := pool.Get(1)
 		(*b)[0] = acc
@@ -482,7 +505,8 @@ func ExScanSum[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
 	if rank == 0 {
 		return 0
 	}
-	rx := recvOwned[T](pe, rank-1, tag)
+	rxAny, _ := h.Wait()
+	rx := rxAny.(*[]T)
 	out := (*rx)[0]
 	pool.Put(rx)
 	return out
@@ -673,10 +697,11 @@ func allGatherBruck[T any](pe *comm.PE, data []T) (arena []T, lens []int64) {
 		// The payload is a capacity-capped view of the held run (see
 		// bruckView), so no append can ever write through it; the sender's
 		// own appends below land strictly beyond the shared prefix.
+		h := pe.IRecv(src, tag)
 		fp := fpool.Get(1)
 		(*fp)[0] = bruckView[T]{lens: lens[:cnt:cnt], data: arena[:elems:elems]}
 		pe.Send(dst, tag, fp, int64(cnt)+elems*WordsOf[T]())
-		rxAny, _ := pe.Recv(src, tag)
+		rxAny, _ := h.Wait()
 		rf := rxAny.(*[]bruckView[T])
 		rx := (*rf)[0]
 		lens = append(lens, rx.lens...)
@@ -750,8 +775,9 @@ func AllToAll[T any](pe *comm.PE, parts [][]T) [][]T {
 	for i := 1; i < p; i++ {
 		dst := (rank + i) % p
 		src := (rank - i + p) % p
+		h := pe.IRecv(src, tag)
 		pe.Send(dst, tag, parts[dst], sliceWords(parts[dst]))
-		rx, _ := pe.Recv(src, tag)
+		rx, _ := h.Wait()
 		out[src] = rx.([]T)
 	}
 	return out

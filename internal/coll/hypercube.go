@@ -59,10 +59,12 @@ func RouteCombine[T any](pe *comm.PE, items []T, dest func(T) int, combine func(
 
 	hold := items
 	// Fold-in: high ranks hand everything to their low partner and then
-	// wait for their final batch.
+	// wait for their final batch (receive posted before the send so the
+	// hand-over and the eventual return overlap).
 	if rank >= r {
+		h := pe.IRecv(rank-r, tag)
 		pe.Send(rank-r, tag, hold, int64(len(hold))*w)
-		rx, _ := pe.Recv(rank-r, tag)
+		rx, _ := h.Wait()
 		hold = rx.([]T)
 		if combine != nil {
 			hold = combine(hold)

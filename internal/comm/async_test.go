@@ -1,0 +1,374 @@
+package comm
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ringBodyRecv and ringBodyIRecv are the same shifted-ring exchange, one
+// through blocking Recv, one through the handle API with Test polling —
+// the two must be bit-identical in results and metered statistics.
+func ringBodyRecv(pe *PE, out []int) {
+	const tag Tag = 41
+	p := pe.P()
+	pe.Send((pe.Rank()+1)%p, tag, pe.Rank()*3, 2)
+	rx, _ := pe.Recv((pe.Rank()-1+p)%p, tag)
+	out[pe.Rank()] = rx.(int)
+}
+
+func ringBodyIRecv(pe *PE, out []int) {
+	const tag Tag = 41
+	p := pe.P()
+	h := pe.IRecv((pe.Rank()-1+p)%p, tag)
+	pe.Send((pe.Rank()+1)%p, tag, pe.Rank()*3, 2)
+	h.Test() // polling must be harmless and meter-neutral
+	rx, _ := h.Wait()
+	out[pe.Rank()] = rx.(int)
+}
+
+// TestIRecvWaitMatchesRecv pins the sugar equation Recv = IRecv + Wait on
+// both backends: identical results and identical metered statistics
+// (words, startups, modeled clock) whether the receive is posted early,
+// polled, or taken blocking.
+func TestIRecvWaitMatchesRecv(t *testing.T) {
+	for _, cfg := range []Config{MailboxConfig(8), MatrixConfig(8)} {
+		t.Run(cfg.Backend.String(), func(t *testing.T) {
+			run := func(body func(pe *PE, out []int)) ([]int, Stats) {
+				m := NewMachine(cfg)
+				defer m.Close()
+				out := make([]int, cfg.P)
+				m.MustRun(func(pe *PE) { body(pe, out) })
+				return out, m.Stats()
+			}
+			recvOut, recvStats := run(ringBodyRecv)
+			irecvOut, irecvStats := run(ringBodyIRecv)
+			for i := range recvOut {
+				if recvOut[i] != irecvOut[i] {
+					t.Fatalf("results diverge at rank %d: Recv %d, IRecv+Wait %d", i, recvOut[i], irecvOut[i])
+				}
+			}
+			if recvStats != irecvStats {
+				t.Errorf("stats diverge:\n  Recv:       %+v\n  IRecv+Wait: %+v", recvStats, irecvStats)
+			}
+		})
+	}
+}
+
+// TestIRecvFIFOPerSource pins the posting-order completion rule: two
+// receives posted against one source complete in post order even when
+// waited out of arrival interleaving, on both backends.
+func TestIRecvFIFOPerSource(t *testing.T) {
+	for _, cfg := range []Config{MailboxConfig(2), MatrixConfig(2)} {
+		t.Run(cfg.Backend.String(), func(t *testing.T) {
+			m := NewMachine(cfg)
+			defer m.Close()
+			m.MustRun(func(pe *PE) {
+				const tag Tag = 17
+				if pe.Rank() == 0 {
+					pe.Send(1, tag, "first", 1)
+					pe.Send(1, tag, "second", 1)
+					return
+				}
+				h1 := pe.IRecv(0, tag)
+				h2 := pe.IRecv(0, tag)
+				// Waiting the second handle first must still deliver the
+				// second message to it (the first binds to h1 on the way).
+				if rx, _ := h2.Wait(); rx.(string) != "second" {
+					t.Errorf("h2 got %v", rx)
+				}
+				if rx, _ := h1.Wait(); rx.(string) != "first" {
+					t.Errorf("h1 got %v", rx)
+				}
+			})
+		})
+	}
+}
+
+// TestISendAndWaitAll exercises the symmetric half of the API: ISend
+// handles complete immediately, and WaitAll folds a batch of receives in
+// slice order.
+func TestISendAndWaitAll(t *testing.T) {
+	m := NewMachine(MailboxConfig(4))
+	defer m.Close()
+	m.MustRun(func(pe *PE) {
+		const tag Tag = 23
+		p := pe.P()
+		var hs []*RecvHandle
+		for i := 1; i < p; i++ {
+			hs = append(hs, pe.IRecv((pe.Rank()-i+p)%p, tag))
+		}
+		for i := 1; i < p; i++ {
+			sh := pe.ISend((pe.Rank()+i)%p, tag, nil, 1)
+			if !sh.Test() {
+				t.Error("ISend handle not complete")
+			}
+			sh.Wait()
+		}
+		WaitAll(hs...)
+	})
+	s := m.Stats()
+	if s.MaxSends != 3 || s.MaxRecvWords != 3 {
+		t.Errorf("unexpected stats after WaitAll exchange: %+v", s)
+	}
+}
+
+// TestHandleMisusePanics pins the consumed-handle contract.
+func TestHandleMisusePanics(t *testing.T) {
+	m := NewMachine(MailboxConfig(2))
+	defer m.Close()
+	err := m.Run(func(pe *PE) {
+		const tag Tag = 5
+		if pe.Rank() == 0 {
+			pe.Send(1, tag, nil, 1)
+			return
+		}
+		h := pe.IRecv(0, tag)
+		h.Wait()
+		h.Wait() // second Wait must panic, not corrupt the freelist
+	})
+	if err == nil || !strings.Contains(err.Error(), "completed or unposted") {
+		t.Fatalf("double Wait: got %v", err)
+	}
+}
+
+// cascadeStart builds the reverse-cascade continuation body: every rank
+// but the last waits for its successor's token before passing one down.
+// It suspends p−1 bodies at peak — the maximally parked workload that
+// blocking bodies pay p−1 transient goroutines for.
+func cascadeStart(tag Tag, out []int64) func(pe *PE) Stepper {
+	return func(pe *PE) Stepper {
+		var h *RecvHandle
+		phase := 0
+		var got int64
+		return StepFunc(func(pe *PE) *RecvHandle {
+			p := pe.P()
+			for {
+				switch phase {
+				case 0:
+					if pe.Rank() == p-1 {
+						phase = 2
+						continue
+					}
+					h = pe.IRecv(pe.Rank()+1, tag)
+					phase = 1
+					if !h.Test() {
+						return h
+					}
+				case 1:
+					v, _ := h.Wait()
+					got = v.(int64)
+					phase = 2
+				case 2:
+					if pe.Rank() > 0 {
+						pe.Send(pe.Rank()-1, tag, got+1, 1)
+					}
+					phase = 3
+				default:
+					if out != nil {
+						out[pe.Rank()] = got
+					}
+					return nil
+				}
+			}
+		})
+	}
+}
+
+// TestRunAsyncCascade runs the suspension-heavy cascade on both backends
+// (mailbox at several scheduler widths) and checks results and stats
+// against each other.
+func TestRunAsyncCascade(t *testing.T) {
+	const p = 64
+	var wantStats *Stats
+	check := func(t *testing.T, cfg Config) {
+		m := NewMachine(cfg)
+		defer m.Close()
+		out := make([]int64, p)
+		for round := 0; round < 3; round++ {
+			for i := range out {
+				out[i] = -1
+			}
+			m.ResetStats()
+			if err := m.RunAsync(cascadeStart(Tag(100), out)); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			for r := 0; r < p-1; r++ {
+				if out[r] != int64(p-1-r) {
+					t.Fatalf("round %d: rank %d got %d, want %d", round, r, out[r], p-1-r)
+				}
+			}
+			s := m.Stats()
+			if wantStats == nil {
+				wantStats = &s
+			} else if s != *wantStats {
+				t.Errorf("stats diverge: %+v vs %+v", s, *wantStats)
+			}
+		}
+	}
+	t.Run("chanmatrix", func(t *testing.T) { check(t, MatrixConfig(p)) })
+	for _, w := range []int{0, 1, 4} {
+		cfg := MailboxConfig(p)
+		cfg.Workers = w
+		t.Run(fmt.Sprintf("mailbox/w=%d", w), func(t *testing.T) { check(t, cfg) })
+	}
+}
+
+// TestRunAsyncMidRunResidency is the mid-collective extension of the
+// PR 3 residency guard: while a p = 16384 cascade is in flight — with
+// thousands of PE bodies simultaneously waiting — the process goroutine
+// count must stay at w + O(1). This is the property the blocking runtime
+// cannot provide (its parked bodies each hold a transient goroutine) and
+// the reason the async API exists.
+func TestRunAsyncMidRunResidency(t *testing.T) {
+	const p = 16384
+	before := runtime.NumGoroutine()
+	m := NewMachine(MailboxConfig(p))
+	defer m.Close()
+	w := m.Workers()
+	if w >= p/4 {
+		t.Skipf("GOMAXPROCS too large for a meaningful bound (w=%d, p=%d)", w, p)
+	}
+	done := make(chan struct{})
+	var maxMid atomic.Int64
+	var samples atomic.Int64
+	go func() {
+		defer close(done)
+		// Two chained cascades lengthen the in-flight window.
+		m.MustRunAsync(func(pe *PE) Stepper {
+			return Seq(cascadeStart(Tag(7), nil)(pe), cascadeStart(Tag(8), nil)(pe))
+		})
+	}()
+	for {
+		select {
+		case <-done:
+			if samples.Load() == 0 {
+				t.Log("run finished before the first sample; residency not observed mid-run")
+			}
+			// +3: the run goroutine, this test goroutine's own scheduling
+			// slack, and the coordinator blocked in wg.Wait.
+			if got := maxMid.Load(); got > int64(before+w+3) {
+				t.Errorf("mid-run goroutines reached %d (baseline %d, w=%d); continuation scheduling broken", got, before, w)
+			}
+			return
+		default:
+			if g := int64(runtime.NumGoroutine()); g > maxMid.Load() {
+				maxMid.Store(g)
+			}
+			samples.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// TestRunAsyncAbort pins error propagation and machine reuse when a
+// continuation body panics while thousands of its peers are suspended:
+// the box interrupts must resume every suspended rank so the run can
+// unwind, and the next run must start clean.
+func TestRunAsyncAbort(t *testing.T) {
+	const p = 256
+	m := NewMachine(MailboxConfig(p))
+	defer m.Close()
+	err := m.RunAsync(func(pe *PE) Stepper {
+		var h *RecvHandle
+		return StepFunc(func(pe *PE) *RecvHandle {
+			if pe.Rank() == p-1 {
+				panic("boom")
+			}
+			// Everyone else suspends on a message that never comes.
+			if h == nil {
+				h = pe.IRecv(pe.Rank()+1, Tag(9))
+			}
+			if !h.Test() {
+				return h
+			}
+			h.Wait()
+			return nil
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic propagation, got %v", err)
+	}
+	// Reusable afterwards, for both async and blocking runs.
+	out := make([]int64, p)
+	m.MustRunAsync(cascadeStart(Tag(10), out))
+	if out[0] != p-1 {
+		t.Errorf("post-abort cascade got %d", out[0])
+	}
+	m.MustRun(func(pe *PE) {
+		const tag Tag = 11
+		if pe.Rank() == 0 {
+			pe.Send(1, tag, 42, 1)
+		} else if pe.Rank() == 1 {
+			if rx, _ := pe.Recv(0, tag); rx.(int) != 42 {
+				t.Errorf("post-abort recv got %v", rx)
+			}
+		}
+	})
+}
+
+// TestRunAsyncContinuationStress is the -race stress over continuation
+// suspend/resume at w < p: pseudo-random partner shifts make resume
+// events land on arbitrary workers while drivers are mid-batch, repeated
+// across rounds so ready-queue and run-boundary interleavings vary.
+func TestRunAsyncContinuationStress(t *testing.T) {
+	const p, rounds = 96, 20
+	for _, w := range []int{1, 3} {
+		cfg := MailboxConfig(p)
+		cfg.Workers = w
+		m := NewMachine(cfg)
+		for round := 0; round < rounds; round++ {
+			shift := 1 + round%(p-1)
+			tag := Tag(1000 + round)
+			var bad atomic.Int32
+			if err := m.RunAsync(func(pe *PE) Stepper {
+				var h *RecvHandle
+				sent := false
+				return StepFunc(func(pe *PE) *RecvHandle {
+					if !sent {
+						sent = true
+						pe.Send((pe.Rank()+shift)%p, tag, pe.Rank(), 1)
+						h = pe.IRecv((pe.Rank()-shift+p)%p, tag)
+						if !h.Test() {
+							return h
+						}
+					}
+					rx, _ := h.Wait()
+					if rx.(int) != (pe.Rank()-shift+p)%p {
+						bad.Add(1)
+					}
+					return nil
+				})
+			}); err != nil {
+				t.Fatalf("w=%d round %d: %v", w, round, err)
+			}
+			if bad.Load() != 0 {
+				t.Fatalf("w=%d round %d: %d ranks received wrong payloads", w, round, bad.Load())
+			}
+		}
+		m.Close()
+	}
+}
+
+// TestRunAsyncInterleavedWithBlockingRuns pins cross-mode machine reuse:
+// async and blocking runs alternate on one machine and the folded stats
+// keep accumulating coherently.
+func TestRunAsyncInterleavedWithBlockingRuns(t *testing.T) {
+	const p = 16
+	ma := NewMachine(MailboxConfig(p))
+	defer ma.Close()
+	mb := NewMachine(MatrixConfig(p))
+	for i := 0; i < 4; i++ {
+		out := make([]int64, p)
+		ma.MustRunAsync(cascadeStart(Tag(50+i), out))
+		mb.MustRunAsync(cascadeStart(Tag(50+i), out))
+		ma.MustRun(func(pe *PE) { ringBodyRecv(pe, make([]int, p)) })
+		mb.MustRun(func(pe *PE) { ringBodyRecv(pe, make([]int, p)) })
+		if sa, sb := ma.Stats(), mb.Stats(); sa != sb {
+			t.Fatalf("cycle %d: cumulative stats diverge:\n  mailbox: %+v\n  matrix:  %+v", i, sa, sb)
+		}
+	}
+}

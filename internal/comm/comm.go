@@ -16,6 +16,16 @@
 // maximum of its own clock and the stamp. Local computation is not added
 // to the virtual clock.
 //
+// Communication is available in blocking form (Send/Recv/SendRecv) and
+// non-blocking form (ISend/IRecv handles with Test/Wait/WaitAll — the
+// MPI_Irecv/MPI_Wait shape the paper's substrate assumes); Recv is sugar
+// for IRecv+Wait, and the meter folds at Wait in program order, so both
+// forms are bit-identical in results and statistics. PE bodies likewise
+// run in two forms: blocking (Machine.Run) or continuation-scheduled
+// (Machine.RunAsync over Stepper bodies), where a wait on an unbound
+// handle suspends the body as data instead of parking a goroutine — see
+// async.go.
+//
 // # Backends
 //
 // Two interchangeable message runtimes implement the same Send/Recv
@@ -209,12 +219,15 @@ type Machine struct {
 	// Mailbox-backend run machinery: the sharded scheduler (w shards
 	// multiplexing the p PE bodies; goroutines spawn lazily and at most w
 	// stay resident, torn down by Close or the finalizer), the per-rank
-	// exec wrapper (one closure per machine, so steady-state Run
-	// allocates nothing), and the body it dispatches.
-	sched     *mailbox.Sched
-	exec      func(rank int)
-	runBody   func(pe *PE)
-	closeOnce sync.Once
+	// exec wrappers (one closure each per machine, so steady-state Run
+	// and RunAsync dispatch allocate nothing), and the bodies they
+	// dispatch (runBody for blocking Run, asyncStart for RunAsync).
+	sched      *mailbox.Sched
+	exec       func(rank int) bool
+	execAsync  func(rank int) bool
+	runBody    func(pe *PE)
+	asyncStart func(pe *PE) Stepper
+	closeOnce  sync.Once
 
 	// Mailbox-backend aggregate statistics, folded in by each worker when
 	// its body completes (O(1) Stats instead of an O(p) scan).
@@ -268,6 +281,14 @@ func NewMachine(cfg Config) *Machine {
 	}
 	if cfg.Backend == BackendMailbox {
 		m.exec = m.execRank
+		m.execAsync = m.execAsyncRank
+		// Suspended continuation bodies (RunAsync) are resumed through the
+		// box notify → scheduler ready-queue path; all boxes share the one
+		// Ready method value and differ only in rank.
+		ready := m.sched.Ready
+		for i, b := range m.boxes {
+			b.SetNotify(i, ready)
+		}
 		// An idle scheduler goroutine references only the scheduler, never
 		// the machine, so the finalizer fires once callers drop the machine
 		// and releases the spare pool.
@@ -356,6 +377,7 @@ func (m *Machine) Run(body func(pe *PE)) error {
 				defer wg.Done()
 				defer func() {
 					if r := recover(); r != nil {
+						pe.resetAsync()
 						if _, ok := r.(abortedError); ok {
 							return // secondary failure; first cause already recorded
 						}
@@ -367,13 +389,20 @@ func (m *Machine) Run(body func(pe *PE)) error {
 		}
 		wg.Wait()
 	}
+	return m.finishRun()
+}
+
+// finishRun collects a run's first error and, on failure, restores the
+// machine to a clean reusable state (shared by Run and RunAsync).
+func (m *Machine) finishRun() error {
 	m.errMu.Lock()
 	err := m.err
 	m.err = nil
 	m.errMu.Unlock()
 	if err != nil {
-		// The machine's queues may hold stale messages after an abort;
-		// drain them so a subsequent Run starts clean.
+		// The machine's queues may hold stale messages after an abort, and
+		// unwound PE bodies may have left posted receive handles behind;
+		// drain both so a subsequent Run starts clean.
 		for _, b := range m.boxes {
 			b.Reset()
 		}
@@ -384,20 +413,27 @@ func (m *Machine) Run(body func(pe *PE)) error {
 				}
 			}
 		}
+		for _, pe := range m.pes {
+			pe.resetAsync()
+		}
 		m.abort = make(chan struct{})
 		m.abortOnce = sync.Once{}
 	}
 	return err
 }
 
-// execRank is the mailbox backend's per-rank run wrapper: dispatch the
-// body, convert panics into machine aborts, and fold this PE's counter
-// deltas into the aggregate. Created once per machine so Run stays
-// allocation-free.
-func (m *Machine) execRank(rank int) {
+// execRank is the mailbox backend's per-rank run wrapper for blocking
+// bodies: dispatch the body, convert panics into machine aborts, and
+// fold this PE's counter deltas into the aggregate. Created once per
+// machine so Run stays allocation-free. Blocking bodies always complete
+// within one exec call (they park goroutines instead of suspending), so
+// it always reports done.
+func (m *Machine) execRank(rank int) (done bool) {
 	pe := m.pes[rank]
 	defer func() {
 		if r := recover(); r != nil {
+			pe.resetAsync()
+			done = true // the rank is finished (it failed); never suspended
 			if _, ok := r.(abortedError); !ok {
 				m.abortErr(fmt.Errorf("comm: PE %d panicked: %v\n%s", pe.rank, r, debug.Stack()))
 			}
@@ -405,6 +441,7 @@ func (m *Machine) execRank(rank int) {
 		m.foldStats(pe)
 	}()
 	m.runBody(pe)
+	return true
 }
 
 // foldStats folds pe's monotone counters into the machine aggregate —
@@ -531,6 +568,14 @@ type PE struct {
 
 	collSeq uint64
 
+	// Non-blocking receive state: the outstanding posted handles (FIFO,
+	// doubly linked), the handle freelist (so Recv = IRecv+Wait allocates
+	// nothing in steady state), and — under RunAsync — the PE's current
+	// continuation body.
+	outHead, outTail *RecvHandle
+	freeH            *RecvHandle
+	step             Stepper
+
 	scratch map[string]any
 }
 
@@ -645,70 +690,26 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 }
 
 // Recv receives the next message from PE src, which must carry the given
-// tag. It returns the payload and its size in words.
+// tag. It returns the payload and its size in words. Recv is sugar for
+// IRecv followed by Wait (literally — the handle comes from the per-PE
+// pool, so the sugar allocates nothing): posting binds an
+// already-delivered message eagerly, Wait parks only when the message
+// has not arrived (handing the shard driver role off first on the
+// mailbox backend), and the meter — the single-ported α+βm clock rule, a
+// coordinator draining p−1 messages therefore paying Θ(p·(α+βm)) of
+// modeled time — folds at Wait.
 func (pe *PE) Recv(src int, tag Tag) (any, int64) {
-	if src < 0 || src >= pe.p {
-		panic(fmt.Sprintf("comm: PE %d: recv from invalid rank %d", pe.rank, src))
-	}
-	var msg message
-	if pe.box != nil {
-		// Fast path: a matching message is already queued, so no wait-time
-		// clock reads are needed. Abort propagation goes through the box's
-		// interrupt (see Machine.abortErr), not the abort channel.
-		mm, ok := pe.box.TryTake(src)
-		if !ok {
-			// About to block: hand this PE's shard driver role to another
-			// goroutine so queued PE bodies keep starting while this one
-			// parks on its mailbox.
-			pe.sched.WillPark(pe.rank)
-			t0 := time.Now()
-			mm, ok = pe.box.Take(src)
-			pe.waitNs += time.Since(t0).Nanoseconds()
-			if !ok {
-				panic(abortedError{})
-			}
-		}
-		msg = message{tag: Tag(mm.Tag), words: mm.Words, depart: mm.Depart, data: mm.Data}
-	} else {
-		// Fast path: a message is already queued, so no abort watch and no
-		// wait-time clock reads are needed.
-		select {
-		case msg = <-pe.m.chans[src][pe.rank]:
-		default:
-			t0 := time.Now()
-			select {
-			case msg = <-pe.m.chans[src][pe.rank]:
-			case <-pe.m.abort:
-				panic(abortedError{})
-			}
-			pe.waitNs += time.Since(t0).Nanoseconds()
-		}
-	}
-	if msg.tag != tag {
-		panic(fmt.Sprintf("comm: PE %d: tag mismatch receiving from %d: got %d want %d (desynchronized SPMD program)",
-			pe.rank, src, msg.tag, tag))
-	}
-	// Single-ported receive: the transfer occupies this PE for α+βm,
-	// starting no earlier than when the sender started transmitting and
-	// no earlier than the PE's own clock. A coordinator draining p−1
-	// messages therefore pays Θ(p·(α+βm)) of modeled time — the
-	// bottleneck the paper's master–worker comparisons hinge on.
-	cost := pe.alpha + pe.beta*float64(msg.words)
-	avail := msg.depart - cost
-	if avail < pe.clock {
-		avail = pe.clock
-	}
-	pe.clock = avail + cost
-	pe.recvWords += msg.words
-	pe.recvs++
-	return msg.data, msg.words
+	return pe.IRecv(src, tag).Wait()
 }
 
 // SendRecv sends to dst and receives from src in one full-duplex step
-// (the common exchange pattern of recursive doubling). Buffered channels
-// make the send non-blocking in practice; the simultaneous exchange is
-// deadlock-free for any pairing as long as ChanCap ≥ 1.
+// (the common exchange pattern of recursive doubling), posting the
+// receive before the send so the two transfers overlap — the handle-API
+// form of the exchange. Sends never block on the mailbox backend, and
+// the buffered channels of the matrix make the exchange deadlock-free
+// for any pairing as long as ChanCap ≥ 1.
 func (pe *PE) SendRecv(dst int, sendData any, sendWords int64, src int, tag Tag) (any, int64) {
+	h := pe.IRecv(src, tag)
 	pe.Send(dst, tag, sendData, sendWords)
-	return pe.Recv(src, tag)
+	return h.Wait()
 }

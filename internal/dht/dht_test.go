@@ -19,8 +19,8 @@ func localCountsFor(seed int64, rank, universe, items int) map[uint64]int64 {
 	return m
 }
 
-// tableOf loads a count map into a fresh Table (test convenience).
-func tableOf(m map[uint64]int64) *Table {
+// tableFromMap loads a count map into a fresh Table (test convenience).
+func tableFromMap(m map[uint64]int64) *Table {
 	t := NewTable(len(m))
 	for k, c := range m {
 		t.Add(k, c)
@@ -120,7 +120,7 @@ func TestSBFCountsMatch(t *testing.T) {
 		m := comm.NewMachine(comm.DefaultConfig(p))
 		cellsByPE := make([]map[uint32]int64, p)
 		m.MustRun(func(pe *comm.PE) {
-			local := tableOf(localCountsFor(7, pe.Rank(), 300, 400))
+			local := tableFromMap(localCountsFor(7, pe.Rank(), 300, 400))
 			s := BuildSBF(pe, local)
 			local.Release()
 			cellsByPE[pe.Rank()] = s.Cells
@@ -157,7 +157,7 @@ func TestSBFResolveSplitsCollisions(t *testing.T) {
 	m := comm.NewMachine(comm.DefaultConfig(p))
 	resolvedByPE := make([][]KV, p)
 	m.MustRun(func(pe *comm.PE) {
-		local := tableOf(localCountsFor(11, pe.Rank(), 100, 300))
+		local := tableFromMap(localCountsFor(11, pe.Rank(), 100, 300))
 		s := BuildSBF(pe, local)
 		local.Release()
 		// Resolve every cell: must reconstruct the full exact table.

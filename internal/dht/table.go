@@ -2,6 +2,7 @@ package dht
 
 import (
 	"fmt"
+	"slices"
 
 	"commtopk/internal/commbuf"
 )
@@ -14,34 +15,69 @@ import (
 // allocation per query. A Table recycles its slots through the pool:
 // steady-state queries allocate nothing for counting.
 //
+// SumTable is the same structure over float64 values, for the
+// sum-aggregation layer's per-key value totals (Section 8.1) — the last
+// query-path structure that was still a Go map.
+//
 // Iteration (ForEach, AppendKVs) is in slot order, which is a pure
 // function of the insertion sequence — deterministic wherever the
-// insertions are, unlike Go map iteration. Keys hash through Mix, the
-// same finalizer that shards keys across PEs.
+// insertions are, unlike Go map iteration; SortedKeys gives the
+// ascending-key order the RNG-consuming passes need. Keys hash through
+// Mix, the same finalizer that shards keys across PEs.
 //
 // A Table is not safe for concurrent use; like all per-PE state it lives
 // on one PE at a time. Call Release to return the slots to the pool (the
 // zero Table and a released Table are both usable again and simply
 // re-acquire slots on first insert).
 type Table struct {
-	slots *[]tableSlot
-	used  int
-	total int64
+	tableOf[int64]
 }
 
-type tableSlot struct {
+// NewTable returns a count table pre-sized for about hint live keys.
+func NewTable(hint int) *Table {
+	t := &Table{}
+	t.presize(hint)
+	return t
+}
+
+// AppendKVs appends the live entries to dst in slot order.
+func (t *Table) AppendKVs(dst []KV) []KV {
+	t.ForEach(func(k uint64, c int64) {
+		dst = append(dst, KV{Key: k, Count: c})
+	})
+	return dst
+}
+
+// SumTable is Table over float64 values: uint64 → float64 value sums
+// (see Table's doc). The zero value is usable.
+type SumTable struct {
+	tableOf[float64]
+}
+
+// NewSumTable returns a value-sum table pre-sized for about hint keys.
+func NewSumTable(hint int) *SumTable {
+	t := &SumTable{}
+	t.presize(hint)
+	return t
+}
+
+// tableOf is the open-addressing engine shared by Table and SumTable.
+type tableOf[V int64 | float64] struct {
+	slots *[]slotOf[V]
+	used  int
+	total V
+}
+
+type slotOf[V int64 | float64] struct {
 	key  uint64
-	val  int64
+	val  V
 	live bool
 }
 
-// NewTable returns a table pre-sized for about hint live keys.
-func NewTable(hint int) *Table {
-	t := &Table{}
+func (t *tableOf[V]) presize(hint int) {
 	if hint > 0 {
 		t.grow(slotsFor(hint))
 	}
-	return t
 }
 
 // slotsFor returns the power-of-two slot count that keeps hint keys
@@ -55,14 +91,15 @@ func slotsFor(hint int) int {
 }
 
 // Len returns the number of live keys.
-func (t *Table) Len() int { return t.used }
+func (t *tableOf[V]) Len() int { return t.used }
 
-// Total returns the sum of all counts — maintained incrementally, so
-// realized sample sizes cost O(1) instead of a full scan.
-func (t *Table) Total() int64 { return t.total }
+// Total returns the sum of all counts/values — maintained incrementally,
+// so realized sample sizes and value masses cost O(1) instead of a full
+// scan.
+func (t *tableOf[V]) Total() V { return t.total }
 
 // Add increments key's count by delta, inserting it if absent.
-func (t *Table) Add(key uint64, delta int64) {
+func (t *tableOf[V]) Add(key uint64, delta V) {
 	t.total += delta
 	slot := t.probe(key)
 	if !slot.live {
@@ -77,7 +114,7 @@ func (t *Table) Add(key uint64, delta int64) {
 
 // Set stores val for key, replacing any previous value. Total tracks the
 // stored values like Add's deltas would.
-func (t *Table) Set(key uint64, val int64) {
+func (t *tableOf[V]) Set(key uint64, val V) {
 	slot := t.probe(key)
 	if !slot.live {
 		if t.ensure() {
@@ -93,7 +130,7 @@ func (t *Table) Set(key uint64, val int64) {
 }
 
 // Get returns key's count and whether it is present.
-func (t *Table) Get(key uint64) (int64, bool) {
+func (t *tableOf[V]) Get(key uint64) (V, bool) {
 	if t.slots == nil || t.used == 0 {
 		return 0, false
 	}
@@ -103,7 +140,7 @@ func (t *Table) Get(key uint64) (int64, bool) {
 
 // probe returns the slot holding key, or the empty slot where it would
 // be inserted. Requires a non-nil slot array unless called via ensure.
-func (t *Table) probe(key uint64) *tableSlot {
+func (t *tableOf[V]) probe(key uint64) *slotOf[V] {
 	if t.slots == nil {
 		t.grow(16)
 	}
@@ -118,7 +155,7 @@ func (t *Table) probe(key uint64) *tableSlot {
 
 // ensure grows the table if the next insert would push the load factor
 // past ~2/3, reporting whether a rehash happened (invalidating slots).
-func (t *Table) ensure() bool {
+func (t *tableOf[V]) ensure() bool {
 	if t.slots != nil && (t.used+1)*3 <= len(*t.slots)*2 {
 		return false
 	}
@@ -132,12 +169,12 @@ func (t *Table) ensure() bool {
 
 // grow rehashes into a pooled slot array of exactly n (power-of-two)
 // slots, recycling the previous array.
-func (t *Table) grow(n int) {
+func (t *tableOf[V]) grow(n int) {
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("dht: slot count %d not a power of two", n))
 	}
 	old := t.slots
-	fresh := commbuf.For[tableSlot]().Get(n)
+	fresh := commbuf.For[slotOf[V]]().Get(n)
 	clear(*fresh)
 	t.slots = fresh
 	if old != nil {
@@ -152,13 +189,13 @@ func (t *Table) grow(n int) {
 			}
 			(*fresh)[i] = s
 		}
-		commbuf.For[tableSlot]().Put(old)
+		commbuf.For[slotOf[V]]().Put(old)
 	}
 }
 
-// ForEach calls f for every live (key, count) pair in slot order. f must
+// ForEach calls f for every live (key, value) pair in slot order. f must
 // not mutate the table.
-func (t *Table) ForEach(f func(key uint64, count int64)) {
+func (t *tableOf[V]) ForEach(f func(key uint64, val V)) {
 	if t.slots == nil {
 		return
 	}
@@ -169,16 +206,18 @@ func (t *Table) ForEach(f func(key uint64, count int64)) {
 	}
 }
 
-// AppendKVs appends the live entries to dst in slot order.
-func (t *Table) AppendKVs(dst []KV) []KV {
-	t.ForEach(func(k uint64, c int64) {
-		dst = append(dst, KV{Key: k, Count: c})
-	})
+// SortedKeys appends every live key to dst and sorts the result
+// ascending — the deterministic iteration order for passes that consume
+// RNG deviates per key (sampling) or build wire batches, replacing the
+// build-a-slice-and-sort dance every such caller used to do on Go maps.
+func (t *tableOf[V]) SortedKeys(dst []uint64) []uint64 {
+	t.ForEach(func(k uint64, _ V) { dst = append(dst, k) })
+	slices.Sort(dst)
 	return dst
 }
 
 // Reset clears the table for reuse, keeping its slot array.
-func (t *Table) Reset() {
+func (t *tableOf[V]) Reset() {
 	if t.slots != nil {
 		clear(*t.slots)
 	}
@@ -187,9 +226,9 @@ func (t *Table) Reset() {
 
 // Release returns the slot array to the pool; the table remains usable
 // and re-acquires slots on the next insert.
-func (t *Table) Release() {
+func (t *tableOf[V]) Release() {
 	if t.slots != nil {
-		commbuf.For[tableSlot]().Put(t.slots)
+		commbuf.For[slotOf[V]]().Put(t.slots)
 		t.slots = nil
 	}
 	t.used, t.total = 0, 0

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"reflect"
+	"slices"
 	"testing"
 )
 
@@ -106,5 +107,72 @@ func TestTableSteadyStateAllocs(t *testing.T) {
 	// One alloc for the Table header itself; the slot slabs must recycle.
 	if allocs > 2 {
 		t.Errorf("steady-state table fill allocates %.1f times, want ≤ 2", allocs)
+	}
+}
+
+func TestSumTableBasics(t *testing.T) {
+	s := NewSumTable(4)
+	s.Add(10, 1.5)
+	s.Add(11, 2.0)
+	s.Add(10, 0.25)
+	if got, ok := s.Get(10); !ok || got != 1.75 {
+		t.Errorf("Get(10) = %v, %v", got, ok)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Total() != 3.75 {
+		t.Errorf("Total = %v", s.Total())
+	}
+	s.Set(11, 1.0)
+	if s.Total() != 2.75 {
+		t.Errorf("Total after Set = %v", s.Total())
+	}
+	s.Release()
+	if _, ok := s.Get(10); ok {
+		t.Error("released table still holds keys")
+	}
+	s.Add(3, 1) // released table must be usable again
+	if got, _ := s.Get(3); got != 1 {
+		t.Errorf("post-release Add lost value: %v", got)
+	}
+}
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	tb := NewTable(0)
+	keys := []uint64{900, 3, 77, 12, 500, 1}
+	for _, k := range keys {
+		tb.Add(k, int64(k))
+	}
+	got := tb.SortedKeys(nil)
+	want := append([]uint64(nil), keys...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	// Appending into a reused buffer must extend, not clobber.
+	buf := []uint64{42}
+	got = tb.SortedKeys(buf[:1])
+	if got[0] > got[1] { // sorted including the prefix
+		t.Logf("prefix participates in the sort, as documented: %v", got[:2])
+	}
+	if len(got) != len(keys)+1 {
+		t.Errorf("reused-buffer SortedKeys has %d keys", len(got))
+	}
+}
+
+func TestTableGrowPreservesSumValues(t *testing.T) {
+	s := NewSumTable(0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i*2654435761), float64(i)/8)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < n; i++ {
+		if got, ok := s.Get(uint64(i * 2654435761)); !ok || got != float64(i)/8 {
+			t.Fatalf("key %d: got %v ok=%v", i, got, ok)
+		}
 	}
 }

@@ -133,6 +133,29 @@ func diffOps(perPE int) []diffOp {
 			}
 			return sum
 		}},
+		{"IRecvPipeline", func(pe *comm.PE, seed int64) any {
+			// Two receives posted against one source must complete in
+			// posting order with the same meter as blocking Recvs — the
+			// handle API's FIFO contract, pinned across backends.
+			tag := pe.NextCollTag()
+			p := pe.P()
+			next, prev := (pe.Rank()+1)%p, (pe.Rank()-1+p)%p
+			h1 := pe.IRecv(prev, tag)
+			h2 := pe.IRecv(prev, tag)
+			pe.Send(next, tag, seed+int64(pe.Rank()), 1)
+			pe.Send(next, tag, int64(pe.Rank()*7), 2)
+			a, _ := h1.Wait()
+			b, _ := h2.Wait()
+			return []int64{a.(int64), b.(int64)}
+		}},
+		{"GatherStrided", func(pe *comm.PE, seed int64) any {
+			block := []int64{seed + int64(pe.Rank()), int64(pe.Rank() * 3)}
+			var acc []int64
+			coll.GatherStrided(pe, block, 5, func(src int, b []int64) {
+				acc = append(acc, int64(src), b[0], b[1])
+			})
+			return acc
+		}},
 		{"SelKth", func(pe *comm.PE, seed int64) any {
 			local := gen.SelectionInput(xrand.NewPE(seed, pe.Rank()), perPE, 12)
 			n := int64(pe.P() * perPE)
@@ -250,5 +273,54 @@ func TestBackendDifferentialRepeatedRuns(t *testing.T) {
 		if sc, sb := mc.Stats(), mb.Stats(); sc != sb {
 			t.Fatalf("round %d: cumulative stats diverge:\n  %+v\n  %+v", r, sc, sb)
 		}
+	}
+}
+
+// TestBackendDifferentialContinuationBodies pins RunAsync against the
+// blocking reference: the continuation-scheduled collective suite on the
+// mailbox backend (including w < p scheduler widths, where suspensions
+// cross worker boundaries) must be bit-identical — per-PE results and
+// metered statistics — to the same collectives as blocking bodies on the
+// channel matrix.
+func TestBackendDifferentialContinuationBodies(t *testing.T) {
+	const p = 64
+	sum := func(a, b int64) int64 { return a + b }
+	blockBody := func(pe *comm.PE) int64 {
+		coll.Broadcast(pe, 0, []int64{9, 8, 7})
+		a := coll.AllReduceScalar(pe, int64(pe.Rank())+3, sum)
+		b := coll.ExScanSum(pe, int64(pe.Rank()))
+		coll.Barrier(pe)
+		var g int64
+		coll.GatherStrided(pe, []int64{int64(pe.Rank())}, 7, func(src int, blk []int64) { g += blk[0] })
+		return a ^ b ^ g
+	}
+	start := func(pe *comm.PE, out *int64) comm.Stepper {
+		var a, b, g int64
+		return comm.Seq(
+			coll.BroadcastStep[int64](0, []int64{9, 8, 7}, nil),
+			coll.AllReduceScalarStep(int64(pe.Rank())+3, sum, func(v int64) { a = v }),
+			coll.ExScanSumStep(int64(pe.Rank()), func(v int64) { b = v }),
+			coll.BarrierStep(),
+			coll.GatherStridedStep([]int64{int64(pe.Rank())}, 7, func(src int, blk []int64) { g += blk[0] }),
+			comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = a ^ b ^ g; return nil }),
+		)
+	}
+	mc := comm.NewMachine(comm.MatrixConfig(p))
+	var refRes [p]int64
+	mc.MustRun(func(pe *comm.PE) { refRes[pe.Rank()] = blockBody(pe) })
+	refStats := mc.Stats()
+	for _, w := range []int{0, 1, 4} {
+		cfg := comm.MailboxConfig(p)
+		cfg.Workers = w
+		m := comm.NewMachine(cfg)
+		var res [p]int64
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper { return start(pe, &res[pe.Rank()]) })
+		if res != refRes {
+			t.Errorf("w=%d: continuation results diverge from blocking matrix reference", w)
+		}
+		if s := m.Stats(); s != refStats {
+			t.Errorf("w=%d: stats diverge:\n  matrix blocking: %+v\n  mailbox async:   %+v", w, refStats, s)
+		}
+		m.Close()
 	}
 }

@@ -83,6 +83,44 @@ func scalingCollectivesBody(pe *comm.PE) {
 	coll.Barrier(pe)
 }
 
+// scalingCollectivesStart is the continuation form of the same op — the
+// identical message schedule (words/PE, startups/PE and modeled clock
+// are pinned equal by the differential suite) run through
+// comm.RunAsync, so a PE waiting mid-collective suspends as data instead
+// of parking a goroutine. At large p this is where the park/hand-off
+// churn — the dominant host cost of the blocking form — disappears; the
+// suite records both forms so the A/B is in every report.
+func scalingCollectivesStart(pe *comm.PE) comm.Stepper {
+	sum := func(a, b int64) int64 { return a + b }
+	return comm.Seq(
+		coll.BroadcastStep[int64](0, []int64{1, 2, 3, 4}, nil),
+		coll.AllReduceScalarStep(int64(pe.Rank()), sum, nil),
+		coll.ExScanSumStep(int64(pe.Rank()), nil),
+		coll.BarrierStep(),
+	)
+}
+
+// scalingStridedSamples is the sampled-gather workload's per-PE source
+// count s: every PE visits s strided peers, so the aggregate movement is
+// p·s·m words — O(p), against the p²·m of any full all-gather — and the
+// suite can run a gather-shaped workload at p = 131072.
+const scalingStridedSamples = 64
+
+// scalingStridedStart is one op of the sampled/strided gather workload
+// as a continuation body: coll.GatherStridedStep visits the blocks of 64
+// deterministic sources with O(m) per-PE memory and round-staggered
+// O(p) in-flight messages. The checksum keeps the visits honest.
+func scalingStridedStart(pe *comm.PE) comm.Stepper {
+	var block [gatherBlockLen]int64
+	for i := range block {
+		block[i] = int64(pe.Rank() + i)
+	}
+	var sum int64
+	return coll.GatherStridedStep(block[:], scalingStridedSamples, func(src int, b []int64) {
+		sum += b[0]
+	})
+}
+
 // gatherBlockLen is the per-PE block size of the gather workload.
 const gatherBlockLen = 4
 
@@ -121,11 +159,29 @@ func heapLive() uint64 {
 // measureScaling times iters runs of body on m (after one warmup run)
 // and fills the communication metrics from the machine's stats.
 func measureScaling(m *comm.Machine, iters int, body func(pe *comm.PE)) (nsPerOp float64, s comm.Stats) {
-	m.MustRun(body) // warmup: scheduler spawn, pool and scratch warm
+	run := func() { m.MustRun(body) }
+	return measureScalingRuns(m, iters, run)
+}
+
+// measureScalingAsync is measureScaling for continuation bodies driven
+// through RunAsync.
+func measureScalingAsync(m *comm.Machine, iters int, start func(pe *comm.PE) comm.Stepper) (nsPerOp float64, s comm.Stats) {
+	run := func() { m.MustRunAsync(start) }
+	return measureScalingRuns(m, iters, run)
+}
+
+func measureScalingRuns(m *comm.Machine, iters int, run func()) (nsPerOp float64, s comm.Stats) {
+	run() // warmup: scheduler spawn, pool and scratch warm
+	// Settle the heap before timing: by this point in a long suite process
+	// the allocator carries earlier configurations' garbage and pool
+	// retention, which otherwise bleeds GC time into whichever workload
+	// runs first (the continuation entries allocate their stepper state
+	// per op and are the most exposed).
+	runtime.GC()
 	m.ResetStats()
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
-		m.MustRun(body)
+		run()
 	}
 	elapsed := time.Since(t0)
 	s = m.Stats()
@@ -151,14 +207,22 @@ func residentGoroutines(bound int) int {
 	return n
 }
 
+// ScalingQuickPMax caps the -quick tier of the suite: large enough that
+// the O(α log p) trends and both gather variants are visible, small
+// enough that a CI smoke finishes in tens of seconds.
+const ScalingQuickPMax = 4096
+
 // ScalingSuite runs the scaling workloads for every p in pList on both
 // backends, refusing configurations whose estimated machine memory
-// exceeds budget. progress (optional) receives one line per entry.
-func ScalingSuite(pList []int, budget int64, progress func(string)) []BenchResult {
+// exceeds budget. quick selects the CI tier: runs/op drop to 1 and the
+// blocking park-churn A/B twins are skipped (callers should also cap
+// pList at ScalingQuickPMax). progress (optional) receives one line per
+// entry.
+func ScalingSuite(pList []int, budget int64, quick bool, progress func(string)) []BenchResult {
 	var out []BenchResult
 	for _, p := range pList {
 		for _, backend := range []comm.Backend{comm.BackendMailbox, comm.BackendChannelMatrix} {
-			for _, r := range scalingRun(p, backend, budget) {
+			for _, r := range scalingRun(p, backend, budget, quick) {
 				out = append(out, r)
 				if progress != nil {
 					if r.Skipped != "" {
@@ -174,11 +238,22 @@ func ScalingSuite(pList []int, budget int64, progress func(string)) []BenchResul
 	return out
 }
 
-func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
+// scalingRunIters scales a workload's measured runs/op down for the
+// quick tier.
+func scalingRunIters(iters int, quick bool) int {
+	if quick {
+		return 1
+	}
+	return iters
+}
+
+func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchResult {
 	cfg := comm.DefaultConfig(p)
 	cfg.Backend = backend
 	collName := fmt.Sprintf("Scaling/Collectives/p=%d/%s", p, backend)
+	collBlockName := fmt.Sprintf("Scaling/Collectives/p=%d/%s/blocking", p, backend)
 	gatherName := fmt.Sprintf("Scaling/GatherChunked/p=%d/%s", p, backend)
+	stridedName := fmt.Sprintf("Scaling/GatherStrided/p=%d/%s", p, backend)
 	selName := fmt.Sprintf("Scaling/Table1Selection/p=%d/%s", p, backend)
 	res := func(name string) BenchResult {
 		return BenchResult{Name: name, P: p, Backend: backend.String(), Workers: comm.SchedWorkers(cfg)}
@@ -191,7 +266,7 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 	if mb := comm.MachineBytes(cfg); mb > budget {
 		reason := fmt.Sprintf("estimated machine memory %.2f GiB exceeds the %.1f GiB harness budget",
 			float64(mb)/(1<<30), float64(budget)/(1<<30))
-		return []BenchResult{skip(collName, reason), skip(gatherName, reason), skip(selName, reason)}
+		return []BenchResult{skip(collName, reason), skip(gatherName, reason), skip(stridedName, reason), skip(selName, reason)}
 	}
 
 	baseline := runtime.NumGoroutine()
@@ -216,8 +291,52 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 	}
 
 	var out []BenchResult
-	ns, s := measureScaling(m, 5, scalingCollectivesBody)
-	out = append(out, fill(res(collName), ns, s))
+	// Collectives workload. On the mailbox backend the primary entry runs
+	// the continuation form (the async API is how collectives are meant to
+	// run at scale since PR 4); the "/blocking" twin measures the same op
+	// through blocking bodies — the park-churn A/B — and is skipped in the
+	// quick tier. The channel matrix keeps the blocking form (its RunAsync
+	// is the naive blocking drive anyway).
+	if backend == comm.BackendMailbox {
+		ns, s := measureScalingAsync(m, scalingRunIters(5, quick), scalingCollectivesStart)
+		r := fill(res(collName), ns, s)
+		r.Note = "continuation-scheduled (comm.RunAsync)"
+		out = append(out, r)
+		if !quick {
+			blockIters := 3
+			if p >= 1<<16 {
+				blockIters = 1
+			}
+			ns, s = measureScaling(m, blockIters, scalingCollectivesBody)
+			rb := fill(res(collBlockName), ns, s)
+			rb.Note = "park-churn A/B reference (blocking bodies)"
+			out = append(out, rb)
+		}
+	} else {
+		ns, s := measureScaling(m, scalingRunIters(5, quick), scalingCollectivesBody)
+		out = append(out, fill(res(collName), ns, s))
+	}
+
+	// Sampled/strided gather: every PE visits 64 strided peers, so the
+	// aggregate movement is p·64·m words — the gather-shaped workload that
+	// exists at p = 131072, where any full all-gather's p²·m movement does
+	// not fit one host. Continuation-scheduled on the mailbox backend.
+	{
+		iters := scalingRunIters(3, quick)
+		var ns float64
+		var s comm.Stats
+		if backend == comm.BackendMailbox {
+			ns, s = measureScalingAsync(m, iters, scalingStridedStart)
+		} else {
+			ns, s = measureScaling(m, iters, func(pe *comm.PE) {
+				comm.RunSteps(pe, scalingStridedStart(pe))
+			})
+		}
+		r := fill(res(stridedName), ns, s)
+		r.Note = fmt.Sprintf("s=%d sources/PE; aggregate movement p·s·m = %.1e words", scalingStridedSamples,
+			float64(p)*scalingStridedSamples*gatherBlockLen)
+		out = append(out, r)
+	}
 
 	// Gather workload: refuse what must be refused, loudly. The
 	// materializing all-gather would hold p blocks on every PE; the
@@ -232,10 +351,10 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 			float64(moved), float64(matBytes)/(1<<30))))
 	default:
 		iters := 3
-		if moved > scalingGatherMaxMoved/8 {
+		if quick || moved > scalingGatherMaxMoved/8 {
 			iters = 1
 		}
-		ns, s = measureScaling(m, iters, scalingGatherBody)
+		ns, s := measureScaling(m, iters, scalingGatherBody)
 		r := fill(res(gatherName), ns, s)
 		if matBytes > budget {
 			r.Note = fmt.Sprintf("materializing AllGatherv would need %.1f GiB of results; chunked window is %.1f MiB",
@@ -252,7 +371,7 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 	n := int64(p) * int64(perPE)
 	// Fixed pivot seed: every measured run takes the same communication
 	// path, so the per-op stats are exact rather than averaged estimates.
-	ns, s = measureScaling(m, 3, func(pe *comm.PE) {
+	ns, s := measureScaling(m, scalingRunIters(3, quick), func(pe *comm.PE) {
 		sel.Kth(pe, locals[pe.Rank()], n/2, xrand.NewPE(17, pe.Rank()))
 	})
 	r := fill(res(selName), ns, s)
@@ -262,15 +381,16 @@ func scalingRun(p int, backend comm.Backend, budget int64) []BenchResult {
 }
 
 // ScalingTable renders the scaling suite as a human-readable experiment
-// table for `topkbench -exp scaling`.
-func ScalingTable(pmax int) Table {
+// table for `topkbench -exp scaling` (quick selects the capped CI tier;
+// callers pass pmax ≤ ScalingQuickPMax alongside it).
+func ScalingTable(pmax int, quick bool) Table {
 	t := Table{
-		Title: "Scaling: collectives, chunked gathers and Table-1 selection at large p (mailbox vs channel matrix)",
-		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front machine allocation (comm.MachineBytes); over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier; gather op = chunked all-gather (m=%d, chunk=%d) + chunked hypercube A2A\nselection: k=n/2, n/p=2^10 through p=2^14 then reduced (see entry notes); goroutines = resident process count with the machine live (w = scheduler width)",
-			float64(ScalingMemBudgetBytes)/(1<<30), gatherBlockLen, scalingGatherChunk),
+		Title: "Scaling: collectives (async + blocking A/B), gathers (chunked + strided) and Table-1 selection at large p (mailbox vs channel matrix)",
+		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front machine allocation (comm.MachineBytes); over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier (mailbox: continuation-scheduled via comm.RunAsync; /blocking twin = park-churn A/B)\ngather ops: chunked all-gather (m=%d, chunk=%d) + chunked hypercube A2A; strided gather (s=%d sources/PE, movement p·s·m)\nselection: k=n/2, n/p=2^10 through p=2^14 then reduced (see entry notes); goroutines = resident process count with the machine live (w = scheduler width)",
+			float64(ScalingMemBudgetBytes)/(1<<30), gatherBlockLen, scalingGatherChunk, scalingStridedSamples),
 		Header: []string{"workload", "p", "backend", "ns/op", "words/PE", "start/PE", "T_model", "machine MB", "w", "goroutines"},
 	}
-	for _, r := range ScalingSuite(ScalingPList(pmax), ScalingMemBudgetBytes, nil) {
+	for _, r := range ScalingSuite(ScalingPList(pmax), ScalingMemBudgetBytes, quick, nil) {
 		if r.Skipped != "" {
 			t.Rows = append(t.Rows, []string{r.Name, fmt.Sprint(r.P), r.Backend, "—", "—", "—", "—", r.Skipped, "—", "—"})
 			continue

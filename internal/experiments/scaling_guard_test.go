@@ -54,3 +54,53 @@ func TestScaling65536WithinBudgets(t *testing.T) {
 			goroutines, baseline, w, p)
 	}
 }
+
+// TestMidRunGoroutineResidency16384 is the PR 4 extension of the
+// residency guard: PR 3 pinned O(w) goroutines for a *resident* machine
+// (parked bodies retired between runs); this asserts the bound *while a
+// p = 16384 collective is in flight*. The collectives op runs as a
+// continuation body (comm.RunAsync) — thousands of PEs are
+// simultaneously waiting mid-collective at any sampled instant, and none
+// of them may hold a goroutine. Skipped under -short; CI runs it
+// explicitly.
+func TestMidRunGoroutineResidency16384(t *testing.T) {
+	if testing.Short() {
+		t.Skip("p=16384 mid-run guard skipped in -short mode")
+	}
+	const p = 16384
+	baseline := runtime.NumGoroutine()
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	w := m.Workers()
+	if w >= p/4 {
+		t.Skipf("GOMAXPROCS too large for a meaningful bound (w=%d, p=%d)", w, p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			m.MustRunAsync(scalingCollectivesStart)
+		}
+	}()
+	var maxMid, samples int64
+	for sampling := true; sampling; {
+		select {
+		case <-done:
+			sampling = false
+		default:
+			if g := int64(runtime.NumGoroutine()); g > maxMid {
+				maxMid = g
+			}
+			samples++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if samples == 0 {
+		t.Log("run finished before the first sample; mid-run residency not observed")
+	}
+	// +3: the run goroutine, the test goroutine, scheduling slack.
+	if maxMid > int64(baseline+w+3) {
+		t.Errorf("mid-collective goroutines reached %d (baseline %d, w=%d); want ≤ w+O(1) — continuation scheduling broken",
+			maxMid, baseline, w)
+	}
+}

@@ -168,16 +168,21 @@ func countExactly(pe *comm.PE, local []uint64, keys []uint64) []dht.KV {
 	if len(keys) == 0 {
 		return nil
 	}
-	index := make(map[uint64]int, len(keys))
+	// Candidate index as a pooled table (key → position) — the counting
+	// scan is the EC query path's hottest local loop, and the open
+	// addressing both avoids the Go-map churn and probes faster at these
+	// sizes (k* entries).
+	index := dht.NewTable(len(keys))
 	for i, k := range keys {
-		index[k] = i
+		index.Set(k, int64(i))
 	}
 	counts := make([]int64, len(keys))
 	for _, x := range local {
-		if i, ok := index[x]; ok {
+		if i, ok := index.Get(x); ok {
 			counts[i]++
 		}
 	}
+	index.Release()
 	global := coll.AllReduce(pe, counts, func(a, b int64) int64 { return a + b })
 	out := make([]dht.KV, len(keys))
 	for i, k := range keys {

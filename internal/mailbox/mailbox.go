@@ -23,6 +23,12 @@
 // nothing and SPMD programs (whose in-flight volume is bounded by the
 // protocol structure, not by backpressure) cannot deadlock on buffer
 // capacity.
+//
+// A consumer that cannot afford to park a goroutine (a continuation-
+// scheduled PE body, see comm.RunAsync) uses Arm instead of Take: Arm
+// registers interest in a sender without blocking, and the next Put from
+// that sender (or an Interrupt) fires the box's notify callback, which
+// re-enqueues the suspended body on the scheduler's ready queue.
 package mailbox
 
 import "sync"
@@ -46,8 +52,8 @@ type node struct {
 var nodePool = sync.Pool{New: func() any { return new(node) }}
 
 // Box is a per-receiver mailbox: any number of senders Put concurrently,
-// exactly one consumer goroutine Takes. The zero value is not ready; use
-// New.
+// exactly one consumer goroutine at a time Takes (or Arms). The zero
+// value is not ready; use New.
 type Box struct {
 	mu   sync.Mutex
 	cond sync.Cond
@@ -60,13 +66,28 @@ type Box struct {
 	// so unrelated traffic does not wake the consumer.
 	waitSrc     int
 	interrupted bool
+	// armSrc is the sender rank a suspended (continuation-scheduled)
+	// consumer registered interest in via Arm (-1: not armed). The Put
+	// that delivers for it — or an Interrupt — disarms and fires notify.
+	armSrc     int
+	notify     func(rank int)
+	notifyRank int
 }
 
 // New returns an empty Box.
 func New() *Box {
-	b := &Box{waitSrc: -1}
+	b := &Box{waitSrc: -1, armSrc: -1}
 	b.cond.L = &b.mu
 	return b
+}
+
+// SetNotify installs the resume callback Arm relies on: fn(rank) is
+// invoked (outside the box lock) when an armed box receives a message
+// from the armed sender or is interrupted. One callback per box, set
+// before any Arm; typically all boxes of a machine share one fn (the
+// scheduler's Ready) and differ only in rank.
+func (b *Box) SetNotify(rank int, fn func(rank int)) {
+	b.notifyRank, b.notify = rank, fn
 }
 
 // Put appends m to the intake. It never blocks and is safe to call from
@@ -83,9 +104,16 @@ func (b *Box) Put(m Msg) {
 	}
 	b.tail = n
 	wake := b.waitSrc == m.Src
+	fire := b.armSrc == m.Src
+	if fire {
+		b.armSrc = -1
+	}
 	b.mu.Unlock()
 	if wake {
 		b.cond.Signal()
+	}
+	if fire {
+		b.notify(b.notifyRank)
 	}
 }
 
@@ -120,6 +148,42 @@ func (b *Box) Take(src int) (Msg, bool) {
 	}
 }
 
+// Arm registers interest in the next message from src without blocking:
+// if one is already queued (or the box is interrupted) Arm reports false
+// and the consumer proceeds synchronously; otherwise the box is armed and
+// Arm reports true — the consumer must then suspend, and the notify
+// callback will fire exactly once when a message from src arrives or the
+// box is interrupted. Consumer only; at most one armed sender at a time.
+func (b *Box) Arm(src int) bool {
+	b.mu.Lock()
+	if b.interrupted || b.has(src) {
+		b.mu.Unlock()
+		return false
+	}
+	b.armSrc = src
+	b.mu.Unlock()
+	return true
+}
+
+// Interrupted reports whether the box is in the interrupted state (the
+// machine abort path). A suspended consumer whose Arm was refused checks
+// it to distinguish "message ready" from "machine aborting".
+func (b *Box) Interrupted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.interrupted
+}
+
+// has reports whether a message from src is queued. Caller holds b.mu.
+func (b *Box) has(src int) bool {
+	for n := b.head; n != nil; n = n.next {
+		if n.msg.Src == src {
+			return true
+		}
+	}
+	return false
+}
+
 // remove unlinks the first message from src. Caller holds b.mu.
 func (b *Box) remove(src int) *node {
 	var prev *node
@@ -149,22 +213,30 @@ func release(n *node) Msg {
 	return m
 }
 
-// Interrupt wakes a blocked consumer; subsequent and in-progress Takes
-// return ok = false until Reset. Used by the machine abort path.
+// Interrupt wakes a blocked consumer and fires the notify callback of an
+// armed one; subsequent and in-progress Takes return ok = false until
+// Reset. Used by the machine abort path.
 func (b *Box) Interrupt() {
 	b.mu.Lock()
 	b.interrupted = true
+	fire := b.armSrc >= 0
+	b.armSrc = -1
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	if fire {
+		b.notify(b.notifyRank)
+	}
 }
 
-// Reset discards all queued messages and clears the interrupt flag. Must
-// not race with Put or Take (the machine calls it between runs).
+// Reset discards all queued messages and clears the interrupt and armed
+// flags. Must not race with Put, Take or Arm (the machine calls it
+// between runs).
 func (b *Box) Reset() {
 	b.mu.Lock()
 	n := b.head
 	b.head, b.tail = nil, nil
 	b.interrupted = false
+	b.armSrc = -1
 	b.mu.Unlock()
 	for n != nil {
 		next := n.next
