@@ -5,306 +5,356 @@ import (
 	"commtopk/internal/commbuf"
 )
 
-// Continuation (Stepper) forms of the hot collectives, for
-// comm.Machine.RunAsync: the same protocols — same message schedule,
-// same metered words, startups and modeled clock, pinned by the
-// differential suite — expressed as resumable bodies. Where the blocking
-// forms park a goroutine per waiting PE (transiently O(p) stacks during
-// a collective at scale), a stepper suspends as data and the scheduler's
-// w workers keep driving: mid-run goroutine residency stays O(w).
+// Continuation (Stepper) forms of the scalar collectives and the strided
+// gather, for comm.Machine.RunAsync: the same protocols — same message
+// schedule, same metered words, startups and modeled clock, pinned by
+// the differential suite — expressed as resumable bodies. Where the
+// blocking forms park a goroutine per waiting PE (transiently O(p)
+// stacks during a collective at scale), a stepper suspends as data and
+// the scheduler's w workers keep driving: mid-run goroutine residency
+// stays O(w). The vector/gather-shaped forms live in async_vec.go and
+// async_route.go.
 //
 // Each XxxStep factory returns a single-use Stepper for one PE; results
 // are delivered through the out callback (nil to discard). Compose
-// multi-collective bodies with comm.Seq, and reuse the same stepper
-// under a blocking body via comm.RunSteps — one implementation, both
-// execution modes.
+// multi-collective bodies with comm.Seq / comm.SeqP, and reuse the same
+// stepper under a blocking body via comm.RunSteps — one implementation,
+// both execution modes.
+//
+// # State pooling
+//
+// Every stepper's state struct is drawn from the PE's typed freelist
+// (comm.GetPooled) and released back when the protocol completes, so a
+// continuation body rebuilt every op allocates nothing in steady state —
+// the property that makes RunAsync dispatch cost match blocking Run at
+// p = 131072, where per-op stepper garbage (~1.2 KB/PE) otherwise feeds
+// the GC ~150 MB per collectives op. The lifecycle contract: a factory
+// fully reinitializes the popped struct; the final Step clears
+// reference-holding fields, releases the struct, then invokes out; a
+// completed stepper must never be stepped again (comm.Seq and RunAsync
+// both guarantee this). Guarded by the AllocsPerRun tests in
+// async_alloc_test.go.
+
+// broadcastStep — see BroadcastStep.
+type broadcastStep[T any] struct {
+	root  int
+	data  []T
+	out   func([]T)
+	tag   comm.Tag
+	vr    int
+	mask  int
+	boxed any
+	h     *comm.RecvHandle
+	phase int
+}
 
 // BroadcastStep is the continuation form of Broadcast: root's data
 // reaches every PE along the binomial tree; out receives the (shared,
 // read-only) result slice.
-func BroadcastStep[T any](root int, data []T, out func([]T)) comm.Stepper {
-	var (
-		tag   comm.Tag
-		vr    int
-		mask  int
-		boxed any
-		h     *comm.RecvHandle
-		phase int
-	)
-	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
-		p := pe.P()
-		for {
-			switch phase {
-			case 0:
-				if p == 1 {
-					phase = 3
-					continue
-				}
-				tag = pe.NextCollTag()
-				vr = (pe.Rank() - root + p) % p
-				mask = 1
-				for mask < p {
-					if vr&mask != 0 {
-						parent := ((vr &^ mask) + root) % p
-						h = pe.IRecv(parent, tag)
-						break
-					}
-					mask <<= 1
-				}
-				phase = 1
-				if h != nil && !h.Test() {
-					return h
-				}
-			case 1:
-				if h != nil {
-					rx, _ := h.Wait()
-					boxed = rx
-					data = rx.([]T)
-					h = nil
-				} else {
-					boxed = data
-				}
-				phase = 2
-			case 2:
-				words := sliceWords(data)
-				for mask >>= 1; mask > 0; mask >>= 1 {
-					child := vr | mask
-					if child < p && child != vr {
-						pe.Send((child+root)%p, tag, boxed, words)
-					}
-				}
-				phase = 3
-			default:
-				if out != nil {
-					out(data)
-				}
-				return nil
+func BroadcastStep[T any](pe *comm.PE, root int, data []T, out func([]T)) comm.Stepper {
+	s := comm.GetPooled[broadcastStep[T]](pe)
+	*s = broadcastStep[T]{root: root, data: data, out: out}
+	return s
+}
+
+func (s *broadcastStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	p := pe.P()
+	for {
+		switch s.phase {
+		case 0:
+			if p == 1 {
+				s.phase = 3
+				continue
 			}
+			s.tag = pe.NextCollTag()
+			s.vr = (pe.Rank() - s.root + p) % p
+			s.mask = 1
+			for s.mask < p {
+				if s.vr&s.mask != 0 {
+					parent := ((s.vr &^ s.mask) + s.root) % p
+					s.h = pe.IRecv(parent, s.tag)
+					break
+				}
+				s.mask <<= 1
+			}
+			s.phase = 1
+			if s.h != nil && !s.h.Test() {
+				return s.h
+			}
+		case 1:
+			if s.h != nil {
+				rx, _ := s.h.Wait()
+				s.boxed = rx
+				s.data = rx.([]T)
+				s.h = nil
+			} else {
+				s.boxed = s.data
+			}
+			s.phase = 2
+		case 2:
+			words := sliceWords(s.data)
+			for s.mask >>= 1; s.mask > 0; s.mask >>= 1 {
+				child := s.vr | s.mask
+				if child < p && child != s.vr {
+					pe.Send((child+s.root)%p, s.tag, s.boxed, words)
+				}
+			}
+			s.phase = 3
+		default:
+			out, data := s.out, s.data
+			*s = broadcastStep[T]{}
+			comm.PutPooled(pe, s)
+			if out != nil {
+				out(data)
+			}
+			return nil
 		}
-	})
+	}
+}
+
+// scalar-collective phase constants (allReduceScalarStep).
+const (
+	arphInit = iota
+	arphStragglerWait
+	arphExtraWait
+	arphRounds
+	arphRoundWait
+	arphFoldOut
+	arphDone
+)
+
+// allReduceScalarStep — see AllReduceScalarStep.
+type allReduceScalarStep[T any] struct {
+	op       func(a, b T) T
+	out      func(T)
+	pool     *commbuf.Pool[T]
+	tag      comm.Tag
+	acc      T
+	rank     int
+	r, extra int
+	mask     int
+	h        *comm.RecvHandle
+	phase    int
 }
 
 // AllReduceScalarStep is the continuation form of AllReduceScalar: the
 // non-power-of-two fold-in/out around recursive doubling, scalar
 // payloads in pooled one-element buffers, exactly as the blocking form
 // ships them.
-func AllReduceScalarStep[T any](v T, op func(a, b T) T, out func(T)) comm.Stepper {
-	var (
-		pool     *commbuf.Pool[T]
-		tag      comm.Tag
-		acc      T
-		rank     int
-		r, extra int
-		mask     int
-		h        *comm.RecvHandle
-		phase    int
-	)
-	const (
-		phInit = iota
-		phStragglerWait
-		phExtraWait
-		phRounds
-		phRoundWait
-		phFoldOut
-		phDone
-	)
-	w := WordsOf[T]()
-	send1 := func(pe *comm.PE, dst int, x T) {
-		b := pool.Get(1)
-		(*b)[0] = x
-		pe.Send(dst, tag, b, w)
-	}
-	take1 := func(h *comm.RecvHandle) T {
-		rxAny, _ := h.Wait()
-		rx := rxAny.(*[]T)
-		x := (*rx)[0]
-		pool.Put(rx)
-		return x
-	}
-	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
-		p := pe.P()
-		for {
-			switch phase {
-			case phInit:
-				acc = v
-				if p == 1 {
-					phase = phDone
-					continue
-				}
-				pool = commbuf.For[T]()
-				tag = pe.NextCollTag()
-				rank = pe.Rank()
-				r = 1
-				for r*2 <= p {
-					r *= 2
-				}
-				extra = p - r
-				if rank >= r {
-					// Straggler: fold onto the low partner, await the result.
-					h = pe.IRecv(rank-r, tag)
-					send1(pe, rank-r, acc)
-					phase = phStragglerWait
-					if !h.Test() {
-						return h
-					}
-					continue
-				}
-				if rank < extra {
-					h = pe.IRecv(rank+r, tag)
-					phase = phExtraWait
-					if !h.Test() {
-						return h
-					}
-					continue
-				}
-				mask = 1
-				phase = phRounds
-			case phStragglerWait:
-				acc = take1(h)
-				h = nil
-				phase = phDone
-			case phExtraWait:
-				acc = op(acc, take1(h))
-				h = nil
-				mask = 1
-				phase = phRounds
-			case phRounds:
-				if mask >= r {
-					phase = phFoldOut
-					continue
-				}
-				partner := rank ^ mask
-				h = pe.IRecv(partner, tag)
-				send1(pe, partner, acc)
-				phase = phRoundWait
-				if !h.Test() {
-					return h
-				}
-			case phRoundWait:
-				acc = op(acc, take1(h))
-				h = nil
-				mask <<= 1
-				phase = phRounds
-			case phFoldOut:
-				if rank < extra {
-					send1(pe, rank+r, acc)
-				}
-				phase = phDone
-			default:
-				if out != nil {
-					out(acc)
-				}
-				return nil
+func AllReduceScalarStep[T any](pe *comm.PE, v T, op func(a, b T) T, out func(T)) comm.Stepper {
+	s := comm.GetPooled[allReduceScalarStep[T]](pe)
+	*s = allReduceScalarStep[T]{op: op, out: out, acc: v}
+	return s
+}
+
+func (s *allReduceScalarStep[T]) send1(pe *comm.PE, dst int, x T) {
+	b := s.pool.Get(1)
+	(*b)[0] = x
+	pe.Send(dst, s.tag, b, WordsOf[T]())
+}
+
+func (s *allReduceScalarStep[T]) take1() T {
+	rxAny, _ := s.h.Wait()
+	s.h = nil
+	rx := rxAny.(*[]T)
+	x := (*rx)[0]
+	s.pool.Put(rx)
+	return x
+}
+
+func (s *allReduceScalarStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	p := pe.P()
+	for {
+		switch s.phase {
+		case arphInit:
+			if p == 1 {
+				s.phase = arphDone
+				continue
 			}
+			s.pool = commbuf.For[T]()
+			s.tag = pe.NextCollTag()
+			s.rank = pe.Rank()
+			s.r = 1
+			for s.r*2 <= p {
+				s.r *= 2
+			}
+			s.extra = p - s.r
+			if s.rank >= s.r {
+				// Straggler: fold onto the low partner, await the result.
+				s.h = pe.IRecv(s.rank-s.r, s.tag)
+				s.send1(pe, s.rank-s.r, s.acc)
+				s.phase = arphStragglerWait
+				if !s.h.Test() {
+					return s.h
+				}
+				continue
+			}
+			if s.rank < s.extra {
+				s.h = pe.IRecv(s.rank+s.r, s.tag)
+				s.phase = arphExtraWait
+				if !s.h.Test() {
+					return s.h
+				}
+				continue
+			}
+			s.mask = 1
+			s.phase = arphRounds
+		case arphStragglerWait:
+			s.acc = s.take1()
+			s.phase = arphDone
+		case arphExtraWait:
+			s.acc = s.op(s.acc, s.take1())
+			s.mask = 1
+			s.phase = arphRounds
+		case arphRounds:
+			if s.mask >= s.r {
+				s.phase = arphFoldOut
+				continue
+			}
+			partner := s.rank ^ s.mask
+			s.h = pe.IRecv(partner, s.tag)
+			s.send1(pe, partner, s.acc)
+			s.phase = arphRoundWait
+			if !s.h.Test() {
+				return s.h
+			}
+		case arphRoundWait:
+			s.acc = s.op(s.acc, s.take1())
+			s.mask <<= 1
+			s.phase = arphRounds
+		case arphFoldOut:
+			if s.rank < s.extra {
+				s.send1(pe, s.rank+s.r, s.acc)
+			}
+			s.phase = arphDone
+		default:
+			out, acc := s.out, s.acc
+			*s = allReduceScalarStep[T]{}
+			comm.PutPooled(pe, s)
+			if out != nil {
+				out(acc)
+			}
+			return nil
 		}
-	})
+	}
 }
 
 // BarrierStep is the continuation form of Barrier (a zero-word
 // all-reduce, like the blocking Barrier).
-func BarrierStep() comm.Stepper {
-	return AllReduceScalarStep(int64(0), func(a, b int64) int64 { return a + b }, nil)
+func BarrierStep(pe *comm.PE) comm.Stepper {
+	return AllReduceScalarStep(pe, int64(0), func(a, b int64) int64 { return a + b }, nil)
+}
+
+// exScanSum phase constants.
+const (
+	esphInit = iota
+	esphRounds
+	esphRoundWait
+	esphShift
+	esphShiftWait
+	esphDone
+)
+
+// exScanSumStep — see ExScanSumStep.
+type exScanSumStep[T int | int64 | float64 | uint64] struct {
+	out   func(T)
+	pool  *commbuf.Pool[T]
+	tag   comm.Tag
+	acc   T
+	rank  int
+	d     int
+	h     *comm.RecvHandle
+	phase int
 }
 
 // ExScanSumStep is the continuation form of ExScanSum: the dissemination
 // scan followed by the shift-down round, identical wire schedule.
-func ExScanSumStep[T int | int64 | float64 | uint64](v T, out func(T)) comm.Stepper {
-	var (
-		pool  *commbuf.Pool[T]
-		tag   comm.Tag
-		acc   T
-		rank  int
-		d     int
-		h     *comm.RecvHandle
-		phase int
-	)
-	const (
-		phInit = iota
-		phRounds
-		phRoundWait
-		phShift
-		phShiftWait
-		phDone
-	)
-	w := WordsOf[T]()
-	send1 := func(pe *comm.PE, dst int, x T) {
-		b := pool.Get(1)
-		(*b)[0] = x
-		pe.Send(dst, tag, b, w)
-	}
-	take1 := func(h *comm.RecvHandle) T {
-		rxAny, _ := h.Wait()
-		rx := rxAny.(*[]T)
-		x := (*rx)[0]
-		pool.Put(rx)
-		return x
-	}
-	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
-		p := pe.P()
-		for {
-			switch phase {
-			case phInit:
-				if p == 1 {
-					acc = 0
-					phase = phDone
-					continue
-				}
-				pool = commbuf.For[T]()
-				rank = pe.Rank()
-				tag = pe.NextCollTag()
-				acc = v
-				d = 1
-				phase = phRounds
-			case phRounds:
-				if d >= p {
-					tag = pe.NextCollTag()
-					phase = phShift
-					continue
-				}
-				if rank-d >= 0 {
-					h = pe.IRecv(rank-d, tag)
-				}
-				if rank+d < p {
-					send1(pe, rank+d, acc)
-				}
-				phase = phRoundWait
-				if h != nil && !h.Test() {
-					return h
-				}
-			case phRoundWait:
-				if h != nil {
-					acc = take1(h) + acc
-					h = nil
-				}
-				d <<= 1
-				phase = phRounds
-			case phShift:
-				if rank > 0 {
-					h = pe.IRecv(rank-1, tag)
-				}
-				if rank+1 < p {
-					send1(pe, rank+1, acc)
-				}
-				phase = phShiftWait
-				if h != nil && !h.Test() {
-					return h
-				}
-			case phShiftWait:
-				if h != nil {
-					acc = take1(h)
-					h = nil
-				} else {
-					acc = 0 // rank 0: exclusive prefix is the identity
-				}
-				phase = phDone
-			default:
-				if out != nil {
-					out(acc)
-				}
-				return nil
+func ExScanSumStep[T int | int64 | float64 | uint64](pe *comm.PE, v T, out func(T)) comm.Stepper {
+	s := comm.GetPooled[exScanSumStep[T]](pe)
+	*s = exScanSumStep[T]{out: out, acc: v}
+	return s
+}
+
+func (s *exScanSumStep[T]) send1(pe *comm.PE, dst int, x T) {
+	b := s.pool.Get(1)
+	(*b)[0] = x
+	pe.Send(dst, s.tag, b, WordsOf[T]())
+}
+
+func (s *exScanSumStep[T]) take1() T {
+	rxAny, _ := s.h.Wait()
+	s.h = nil
+	rx := rxAny.(*[]T)
+	x := (*rx)[0]
+	s.pool.Put(rx)
+	return x
+}
+
+func (s *exScanSumStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	p := pe.P()
+	for {
+		switch s.phase {
+		case esphInit:
+			if p == 1 {
+				s.acc = 0
+				s.phase = esphDone
+				continue
 			}
+			s.pool = commbuf.For[T]()
+			s.rank = pe.Rank()
+			s.tag = pe.NextCollTag()
+			s.d = 1
+			s.phase = esphRounds
+		case esphRounds:
+			if s.d >= p {
+				s.tag = pe.NextCollTag()
+				s.phase = esphShift
+				continue
+			}
+			if s.rank-s.d >= 0 {
+				s.h = pe.IRecv(s.rank-s.d, s.tag)
+			}
+			if s.rank+s.d < p {
+				s.send1(pe, s.rank+s.d, s.acc)
+			}
+			s.phase = esphRoundWait
+			if s.h != nil && !s.h.Test() {
+				return s.h
+			}
+		case esphRoundWait:
+			if s.h != nil {
+				s.acc = s.take1() + s.acc
+			}
+			s.d <<= 1
+			s.phase = esphRounds
+		case esphShift:
+			if s.rank > 0 {
+				s.h = pe.IRecv(s.rank-1, s.tag)
+			}
+			if s.rank+1 < p {
+				s.send1(pe, s.rank+1, s.acc)
+			}
+			s.phase = esphShiftWait
+			if s.h != nil && !s.h.Test() {
+				return s.h
+			}
+		case esphShiftWait:
+			if s.h != nil {
+				s.acc = s.take1()
+			} else {
+				s.acc = 0 // rank 0: exclusive prefix is the identity
+			}
+			s.phase = esphDone
+		default:
+			out, acc := s.out, s.acc
+			*s = exScanSumStep[T]{}
+			comm.PutPooled(pe, s)
+			if out != nil {
+				out(acc)
+			}
+			return nil
 		}
-	})
+	}
 }
 
 // GatherStrided delivers, to every PE, the blocks of its s = samples
@@ -318,51 +368,70 @@ func ExScanSumStep[T int | int64 | float64 | uint64](v T, out func(T)) comm.Step
 // The exchange is round-staggered like AllToAll, so in-flight messages
 // stay O(p) rather than O(p·s).
 func GatherStrided[T any](pe *comm.PE, data []T, samples int, visit func(src int, block []T)) {
-	comm.RunSteps(pe, GatherStridedStep(data, samples, visit))
+	comm.RunSteps(pe, GatherStridedStep(pe, data, samples, visit))
+}
+
+// gatherStridedStep — see GatherStridedStep.
+type gatherStridedStep[T any] struct {
+	data    []T
+	samples int
+	visit   func(src int, block []T)
+	pool    *commbuf.Pool[T]
+	tag     comm.Tag
+	stride  int
+	s       int
+	i       int
+	h       *comm.RecvHandle
+	inited  bool
 }
 
 // GatherStridedStep is the continuation form of GatherStrided (and its
 // implementation — the blocking form drives the same stepper).
-func GatherStridedStep[T any](data []T, samples int, visit func(src int, block []T)) comm.Stepper {
-	var (
-		tag    comm.Tag
-		stride int
-		s      int
-		i      int
-		h      *comm.RecvHandle
-		inited bool
-	)
-	return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
-		p := pe.P()
-		if !inited {
-			inited = true
-			if p == 1 || samples < 1 {
-				return nil
+func GatherStridedStep[T any](pe *comm.PE, data []T, samples int, visit func(src int, block []T)) comm.Stepper {
+	s := comm.GetPooled[gatherStridedStep[T]](pe)
+	*s = gatherStridedStep[T]{data: data, samples: samples, visit: visit}
+	return s
+}
+
+func (s *gatherStridedStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	p := pe.P()
+	if !s.inited {
+		s.inited = true
+		if p == 1 || s.samples < 1 {
+			s.s = 0
+			return s.finish(pe)
+		}
+		s.s = min(s.samples, p-1)
+		s.stride = max((p-1)/s.s, 1)
+		s.pool = commbuf.For[T]()
+		s.tag = pe.NextCollTag()
+	}
+	rank := pe.Rank()
+	for s.i < s.s {
+		off := 1 + s.i*s.stride
+		if s.h == nil {
+			s.h = pe.IRecv((rank+off)%p, s.tag)
+			// My block goes to the PE that samples me at this offset, as a
+			// pooled copy with ownership transfer (a by-reference slice send
+			// would box the header — one heap allocation per hop — and the
+			// stepper is pinned allocation-free).
+			sendCopy(pe, s.pool, (rank-off+p)%p, s.tag, s.data)
+			if !s.h.Test() {
+				return s.h
 			}
-			s = min(samples, p-1)
-			stride = max((p-1)/s, 1)
-			tag = pe.NextCollTag()
 		}
-		if s == 0 {
-			return nil
-		}
-		words := sliceWords(data)
-		rank := pe.Rank()
-		for i < s {
-			off := 1 + i*stride
-			if h == nil {
-				h = pe.IRecv((rank+off)%p, tag)
-				// My block goes to the PE that samples me at this offset.
-				pe.Send((rank-off+p)%p, tag, data, words)
-				if !h.Test() {
-					return h
-				}
-			}
-			rx, _ := h.Wait()
-			h = nil
-			visit((rank+off)%p, rx.([]T))
-			i++
-		}
-		return nil
-	})
+		rxAny, _ := s.h.Wait()
+		s.h = nil
+		rx := rxAny.(*[]T)
+		s.visit((rank+off)%p, *rx)
+		s.pool.Put(rx)
+		s.i++
+	}
+	return s.finish(pe)
+}
+
+func (s *gatherStridedStep[T]) finish(pe *comm.PE) *comm.RecvHandle {
+	*s = gatherStridedStep[T]{}
+	comm.PutPooled(pe, s)
+	return nil
 }

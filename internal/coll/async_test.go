@@ -38,7 +38,7 @@ func asyncPairs() []asyncPair {
 				if pe.Rank() == 0 {
 					data = []int64{3, 1, 4, 1, 5}
 				}
-				return BroadcastStep(0, data, func(got []int64) { *out = slices.Clone(got) })
+				return BroadcastStep(pe, 0, data, func(got []int64) { *out = slices.Clone(got) })
 			},
 		},
 		{
@@ -47,14 +47,14 @@ func asyncPairs() []asyncPair {
 				*out = AllReduceScalar(pe, int64(pe.Rank())+7, sum)
 			},
 			start: func(pe *comm.PE, out *any) comm.Stepper {
-				return AllReduceScalarStep(int64(pe.Rank())+7, sum, func(v int64) { *out = v })
+				return AllReduceScalarStep(pe, int64(pe.Rank())+7, sum, func(v int64) { *out = v })
 			},
 		},
 		{
 			name:  "Barrier",
 			block: func(pe *comm.PE, out *any) { Barrier(pe); *out = true },
 			start: func(pe *comm.PE, out *any) comm.Stepper {
-				return comm.Seq(BarrierStep(), comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+				return comm.Seq(BarrierStep(pe), comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
 					*out = true
 					return nil
 				}))
@@ -66,7 +66,7 @@ func asyncPairs() []asyncPair {
 				*out = ExScanSum(pe, int64(pe.Rank()*2)+1)
 			},
 			start: func(pe *comm.PE, out *any) comm.Stepper {
-				return ExScanSumStep(int64(pe.Rank()*2)+1, func(v int64) { *out = v })
+				return ExScanSumStep(pe, int64(pe.Rank()*2)+1, func(v int64) { *out = v })
 			},
 		},
 		{
@@ -81,8 +81,192 @@ func asyncPairs() []asyncPair {
 				block := []int64{int64(pe.Rank()), int64(pe.Rank() * 2)}
 				var sum int64
 				return comm.Seq(
-					GatherStridedStep(block, 3, func(src int, b []int64) { sum += int64(src) + b[1] }),
+					GatherStridedStep(pe, block, 3, func(src int, b []int64) { sum += int64(src) + b[1] }),
 					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = sum; return nil }),
+				)
+			},
+		},
+		{
+			name: "AllReduceVec",
+			block: func(pe *comm.PE, out *any) {
+				x := []int64{int64(pe.Rank()) + 2, 1, int64(pe.Rank() * pe.Rank())}
+				*out = AllReduce(pe, x, sum)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				x := []int64{int64(pe.Rank()) + 2, 1, int64(pe.Rank() * pe.Rank())}
+				return AllReduceStep(pe, x, sum, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
+			name: "AllReduceLong",
+			block: func(pe *comm.PE, out *any) {
+				x := make([]int64, 4*pe.P()+3)
+				for i := range x {
+					x[i] = int64(pe.Rank()*len(x) + i)
+				}
+				*out = AllReduce(pe, x, sum)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				x := make([]int64, 4*pe.P()+3)
+				for i := range x {
+					x[i] = int64(pe.Rank()*len(x) + i)
+				}
+				return AllReduceStep(pe, x, sum, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
+			name: "AllGatherv",
+			block: func(pe *comm.PE, out *any) {
+				data := make([]int64, pe.Rank()%3)
+				for i := range data {
+					data[i] = int64(pe.Rank()*10 + i)
+				}
+				var flat []int64
+				for _, v := range AllGatherv(pe, data) {
+					flat = append(flat, v...)
+				}
+				*out = flat
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				data := make([]int64, pe.Rank()%3)
+				for i := range data {
+					data[i] = int64(pe.Rank()*10 + i)
+				}
+				return AllGathervStep(pe, data, func(parts [][]int64) {
+					var flat []int64
+					for _, v := range parts {
+						flat = append(flat, v...)
+					}
+					*out = flat
+				})
+			},
+		},
+		{
+			name: "AllGatherConcat",
+			block: func(pe *comm.PE, out *any) {
+				*out = AllGatherConcat(pe, []int64{int64(pe.Rank()), 9})
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return AllGatherConcatStep(pe, []int64{int64(pe.Rank()), 9}, func(v []int64) {
+					*out = slices.Clone(v) // borrowed: copy before the buffer recycles
+				})
+			},
+		},
+		{
+			name: "AllToAll",
+			block: func(pe *comm.PE, out *any) {
+				parts := make([][]int64, pe.P())
+				for d := range parts {
+					parts[d] = []int64{int64(pe.Rank()*100 + d)}
+				}
+				var flat []int64
+				for src, part := range AllToAll(pe, parts) {
+					flat = append(flat, int64(src))
+					flat = append(flat, part...)
+				}
+				*out = flat
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				parts := make([][]int64, pe.P())
+				for d := range parts {
+					parts[d] = []int64{int64(pe.Rank()*100 + d)}
+				}
+				// Visit order differs from index order; re-index to compare.
+				bys := make([][]int64, pe.P())
+				return comm.Seq(
+					AllToAllStep(pe, parts, func(src int, part []int64) {
+						bys[src] = slices.Clone(part)
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+						var flat []int64
+						for src, part := range bys {
+							flat = append(flat, int64(src))
+							flat = append(flat, part...)
+						}
+						*out = flat
+						return nil
+					}),
+				)
+			},
+		},
+		{
+			name: "Gatherv",
+			block: func(pe *comm.PE, out *any) {
+				data := make([]int64, pe.Rank()%3+1)
+				for i := range data {
+					data[i] = int64(pe.Rank()*7 + i)
+				}
+				flat := []int64{}
+				for _, part := range Gatherv(pe, 0, data) {
+					flat = append(flat, part...)
+				}
+				*out = flat
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				data := make([]int64, pe.Rank()%3+1)
+				for i := range data {
+					data[i] = int64(pe.Rank()*7 + i)
+				}
+				return GathervStep(pe, 0, data, func(parts [][]int64) {
+					flat := []int64{}
+					for _, part := range parts {
+						flat = append(flat, part...)
+					}
+					*out = flat
+				})
+			},
+		},
+		{
+			name: "BroadcastScalar",
+			block: func(pe *comm.PE, out *any) {
+				*out = BroadcastScalar(pe, 0, int64(pe.Rank())+41)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return BroadcastScalarStep(pe, 0, int64(pe.Rank())+41, func(v int64) { *out = v })
+			},
+		},
+		{
+			name: "RouteCombine",
+			block: func(pe *comm.PE, out *any) {
+				got := AllToAllCombine(pe, routeItems(pe), sumPerDest)
+				*out = flattenRouted(got)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return AllToAllCombineStep(pe, routeItems(pe), sumPerDest, func(got []Routed[int64]) {
+					*out = flattenRouted(got)
+				})
+			},
+		},
+		{
+			name: "RouteCombineChunked",
+			block: func(pe *comm.PE, out *any) {
+				got := AllToAllCombineChunked(pe, routeItems(pe), 2, nil)
+				*out = flattenRouted(got)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				return AllToAllCombineChunkedStep(pe, routeItems(pe), 2, nil, func(got []Routed[int64]) {
+					*out = flattenRouted(got)
+				})
+			},
+		},
+		{
+			name: "AllGatherChunked",
+			block: func(pe *comm.PE, out *any) {
+				data := []int64{int64(pe.Rank()), int64(pe.Rank() * 3)}
+				acc := []int64{}
+				AllGatherChunked(pe, data, 3, func(src int, b []int64) {
+					acc = append(acc, int64(src), b[0], b[1])
+				})
+				*out = acc
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				data := []int64{int64(pe.Rank()), int64(pe.Rank() * 3)}
+				acc := []int64{}
+				return comm.Seq(
+					AllGatherChunkedStep(pe, data, 3, func(src int, b []int64) {
+						acc = append(acc, int64(src), b[0], b[1])
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = acc; return nil }),
 				)
 			},
 		},
@@ -97,16 +281,54 @@ func asyncPairs() []asyncPair {
 			},
 			start: func(pe *comm.PE, out *any) comm.Stepper {
 				var a, b int64
-				return comm.Seq(
-					BroadcastStep[int64](0, []int64{1, 2, 3, 4}, nil),
-					AllReduceScalarStep(int64(pe.Rank()), sum, func(v int64) { a = v }),
-					ExScanSumStep(int64(pe.Rank()), func(v int64) { b = v }),
-					BarrierStep(),
+				return comm.SeqP(pe,
+					BroadcastStep[int64](pe, 0, []int64{1, 2, 3, 4}, nil),
+					AllReduceScalarStep(pe, int64(pe.Rank()), sum, func(v int64) { a = v }),
+					ExScanSumStep(pe, int64(pe.Rank()), func(v int64) { b = v }),
+					BarrierStep(pe),
 					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = a + b; return nil }),
 				)
 			},
 		},
 	}
+}
+
+// routeItems builds the hypercube workload: two items per destination.
+func routeItems(pe *comm.PE) []Routed[int64] {
+	items := make([]Routed[int64], 0, 2*pe.P())
+	for d := 0; d < pe.P(); d++ {
+		items = append(items,
+			Routed[int64]{Dest: d, Payload: int64(pe.Rank()*100 + d)},
+			Routed[int64]{Dest: d, Payload: int64(d * d)})
+	}
+	return items
+}
+
+// sumPerDest is an order-canonical combine hook (sums per destination,
+// emits in ascending dest order), usable on any backend.
+func sumPerDest(held []Routed[int64]) []Routed[int64] {
+	sums := map[int]int64{}
+	for _, it := range held {
+		sums[it.Dest] += it.Payload
+	}
+	dests := make([]int, 0, len(sums))
+	for d := range sums {
+		dests = append(dests, d)
+	}
+	slices.Sort(dests)
+	out := make([]Routed[int64], 0, len(dests))
+	for _, d := range dests {
+		out = append(out, Routed[int64]{Dest: d, Payload: sums[d]})
+	}
+	return out
+}
+
+func flattenRouted(items []Routed[int64]) []int64 {
+	flat := []int64{}
+	for _, it := range items {
+		flat = append(flat, int64(it.Dest), it.Payload)
+	}
+	return flat
 }
 
 // runPair executes one collective three ways on cfg — blocking body,
@@ -183,6 +405,63 @@ func TestStepperCollectivesShardedScheduler(t *testing.T) {
 				runPair(t, cfg, pair)
 			}
 		})
+	}
+}
+
+// TestVectorSteppersContinuationStress is the -race stress over the
+// vector/gather steppers at w < p: a chained continuation body (vector
+// all-reduce, Bruck all-gather, hypercube route, chunked gather) runs
+// repeatedly so suspend/resume events land on arbitrary workers while
+// pooled stepper state is recycled across ops and run boundaries.
+func TestVectorSteppersContinuationStress(t *testing.T) {
+	const p, rounds = 24, 6
+	for _, w := range []int{1, 3} {
+		cfg := comm.MailboxConfig(p)
+		cfg.Workers = w
+		m := comm.NewMachine(cfg)
+		for round := 0; round < rounds; round++ {
+			round := round
+			var results [p]int64
+			m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+				var vecSum, concatSum, routeSum, chunkSum int64
+				x := []int64{int64(pe.Rank() + round), 3}
+				return comm.SeqP(pe,
+					AllReduceStep(pe, x, func(a, b int64) int64 { return a + b }, func(v []int64) {
+						vecSum = v[0] + v[1]
+					}),
+					AllGatherConcatStep(pe, []int64{int64(pe.Rank())}, func(v []int64) {
+						for _, e := range v {
+							concatSum += e
+						}
+					}),
+					AllToAllCombineStep(pe, routeItems(pe), nil, func(got []Routed[int64]) {
+						for _, it := range got {
+							routeSum += it.Payload
+						}
+					}),
+					AllGatherChunkedStep(pe, []int64{int64(pe.Rank())}, 5, func(src int, b []int64) {
+						chunkSum += b[0]
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+						results[pe.Rank()] = vecSum + concatSum + routeSum + chunkSum
+						return nil
+					}),
+				)
+			})
+			// Closed-form expectations keep the stress honest.
+			base := int64(p*(p-1)/2) + int64(p*round) + 3*int64(p) // vector all-reduce
+			gather := int64(p * (p - 1) / 2)                       // both gathers
+			for r := 0; r < p; r++ {
+				want := base + 2*gather
+				for src := 0; src < p; src++ {
+					want += int64(src*100+r) + int64(r*r)
+				}
+				if results[r] != want {
+					t.Fatalf("w=%d round %d rank %d: got %d want %d", w, round, r, results[r], want)
+				}
+			}
+		}
+		m.Close()
 	}
 }
 

@@ -19,6 +19,10 @@ import (
 // blocks — at the price of a startup count that grows from O(log p)
 // toward O(p/chunk). That trade is fundamental: every PE must still
 // *see* p·m̄ words, it just no longer has to *hold* them.
+//
+// Both protocols are implemented as continuation steppers
+// (async_route.go); the blocking forms here drive them through
+// comm.RunSteps.
 
 // AllGatherChunked delivers every PE's block to every PE without
 // materializing the gather: visit is called exactly once per rank — in
@@ -38,107 +42,7 @@ import (
 // ⌈log₂ c⌉ + p/c − 1 startups. For prime p the group size degenerates
 // to 1 and the exchange is a pure ring (p − 1 startups).
 func AllGatherChunked[T any](pe *comm.PE, data []T, chunk int, visit func(src int, block []T)) {
-	p := pe.P()
-	if p == 1 {
-		visit(0, data)
-		return
-	}
-	rank := pe.Rank()
-	c := groupSize(p, chunk)
-	gb := rank - rank%c // my group's base rank
-	li := rank - gb     // my index within the group
-	ipool := commbuf.For[int64]()
-	dpool := commbuf.For[T]()
-	wpool := commbuf.For[bruckMsg[T]]()
-
-	// Phase 1 — intra-group Bruck all-gather: allGatherBruck's
-	// dissemination pattern over the c group members, with pooled-copy
-	// payloads (unlike the materializing gather's shared views — these
-	// batches get forwarded in phase 2, so ownership must travel).
-	// Afterwards lens/arena hold the group's blocks in shifted order
-	// li, li+1, … mod c.
-	tag := pe.NextCollTag()
-	lensPtr := ipool.GetCap(c)
-	lens := append(*lensPtr, int64(len(data)))
-	arenaPtr := dpool.GetCap(2*len(data) + 8)
-	arena := append(*arenaPtr, data...)
-	for d := 1; d < c; d <<= 1 {
-		dst := gb + (li-d+c)%c
-		src := gb + (li+d)%c
-		cnt := min(d, c-d)
-		var elems int64
-		for _, l := range lens[:cnt] {
-			elems += l
-		}
-		h := pe.IRecv(src, tag)
-		lp := ipool.Get(cnt)
-		copy(*lp, lens[:cnt])
-		dp := dpool.Get(int(elems))
-		copy(*dp, arena[:elems])
-		wp := wpool.Get(1)
-		(*wp)[0] = bruckMsg[T]{lens: lp, data: dp}
-		pe.Send(dst, tag, wp, int64(cnt)+elems*WordsOf[T]())
-		rxAny, _ := h.Wait()
-		rw := rxAny.(*[]bruckMsg[T])
-		rx := (*rw)[0]
-		lens = append(lens, (*rx.lens)...)
-		arena = append(arena, (*rx.data)...)
-		ipool.Put(rx.lens)
-		dpool.Put(rx.data)
-		(*rw)[0] = bruckMsg[T]{}
-		wpool.Put(rw)
-	}
-
-	// Rotate the batch into canonical group order (block of rank gb+j at
-	// position j), so ring messages carry rank labels implicitly.
-	i0 := (c - li) % c
-	var off0 int64
-	for _, l := range lens[:i0] {
-		off0 += l
-	}
-	canLens := ipool.Get(c)
-	canData := dpool.Get(len(arena))
-	copy(*canLens, lens[i0:])
-	copy((*canLens)[c-i0:], lens[:i0])
-	n := copy(*canData, arena[off0:])
-	copy((*canData)[n:], arena[:off0])
-	*lensPtr = lens
-	ipool.Put(lensPtr)
-	*arenaPtr = arena
-	dpool.Put(arenaPtr)
-
-	cur := wpool.Get(1)
-	(*cur)[0] = bruckMsg[T]{lens: canLens, data: canData}
-	visitBatch(gb, *canLens, *canData, visit)
-
-	// Phase 2 — inter-group ring: each round forwards the batch received
-	// in the previous round (ownership moves with the message, like the
-	// reduction accumulators), and receives the batch of the group r
-	// steps behind. The sends are honest in the meter: α + β·(c + words)
-	// per hop, the lengths riding along as payload.
-	tag = pe.NextCollTag()
-	g := p / c
-	dst := (rank + c) % p
-	src := (rank - c + p) % p
-	for r := 1; r < g; r++ {
-		batch := (*cur)[0]
-		var words int64
-		for _, l := range *batch.lens {
-			words += l
-		}
-		h := pe.IRecv(src, tag)
-		pe.Send(dst, tag, cur, int64(c)+words*WordsOf[T]())
-		rxAny, _ := h.Wait()
-		cur = rxAny.(*[]bruckMsg[T])
-		rx := (*cur)[0]
-		srcGroup := ((rank / c) - r + g) % g
-		visitBatch(srcGroup*c, *rx.lens, *rx.data, visit)
-	}
-	final := (*cur)[0]
-	ipool.Put(final.lens)
-	dpool.Put(final.data)
-	(*cur)[0] = bruckMsg[T]{}
-	wpool.Put(cur)
+	comm.RunSteps(pe, AllGatherChunkedStep(pe, data, chunk, visit))
 }
 
 // visitBatch walks a canonical group batch: block j belongs to rank
@@ -172,99 +76,27 @@ func groupSize(p, chunk int) int {
 // combine that keeps the held set small, per-PE memory is
 // O(held + chunk) instead of O(held + largest shipment).
 func AllToAllCombineChunked[T any](pe *comm.PE, items []Routed[T], chunk int, combine func([]Routed[T]) []Routed[T]) []Routed[T] {
-	return routeCombineChunked(pe, items, chunk, func(it Routed[T]) int { return it.Dest }, combine)
+	return routeCombineChunked(pe, items, chunk, routedDest[T], combine)
 }
 
 // routeCombineChunked is RouteCombine with chunk-bounded shipments. The
 // routing structure (fold-in of non-power-of-two stragglers, hypercube
 // dimension sweeps, unfold) and the item order delivered to combine are
-// identical to RouteCombine's; only the framing of each logical shipment
-// into count + chunk messages differs, so results are bit-identical and
-// the word volume differs by exactly one count word per exchange.
+// identical to RouteCombine's — both drive the same route engine — so
+// results are bit-identical and the word volume differs by exactly one
+// count word per exchange.
 func routeCombineChunked[T any](pe *comm.PE, items []T, chunk int, dest func(T) int, combine func([]T) []T) []T {
-	p := pe.P()
-	rank := pe.Rank()
 	if chunk < 1 {
 		panic(fmt.Sprintf("coll: chunk %d < 1", chunk))
 	}
-	for _, it := range items {
-		if d := dest(it); d < 0 || d >= p {
-			panic(fmt.Sprintf("coll: RouteCombine item with invalid dest %d", d))
-		}
+	st := newRouteStep(pe, items, chunk, dest, combine)
+	comm.RunSteps(pe, st)
+	out := st.hold
+	if pe.P() > 1 {
+		out = st.routeResult()
 	}
-	if p == 1 {
-		if combine != nil {
-			items = combine(items)
-		}
-		return items
-	}
-	tag := pe.NextCollTag()
-	r := 1
-	dims := 0
-	for r*2 <= p {
-		r *= 2
-		dims++
-	}
-	extra := p - r
-
-	hold := items
-	if rank >= r {
-		// Post the count receive before shipping so the fold-in hand-over
-		// and the eventual return frame overlap.
-		hc := pe.IRecv(rank-r, tag)
-		sendChunked(pe, rank-r, tag, chunk, hold)
-		hold = recvChunkedPre(pe, hc, rank-r, tag, hold[:0])
-		if combine != nil {
-			hold = combine(hold)
-		}
-		return hold
-	}
-	if rank < extra {
-		hold = recvChunked(pe, rank+r, tag, hold)
-		if combine != nil {
-			hold = combine(hold)
-		}
-	}
-
-	for bit := 0; bit < dims; bit++ {
-		maskBit := 1 << bit
-		partner := rank ^ maskBit
-		var keep, ship []T
-		for _, it := range hold {
-			carrier := dest(it)
-			if carrier >= r {
-				carrier -= r
-			}
-			if carrier&maskBit != rank&maskBit {
-				ship = append(ship, it)
-			} else {
-				keep = append(keep, it)
-			}
-		}
-		hc := pe.IRecv(partner, tag)
-		sendChunked(pe, partner, tag, chunk, ship)
-		hold = recvChunkedPre(pe, hc, partner, tag, keep)
-		if combine != nil {
-			hold = combine(hold)
-		}
-	}
-
-	if rank < extra {
-		var mine, theirs []T
-		for _, it := range hold {
-			if dest(it) == rank+r {
-				theirs = append(theirs, it)
-			} else {
-				mine = append(mine, it)
-			}
-		}
-		sendChunked(pe, rank+r, tag, chunk, theirs)
-		hold = mine
-	}
-	if combine != nil {
-		hold = combine(hold)
-	}
-	return hold
+	st.release(pe)
+	return out
 }
 
 // sendChunked frames items as a one-word count followed by ⌈n/chunk⌉
@@ -281,27 +113,4 @@ func sendChunked[T any](pe *comm.PE, dst int, tag comm.Tag, chunk int, items []T
 		copy(*b, items[off:end])
 		pe.Send(dst, tag, b, int64(end-off)*w)
 	}
-}
-
-// recvChunked receives a sendChunked frame from src, appending the items
-// to dst and recycling the chunk buffers.
-func recvChunked[T any](pe *comm.PE, src int, tag comm.Tag, dst []T) []T {
-	return recvChunkedPre(pe, pe.IRecv(src, tag), src, tag, dst)
-}
-
-// recvChunkedPre is recvChunked with the count word's receive already
-// posted (hc), so callers can overlap it with their own sends.
-func recvChunkedPre[T any](pe *comm.PE, hc *comm.RecvHandle, src int, tag comm.Tag, dst []T) []T {
-	rxAny, _ := hc.Wait()
-	hp := rxAny.(*[]int64)
-	n := int((*hp)[0])
-	commbuf.For[int64]().Put(hp)
-	pool := commbuf.For[T]()
-	for got := 0; got < n; {
-		b := recvOwned[T](pe, src, tag)
-		dst = append(dst, *b...)
-		got += len(*b)
-		pool.Put(b)
-	}
-	return dst
 }

@@ -246,11 +246,13 @@ func AllReduce[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
 
 // AllReduceInto is AllReduce writing the result into dst (grown as needed;
 // pass nil to allocate). dst must not overlap x. With a reused dst the
-// steady-state allocation count is zero.
+// steady-state allocation count is zero. The schedule is the all-reduce
+// engine stepper of async_vec.go, driven to completion with blocking
+// waits (comm.RunSteps) — one implementation for both execution modes.
 func AllReduceInto[T any](pe *comm.PE, dst, x []T, op func(a, b T) T) []T {
 	dst = commbuf.Resize(dst[:0], len(x))
 	copy(dst, x)
-	allReduceAcc(pe, commbuf.For[T](), dst, op)
+	comm.RunSteps(pe, newAllReduceAccStep(pe, dst, op, nil))
 	return dst
 }
 
@@ -263,139 +265,47 @@ func AllReduceScalar[T any](pe *comm.PE, v T, op func(a, b T) T) T {
 	pool := commbuf.For[T]()
 	b := pool.Get(1)
 	(*b)[0] = v
-	allReduceAcc(pe, pool, *b, op)
+	comm.RunSteps(pe, newAllReduceAccStep(pe, *b, op, nil))
 	out := (*b)[0]
 	pool.Put(b)
 	return out
 }
 
-// allReduceAcc is the all-reduce engine: it combines acc (this PE's
-// contribution) with every other PE's, in place, leaving the global result
-// in acc on every PE. acc must have the same length on all PEs.
-func allReduceAcc[T any](pe *comm.PE, pool *commbuf.Pool[T], acc []T, op func(a, b T) T) {
-	p := pe.P()
-	if p == 1 {
-		return
-	}
-	tag := pe.NextCollTag()
-	rank := pe.Rank()
-	r := 1
-	for r*2 <= p {
-		r *= 2
-	}
-	extra := p - r
-	if rank >= r {
-		// Straggler: fold onto the low partner, then wait for the result
-		// (receive posted up front so the two transfers overlap).
-		h := pe.IRecv(rank-r, tag)
-		sendCopy(pe, pool, rank-r, tag, acc)
-		rxAny, _ := h.Wait()
-		rx := rxAny.(*[]T)
-		copy(acc, *rx)
-		pool.Put(rx)
-		return
-	}
-	if rank < extra {
-		rx := recvOwned[T](pe, rank+r, tag)
-		combine(op, acc, *rx)
-		pool.Put(rx)
-	}
-	if sliceWords(acc) >= int64(4*r) && r > 2 {
-		allReduceLong(pe, pool, rank, r, tag, acc, op)
-	} else {
-		for mask := 1; mask < r; mask <<= 1 {
-			partner := rank ^ mask
-			// Ship a copy (the partner reads it while we keep mutating acc).
-			b := pool.Get(len(acc))
-			copy(*b, acc)
-			rxAny, _ := pe.SendRecv(partner, b, sliceWords(acc), partner, tag)
-			rx := rxAny.(*[]T)
-			combine(op, acc, *rx)
-			pool.Put(rx)
-		}
-	}
-	if rank < extra {
-		sendCopy(pe, pool, rank+r, tag, acc)
-	}
+// addOf, minOf and maxOf are the scalar reduction operators as
+// package-level generic functions. Evaluating one inside a generic
+// function still builds a dictionary-carrying func value that
+// heap-allocates when it escapes into the pooled stepper state, so the
+// zero-alloc wrappers below cache the built values in a per-PE singleton
+// (comm.GetSingleton) — one allocation per PE and element type, ever.
+func addOf[T cmp.Ordered](a, b T) T { return a + b }
+func minOf[T cmp.Ordered](a, b T) T { return min(a, b) }
+func maxOf[T cmp.Ordered](a, b T) T { return max(a, b) }
+
+type scalarOps[T cmp.Ordered] struct {
+	add, mn, mx func(a, b T) T
 }
 
-// allReduceLong is the Rabenseifner path among the r (power of two)
-// low ranks: recursive-halving reduce-scatter followed by
-// recursive-doubling all-gather, mutating acc in place. Volume per PE is
-// ≈ 2·m·(1−1/r) words in 2·log r startups.
-func allReduceLong[T any](pe *comm.PE, pool *commbuf.Pool[T], rank, r int, tag comm.Tag, acc []T, op func(a, b T) T) {
-	lo, hi := 0, len(acc)
-	type level struct {
-		partner int
-		keptLow bool
-		mid     int
-		lowLen  int
-		highLen int
+func opsOf[T cmp.Ordered](pe *comm.PE) *scalarOps[T] {
+	o := comm.GetSingleton[scalarOps[T]](pe)
+	if o.add == nil {
+		o.add, o.mn, o.mx = addOf[T], minOf[T], maxOf[T]
 	}
-	var histArr [64]level // log2(r) levels; r is bounded by the PE count
-	hist := histArr[:0]
-	// Reduce-scatter by recursive halving.
-	for mask := r / 2; mask >= 1; mask >>= 1 {
-		partner := rank ^ mask
-		mid := lo + (hi-lo)/2
-		keepLow := rank&mask == 0
-		var sendSeg []T
-		if keepLow {
-			sendSeg = acc[mid:hi]
-		} else {
-			sendSeg = acc[lo:mid]
-		}
-		b := pool.Get(len(sendSeg))
-		copy(*b, sendSeg)
-		rxAny, _ := pe.SendRecv(partner, b, sliceWords(sendSeg), partner, tag)
-		rx := rxAny.(*[]T)
-		if keepLow {
-			for i, v := range *rx {
-				acc[lo+i] = op(acc[lo+i], v)
-			}
-			hist = append(hist, level{partner, true, mid, mid - lo, hi - mid})
-			hi = mid
-		} else {
-			for i, v := range *rx {
-				acc[mid+i] = op(acc[mid+i], v)
-			}
-			hist = append(hist, level{partner, false, mid, mid - lo, hi - mid})
-			lo = mid
-		}
-		pool.Put(rx)
-	}
-	// All-gather by retracing the halving in reverse.
-	for i := len(hist) - 1; i >= 0; i-- {
-		lv := hist[i]
-		seg := acc[lo:hi]
-		b := pool.Get(len(seg))
-		copy(*b, seg)
-		rxAny, _ := pe.SendRecv(lv.partner, b, sliceWords(seg), lv.partner, tag)
-		rx := rxAny.(*[]T)
-		if lv.keptLow {
-			copy(acc[hi:hi+len(*rx)], *rx)
-			hi += lv.highLen
-		} else {
-			copy(acc[lo-len(*rx):lo], *rx)
-			lo -= lv.lowLen
-		}
-		pool.Put(rx)
-	}
+	return o
 }
 
 // SumAll returns the global sum of v across PEs on all PEs.
 func SumAll[T int | int64 | float64 | uint64](pe *comm.PE, v T) T {
-	return AllReduceScalar(pe, v, func(a, b T) T { return a + b })
+	return AllReduceScalar(pe, v, opsOf[T](pe).add)
 }
 
 // MinAll returns the global minimum of v across PEs on all PEs.
 func MinAll[T cmp.Ordered](pe *comm.PE, v T) T {
-	return AllReduceScalar(pe, v, func(a, b T) T { return min(a, b) })
+	return AllReduceScalar(pe, v, opsOf[T](pe).mn)
 }
 
 // MaxAll returns the global maximum of v across PEs on all PEs.
 func MaxAll[T cmp.Ordered](pe *comm.PE, v T) T {
-	return AllReduceScalar(pe, v, func(a, b T) T { return max(a, b) })
+	return AllReduceScalar(pe, v, opsOf[T](pe).mx)
 }
 
 // InScan returns the inclusive prefix combination of x: PE j receives
@@ -529,38 +439,16 @@ func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
 	if p == 1 {
 		return [][]T{data}
 	}
-	bpool := commbuf.For[rankedBlock[T]]()
-	tag := pe.NextCollTag()
-	vr := (pe.Rank() - root + p) % p
-	holdPtr := bpool.GetCap(1)
-	hold := append(*holdPtr, rankedBlock[T]{rank: pe.Rank(), data: data})
-	mask := 1
-	for mask < p {
-		if vr&mask != 0 {
-			dst := ((vr &^ mask) + root) % p
-			var words int64
-			for _, b := range hold {
-				words += sliceWords(b.data)
-			}
-			*holdPtr = hold
-			pe.Send(dst, tag, holdPtr, words) // ownership moves to the parent
-			return nil
+	st := newGathervStep(pe, root, data)
+	comm.RunSteps(pe, st)
+	var out [][]T
+	if pe.Rank() == root {
+		out = make([][]T, p)
+		for _, b := range st.hold {
+			out[b.rank] = b.data
 		}
-		src := vr | mask
-		if src < p {
-			rx, _ := pe.Recv((src+root)%p, tag)
-			blocks := rx.(*[]rankedBlock[T])
-			hold = append(hold, (*blocks)...)
-			bpool.Put(blocks)
-		}
-		mask <<= 1
 	}
-	out := make([][]T, p)
-	for _, b := range hold {
-		out[b.rank] = b.data
-	}
-	*holdPtr = hold
-	bpool.Put(holdPtr)
+	st.release(pe)
 	return out
 }
 
@@ -675,40 +563,10 @@ type bruckView[T any] struct {
 // into its own arena — one physical copy per hop instead of a staging
 // copy plus an append, while the meter still charges the full transfer.
 func allGatherBruck[T any](pe *comm.PE, data []T) (arena []T, lens []int64) {
-	p := pe.P()
-	rank := pe.Rank()
-	tag := pe.NextCollTag()
-	fpool := commbuf.For[bruckView[T]]()
-	lens = make([]int64, 1, p)
-	lens[0] = int64(len(data))
-	arena = make([]T, 0, 2*len(data)+8)
-	arena = append(arena, data...)
-	for d := 1; d < p; d <<= 1 {
-		dst := (rank - d + p) % p
-		src := (rank + d) % p
-		cnt := min(d, p-d)
-		var elems int64
-		for _, l := range lens[:cnt] {
-			elems += l
-		}
-		// One message per round: lengths ride along with the payload (both
-		// metered — the lengths are information the receiver needs), and a
-		// single send keeps the exchange deadlock-free for any ChanCap ≥ 1.
-		// The payload is a capacity-capped view of the held run (see
-		// bruckView), so no append can ever write through it; the sender's
-		// own appends below land strictly beyond the shared prefix.
-		h := pe.IRecv(src, tag)
-		fp := fpool.Get(1)
-		(*fp)[0] = bruckView[T]{lens: lens[:cnt:cnt], data: arena[:elems:elems]}
-		pe.Send(dst, tag, fp, int64(cnt)+elems*WordsOf[T]())
-		rxAny, _ := h.Wait()
-		rf := rxAny.(*[]bruckView[T])
-		rx := (*rf)[0]
-		lens = append(lens, rx.lens...)
-		arena = append(arena, rx.data...)
-		(*rf)[0] = bruckView[T]{}
-		fpool.Put(rf)
-	}
+	st := newAGBruckStep(pe, data, true)
+	comm.RunSteps(pe, st)
+	arena, lens = st.arena, st.lens
+	st.put(pe)
 	return arena, lens
 }
 

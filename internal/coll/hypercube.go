@@ -1,8 +1,6 @@
 package coll
 
 import (
-	"fmt"
-
 	"commtopk/internal/comm"
 )
 
@@ -21,7 +19,7 @@ type Routed[T any] struct {
 // re-aggregate (e.g. sum counts with equal keys) so message sizes stay
 // bounded. combine may be nil for plain routing.
 func AllToAllCombine[T any](pe *comm.PE, items []Routed[T], combine func([]Routed[T]) []Routed[T]) []Routed[T] {
-	return RouteCombine(pe, items, func(it Routed[T]) int { return it.Dest }, combine)
+	return RouteCombine(pe, items, routedDest[T], combine)
 }
 
 // RouteCombine is the hypercube router underneath AllToAllCombine for
@@ -32,92 +30,17 @@ func AllToAllCombine[T any](pe *comm.PE, items []Routed[T], combine func([]Route
 //
 // O(log p) startups per PE. Non-power-of-two p is handled by folding the
 // top p−r ranks onto their partners before routing and unfolding at the
-// end (two extra exchanges).
+// end (two extra exchanges). The schedule is the route engine stepper of
+// async_route.go driven with blocking waits — one implementation, both
+// execution modes; the result is caller-owned (for p = 1 it aliases
+// items, as before).
 func RouteCombine[T any](pe *comm.PE, items []T, dest func(T) int, combine func([]T) []T) []T {
-	p := pe.P()
-	rank := pe.Rank()
-	for _, it := range items {
-		if d := dest(it); d < 0 || d >= p {
-			panic(fmt.Sprintf("coll: RouteCombine item with invalid dest %d", d))
-		}
+	st := newRouteStep(pe, items, 0, dest, combine)
+	comm.RunSteps(pe, st)
+	out := st.hold
+	if pe.P() > 1 {
+		out = st.routeResult()
 	}
-	if p == 1 {
-		if combine != nil {
-			items = combine(items)
-		}
-		return items
-	}
-	tag := pe.NextCollTag()
-	r := 1
-	dims := 0
-	for r*2 <= p {
-		r *= 2
-		dims++
-	}
-	extra := p - r
-	w := WordsOf[T]()
-
-	hold := items
-	// Fold-in: high ranks hand everything to their low partner and then
-	// wait for their final batch (receive posted before the send so the
-	// hand-over and the eventual return overlap).
-	if rank >= r {
-		h := pe.IRecv(rank-r, tag)
-		pe.Send(rank-r, tag, hold, int64(len(hold))*w)
-		rx, _ := h.Wait()
-		hold = rx.([]T)
-		if combine != nil {
-			hold = combine(hold)
-		}
-		return hold
-	}
-	if rank < extra {
-		rx, _ := pe.Recv(rank+r, tag)
-		hold = append(hold, rx.([]T)...)
-		if combine != nil {
-			hold = combine(hold)
-		}
-	}
-
-	// Hypercube routing among the r low ranks; an item for dest d travels
-	// toward d mod r (its "carrier"), resolving its true dest at unfold.
-	for bit := 0; bit < dims; bit++ {
-		maskBit := 1 << bit
-		partner := rank ^ maskBit
-		var keep, ship []T
-		for _, it := range hold {
-			carrier := dest(it)
-			if carrier >= r {
-				carrier -= r
-			}
-			if carrier&maskBit != rank&maskBit {
-				ship = append(ship, it)
-			} else {
-				keep = append(keep, it)
-			}
-		}
-		rx, _ := pe.SendRecv(partner, ship, int64(len(ship))*w, partner, tag)
-		hold = append(keep, rx.([]T)...)
-		if combine != nil {
-			hold = combine(hold)
-		}
-	}
-
-	// Unfold: everything for rank+r goes back out.
-	if rank < extra {
-		var mine, theirs []T
-		for _, it := range hold {
-			if dest(it) == rank+r {
-				theirs = append(theirs, it)
-			} else {
-				mine = append(mine, it)
-			}
-		}
-		pe.Send(rank+r, tag, theirs, int64(len(theirs))*w)
-		hold = mine
-	}
-	if combine != nil {
-		hold = combine(hold)
-	}
-	return hold
+	st.release(pe)
+	return out
 }

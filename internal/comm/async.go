@@ -358,14 +358,29 @@ func (f StepFunc) Step(pe *PE) *RecvHandle { return f(pe) }
 
 // Seq composes steppers into one body that runs them to completion in
 // order — the building block for multi-collective continuation bodies.
+// The composition state is allocated per call; hot callers use SeqP.
 func Seq(steps ...Stepper) Stepper {
-	s := &seqStep{steps: steps}
+	// The variadic slice is call-owned; retaining it directly is safe
+	// (only SeqP must copy, into its pooled backing).
+	return &seqStep{steps: steps}
+}
+
+// SeqP is Seq with the composition state drawn from the PE's stepper
+// pool (see steppool.go) and released when the sequence completes, so a
+// body built fresh every op allocates nothing in steady state. The
+// variadic argument slice is copied, not retained.
+func SeqP(pe *PE, steps ...Stepper) Stepper {
+	s := GetPooled[seqStep](pe)
+	s.steps = append(s.steps[:0], steps...)
+	s.i = 0
+	s.pooled = true
 	return s
 }
 
 type seqStep struct {
-	steps []Stepper
-	i     int
+	steps  []Stepper
+	i      int
+	pooled bool
 }
 
 func (s *seqStep) Step(pe *PE) *RecvHandle {
@@ -373,7 +388,16 @@ func (s *seqStep) Step(pe *PE) *RecvHandle {
 		if h := s.steps[s.i].Step(pe); h != nil {
 			return h
 		}
+		// Completed steppers release their own state; drop the reference
+		// so a pooled sequence does not retain it.
+		s.steps[s.i] = nil
 		s.i++
+	}
+	if s.pooled {
+		s.steps = s.steps[:0]
+		s.i = 0
+		s.pooled = false
+		PutPooled(pe, s)
 	}
 	return nil
 }

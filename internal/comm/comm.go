@@ -49,6 +49,7 @@ package comm
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -577,6 +578,10 @@ type PE struct {
 	step             Stepper
 
 	scratch map[string]any
+	// pools holds the per-PE typed freelists of pooled stepper state
+	// (see steppool.go). Like scratch, it is only touched by the
+	// goroutine currently running this PE's body.
+	pools map[reflect.Type]any
 }
 
 // Scratch returns the value stored under key in this PE's scratch store,

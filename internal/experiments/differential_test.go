@@ -296,12 +296,12 @@ func TestBackendDifferentialContinuationBodies(t *testing.T) {
 	}
 	start := func(pe *comm.PE, out *int64) comm.Stepper {
 		var a, b, g int64
-		return comm.Seq(
-			coll.BroadcastStep[int64](0, []int64{9, 8, 7}, nil),
-			coll.AllReduceScalarStep(int64(pe.Rank())+3, sum, func(v int64) { a = v }),
-			coll.ExScanSumStep(int64(pe.Rank()), func(v int64) { b = v }),
-			coll.BarrierStep(),
-			coll.GatherStridedStep([]int64{int64(pe.Rank())}, 7, func(src int, blk []int64) { g += blk[0] }),
+		return comm.SeqP(pe,
+			coll.BroadcastStep[int64](pe, 0, []int64{9, 8, 7}, nil),
+			coll.AllReduceScalarStep(pe, int64(pe.Rank())+3, sum, func(v int64) { a = v }),
+			coll.ExScanSumStep(pe, int64(pe.Rank()), func(v int64) { b = v }),
+			coll.BarrierStep(pe),
+			coll.GatherStridedStep(pe, []int64{int64(pe.Rank())}, 7, func(src int, blk []int64) { g += blk[0] }),
 			comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = a ^ b ^ g; return nil }),
 		)
 	}

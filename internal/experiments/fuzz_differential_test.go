@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// Randomized differential fuzz over the stepper forms: random sequences
+// of collectives with random payload shapes run three ways —
+//
+//	channel matrix, blocking bodies   (the naive reference)
+//	mailbox, blocking bodies          (the production blocking path)
+//	mailbox, continuation bodies      (RunAsync over the pooled steppers)
+//
+// at several scheduler widths, and every PE's results plus the machine's
+// metered statistics must be bit-identical across all of them. The fixed
+// differential suite (differential_test.go) pins known shapes; the fuzz
+// walks the composition space — mixed op orders, ragged payloads, chunk
+// sizes, p ∈ {4, 16, 64}, w ∈ {1, 4, GOMAXPROCS·8} — where stale pooled
+// stepper state, tag desynchronization, or meter divergence between the
+// three execution modes would surface.
+
+// fuzzOp is one fuzzable collective: block runs the blocking form and
+// returns a comparable result; step returns the stepper form delivering
+// the same result through *out. prm carries the op's randomized
+// parameters, derived deterministically from the sequence seed so all
+// three machines run identical programs.
+type fuzzOp struct {
+	name  string
+	block func(pe *comm.PE, prm int64) any
+	step  func(pe *comm.PE, prm int64, out *any) comm.Stepper
+}
+
+// fuzzPayload builds a deterministic ragged payload for rank: length
+// depends on (prm, rank) and can be zero.
+func fuzzPayload(pe *comm.PE, prm int64) []int64 {
+	n := int((prm + int64(pe.Rank())) % 5)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = prm + int64(pe.Rank()*31+i)
+	}
+	return data
+}
+
+func fuzzRouteItems(pe *comm.PE, prm int64) []coll.Routed[int64] {
+	p := pe.P()
+	n := int(prm%3) + p
+	items := make([]coll.Routed[int64], n)
+	for i := range items {
+		items[i] = coll.Routed[int64]{
+			Dest:    int((prm + int64(pe.Rank()*7+i*13)) % int64(p)),
+			Payload: prm + int64(pe.Rank()*1000+i),
+		}
+	}
+	return items
+}
+
+func flattenParts(parts [][]int64) []int64 {
+	flat := []int64{}
+	for src, part := range parts {
+		flat = append(flat, int64(src))
+		flat = append(flat, part...)
+	}
+	return flat
+}
+
+func fuzzOps() []fuzzOp {
+	return []fuzzOp{
+		{
+			name: "Broadcast",
+			block: func(pe *comm.PE, prm int64) any {
+				var data []int64
+				if pe.Rank() == 0 {
+					data = []int64{prm, prm * 3, 42}
+				}
+				got := coll.Broadcast(pe, 0, data)
+				out := make([]int64, len(got))
+				copy(out, got)
+				return out
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				var data []int64
+				if pe.Rank() == 0 {
+					data = []int64{prm, prm * 3, 42}
+				}
+				return coll.BroadcastStep(pe, 0, data, func(got []int64) {
+					o := make([]int64, len(got))
+					copy(o, got)
+					*out = o
+				})
+			},
+		},
+		{
+			name: "AllReduceScalar",
+			block: func(pe *comm.PE, prm int64) any {
+				return coll.AllReduceScalar(pe, prm+int64(pe.Rank()), func(a, b int64) int64 { return a + b })
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.AllReduceScalarStep(pe, prm+int64(pe.Rank()),
+					func(a, b int64) int64 { return a + b }, func(v int64) { *out = v })
+			},
+		},
+		{
+			name: "ExScanSum",
+			block: func(pe *comm.PE, prm int64) any {
+				return coll.ExScanSum(pe, prm+int64(pe.Rank()*3))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.ExScanSumStep(pe, prm+int64(pe.Rank()*3), func(v int64) { *out = v })
+			},
+		},
+		{
+			name: "AllReduceVec",
+			block: func(pe *comm.PE, prm int64) any {
+				// Length toggles between the recursive-doubling and the
+				// Rabenseifner regime with prm.
+				n := 3 + int(prm%2)*(4*pe.P())
+				x := make([]int64, n)
+				for i := range x {
+					x[i] = prm + int64(pe.Rank()*n+i)
+				}
+				return coll.AllReduce(pe, x, func(a, b int64) int64 { return a + b })
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				n := 3 + int(prm%2)*(4*pe.P())
+				x := make([]int64, n)
+				for i := range x {
+					x[i] = prm + int64(pe.Rank()*n+i)
+				}
+				return coll.AllReduceStep(pe, x, func(a, b int64) int64 { return a + b },
+					func(v []int64) {
+						o := make([]int64, len(v))
+						copy(o, v)
+						*out = o
+					})
+			},
+		},
+		{
+			name: "GatherStrided",
+			block: func(pe *comm.PE, prm int64) any {
+				s := int(prm%7) + 1
+				acc := []int64{}
+				coll.GatherStrided(pe, []int64{prm + int64(pe.Rank())}, s, func(src int, b []int64) {
+					acc = append(acc, int64(src), b[0])
+				})
+				return acc
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				s := int(prm%7) + 1
+				acc := []int64{}
+				return comm.Seq(
+					coll.GatherStridedStep(pe, []int64{prm + int64(pe.Rank())}, s, func(src int, b []int64) {
+						acc = append(acc, int64(src), b[0])
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = acc; return nil }),
+				)
+			},
+		},
+		{
+			name: "Gatherv",
+			block: func(pe *comm.PE, prm int64) any {
+				return flattenParts(coll.Gatherv(pe, int(prm)%pe.P(), fuzzPayload(pe, prm)))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.GathervStep(pe, int(prm)%pe.P(), fuzzPayload(pe, prm), func(parts [][]int64) {
+					*out = flattenParts(parts)
+				})
+			},
+		},
+		{
+			name: "BroadcastScalar",
+			block: func(pe *comm.PE, prm int64) any {
+				return coll.BroadcastScalar(pe, int(prm)%pe.P(), prm+int64(pe.Rank()))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.BroadcastScalarStep(pe, int(prm)%pe.P(), prm+int64(pe.Rank()),
+					func(v int64) { *out = v })
+			},
+		},
+		{
+			name: "AllGatherv",
+			block: func(pe *comm.PE, prm int64) any {
+				return flattenParts(coll.AllGatherv(pe, fuzzPayload(pe, prm)))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.AllGathervStep(pe, fuzzPayload(pe, prm), func(parts [][]int64) {
+					*out = flattenParts(parts)
+				})
+			},
+		},
+		{
+			name: "AllGatherConcat",
+			block: func(pe *comm.PE, prm int64) any {
+				return coll.AllGatherConcat(pe, fuzzPayload(pe, prm))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.AllGatherConcatStep(pe, fuzzPayload(pe, prm), func(v []int64) {
+					o := make([]int64, len(v))
+					copy(o, v)
+					*out = o
+				})
+			},
+		},
+		{
+			name: "AllToAll",
+			block: func(pe *comm.PE, prm int64) any {
+				parts := make([][]int64, pe.P())
+				for d := range parts {
+					parts[d] = []int64{prm + int64(pe.Rank()*100+d), int64(d)}
+				}
+				return flattenParts(coll.AllToAll(pe, parts))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				parts := make([][]int64, pe.P())
+				for d := range parts {
+					parts[d] = []int64{prm + int64(pe.Rank()*100+d), int64(d)}
+				}
+				bys := make([][]int64, pe.P())
+				return comm.Seq(
+					coll.AllToAllStep(pe, parts, func(src int, part []int64) {
+						bys[src] = append([]int64(nil), part...)
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = flattenParts(bys); return nil }),
+				)
+			},
+		},
+		{
+			name: "RouteCombine",
+			block: func(pe *comm.PE, prm int64) any {
+				var sum int64
+				for _, it := range coll.AllToAllCombine(pe, fuzzRouteItems(pe, prm), nil) {
+					sum += it.Payload * int64(it.Dest+1)
+				}
+				return sum
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				return coll.AllToAllCombineStep(pe, fuzzRouteItems(pe, prm), nil,
+					func(got []coll.Routed[int64]) {
+						var sum int64
+						for _, it := range got {
+							sum += it.Payload * int64(it.Dest+1)
+						}
+						*out = sum
+					})
+			},
+		},
+		{
+			name: "RouteCombineChunked",
+			block: func(pe *comm.PE, prm int64) any {
+				chunk := int(prm%4) + 1
+				var sum int64
+				for _, it := range coll.AllToAllCombineChunked(pe, fuzzRouteItems(pe, prm), chunk, nil) {
+					sum += it.Payload * int64(it.Dest+1)
+				}
+				return sum
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				chunk := int(prm%4) + 1
+				return coll.AllToAllCombineChunkedStep(pe, fuzzRouteItems(pe, prm), chunk, nil,
+					func(got []coll.Routed[int64]) {
+						var sum int64
+						for _, it := range got {
+							sum += it.Payload * int64(it.Dest+1)
+						}
+						*out = sum
+					})
+			},
+		},
+		{
+			name: "AllGatherChunked",
+			block: func(pe *comm.PE, prm int64) any {
+				chunk := int(prm%5) + 1
+				acc := []int64{}
+				coll.AllGatherChunked(pe, fuzzPayload(pe, prm), chunk, func(src int, b []int64) {
+					acc = append(acc, int64(src))
+					acc = append(acc, b...)
+				})
+				return acc
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				chunk := int(prm%5) + 1
+				acc := []int64{}
+				return comm.Seq(
+					coll.AllGatherChunkedStep(pe, fuzzPayload(pe, prm), chunk, func(src int, b []int64) {
+						acc = append(acc, int64(src))
+						acc = append(acc, b...)
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = acc; return nil }),
+				)
+			},
+		},
+		{
+			name: "SelKth",
+			block: func(pe *comm.PE, prm int64) any {
+				local := gen.SelectionInput(xrand.NewPE(prm, pe.Rank()), 64, 10)
+				n := int64(pe.P() * 64)
+				k := 1 + prm%n
+				return sel.Kth(pe, local, k, xrand.NewPE(prm+7, pe.Rank()))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				local := gen.SelectionInput(xrand.NewPE(prm, pe.Rank()), 64, 10)
+				n := int64(pe.P() * 64)
+				k := 1 + prm%n
+				return sel.KthStep(pe, local, k, xrand.NewPE(prm+7, pe.Rank()),
+					func(v uint64) { *out = v })
+			},
+		},
+	}
+}
+
+// fuzzSeq is one randomized program: an op sequence with per-op params.
+type fuzzSeq struct {
+	ops  []int
+	prms []int64
+}
+
+func makeFuzzSeq(rng *xrand.RNG, nOps int) fuzzSeq {
+	var fs fuzzSeq
+	catalog := fuzzOps()
+	for i := 0; i < nOps; i++ {
+		fs.ops = append(fs.ops, int(rng.Intn(len(catalog))))
+		fs.prms = append(fs.prms, 1+int64(rng.Intn(1000)))
+	}
+	return fs
+}
+
+// runFuzzBlocking executes the sequence with blocking bodies: one Run,
+// ops called back to back inside it (cross-op state — tags, scratch,
+// pools — is part of what the fuzz exercises).
+func runFuzzBlocking(cfg comm.Config, fs fuzzSeq) ([][]any, comm.Stats) {
+	m := comm.NewMachine(cfg)
+	defer m.Close()
+	catalog := fuzzOps()
+	results := make([][]any, len(fs.ops))
+	for i := range results {
+		results[i] = make([]any, cfg.P)
+	}
+	m.MustRun(func(pe *comm.PE) {
+		for i, oi := range fs.ops {
+			results[i][pe.Rank()] = catalog[oi].block(pe, fs.prms[i])
+		}
+	})
+	return results, m.Stats()
+}
+
+// runFuzzStepper executes the same sequence as one continuation body per
+// PE under RunAsync: the steppers are chained lazily (each constructed
+// when the previous completes, like real multi-phase bodies whose later
+// stages depend on earlier results).
+func runFuzzStepper(cfg comm.Config, fs fuzzSeq) ([][]any, comm.Stats) {
+	m := comm.NewMachine(cfg)
+	defer m.Close()
+	catalog := fuzzOps()
+	results := make([][]any, len(fs.ops))
+	for i := range results {
+		results[i] = make([]any, cfg.P)
+	}
+	m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		i := 0
+		var cur comm.Stepper
+		return comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+			for i < len(fs.ops) {
+				if cur == nil {
+					cur = catalog[fs.ops[i]].step(pe, fs.prms[i], &results[i][pe.Rank()])
+				}
+				if h := cur.Step(pe); h != nil {
+					return h
+				}
+				cur = nil
+				i++
+			}
+			return nil
+		})
+	})
+	return results, m.Stats()
+}
+
+func fuzzIters() int {
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+// TestFuzzDifferentialSteppers is the randomized three-way differential:
+// for every random sequence, mailbox-blocking and mailbox-stepper runs
+// must match the channel-matrix reference exactly — per-PE results and
+// metered stats. Widths cover the degenerate single shard, the
+// multiplexed regime, and the default.
+func TestFuzzDifferentialSteppers(t *testing.T) {
+	widths := []int{1, 4, runtime.GOMAXPROCS(0) * 8}
+	for _, p := range []int{4, 16, 64} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			seqRng := xrand.New(int64(9000 + p))
+			catalog := fuzzOps()
+			for it := 0; it < fuzzIters(); it++ {
+				fs := makeFuzzSeq(seqRng, 3+int(seqRng.Intn(4)))
+				refRes, refStats := runFuzzBlocking(comm.MatrixConfig(p), fs)
+				opNames := func(i int) string { return catalog[fs.ops[i]].name }
+				for _, w := range widths {
+					cfg := comm.MailboxConfig(p)
+					cfg.Workers = w
+					for _, mode := range []string{"blocking", "stepper"} {
+						var res [][]any
+						var stats comm.Stats
+						if mode == "blocking" {
+							res, stats = runFuzzBlocking(cfg, fs)
+						} else {
+							res, stats = runFuzzStepper(cfg, fs)
+						}
+						for i := range res {
+							if !reflect.DeepEqual(refRes[i], res[i]) {
+								t.Fatalf("iter %d w=%d %s: op %d (%s) diverges from matrix reference\nref: %v\ngot: %v",
+									it, w, mode, i, opNames(i), refRes[i], res[i])
+							}
+						}
+						if stats != refStats {
+							t.Fatalf("iter %d w=%d %s: stats diverge\nref: %+v\ngot: %+v",
+								it, w, mode, refStats, stats)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -83,42 +83,59 @@ func scalingCollectivesBody(pe *comm.PE) {
 	coll.Barrier(pe)
 }
 
+// sumInt64 is the reduction operator of the scaling workloads
+// (package-level, so stepper factories allocate no closure per op).
+func sumInt64(a, b int64) int64 { return a + b }
+
 // scalingCollectivesStart is the continuation form of the same op — the
 // identical message schedule (words/PE, startups/PE and modeled clock
 // are pinned equal by the differential suite) run through
 // comm.RunAsync, so a PE waiting mid-collective suspends as data instead
 // of parking a goroutine. At large p this is where the park/hand-off
 // churn — the dominant host cost of the blocking form — disappears; the
-// suite records both forms so the A/B is in every report.
+// suite records both forms so the A/B is in every report. Since PR 5 the
+// stepper state (and the comm.SeqP composition) is pooled per PE, so the
+// op allocates like the blocking form instead of feeding the GC ~1.2 KB
+// per PE per op — the drag that ate the continuation win at p = 131072.
 func scalingCollectivesStart(pe *comm.PE) comm.Stepper {
-	sum := func(a, b int64) int64 { return a + b }
-	return comm.Seq(
-		coll.BroadcastStep[int64](0, []int64{1, 2, 3, 4}, nil),
-		coll.AllReduceScalarStep(int64(pe.Rank()), sum, nil),
-		coll.ExScanSumStep(int64(pe.Rank()), nil),
-		coll.BarrierStep(),
+	return comm.SeqP(pe,
+		coll.BroadcastStep(pe, 0, []int64{1, 2, 3, 4}, nil),
+		coll.AllReduceScalarStep(pe, int64(pe.Rank()), sumInt64, nil),
+		coll.ExScanSumStep(pe, int64(pe.Rank()), nil),
+		coll.BarrierStep(pe),
 	)
 }
 
-// scalingStridedSamples is the sampled-gather workload's per-PE source
-// count s: every PE visits s strided peers, so the aggregate movement is
-// p·s·m words — O(p), against the p²·m of any full all-gather — and the
-// suite can run a gather-shaped workload at p = 131072.
+// scalingStridedSamples is the sampled-gather workload's default per-PE
+// source count s: every PE visits s strided peers, so the aggregate
+// movement is p·s·m words — O(p), against the p²·m of any full
+// all-gather — and the suite can run a gather-shaped workload at
+// p = 131072.
 const scalingStridedSamples = 64
 
+// scalingStridedSweep is the s sweep of the strided gather: the sampled
+// gather trades O(m·s) transient payload references and O(α·s) startups
+// per PE against sample coverage, the same axis the chunked gathers map
+// with their window c. The suite runs all three so the trade is a curve,
+// not a point; s = 64 keeps the PR 4 entry name for PR-over-PR
+// comparability.
+var scalingStridedSweep = []int{16, 64, 256}
+
 // scalingStridedStart is one op of the sampled/strided gather workload
-// as a continuation body: coll.GatherStridedStep visits the blocks of 64
+// as a continuation body: coll.GatherStridedStep visits the blocks of s
 // deterministic sources with O(m) per-PE memory and round-staggered
 // O(p) in-flight messages. The checksum keeps the visits honest.
-func scalingStridedStart(pe *comm.PE) comm.Stepper {
-	var block [gatherBlockLen]int64
-	for i := range block {
-		block[i] = int64(pe.Rank() + i)
+func scalingStridedStart(samples int) func(pe *comm.PE) comm.Stepper {
+	return func(pe *comm.PE) comm.Stepper {
+		block := make([]int64, gatherBlockLen)
+		for i := range block {
+			block[i] = int64(pe.Rank() + i)
+		}
+		var sum int64
+		return coll.GatherStridedStep(pe, block, samples, func(src int, b []int64) {
+			sum += b[0]
+		})
 	}
-	var sum int64
-	return coll.GatherStridedStep(block[:], scalingStridedSamples, func(src int, b []int64) {
-		sum += b[0]
-	})
 }
 
 // gatherBlockLen is the per-PE block size of the gather workload.
@@ -143,6 +160,34 @@ func scalingGatherBody(pe *comm.PE) {
 		{Dest: (pe.Rank() + pe.P()/2) % pe.P(), Payload: 1},
 	}
 	coll.AllToAllCombineChunked(pe, items, scalingGatherChunk, nil)
+}
+
+// scalingGatherStart is the continuation form of the same op. The
+// hypercube stage's items depend on the gather's checksum, so its
+// stepper is constructed lazily once the chunked all-gather completes
+// (a StepFunc stage inside the pooled sequence).
+func scalingGatherStart(pe *comm.PE) comm.Stepper {
+	block := make([]int64, gatherBlockLen)
+	for i := range block {
+		block[i] = int64(pe.Rank() + i)
+	}
+	var sum int64
+	var a2a comm.Stepper
+	return comm.SeqP(pe,
+		coll.AllGatherChunkedStep(pe, block, scalingGatherChunk, func(src int, b []int64) {
+			sum += b[0]
+		}),
+		comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+			if a2a == nil {
+				items := []coll.Routed[int64]{
+					{Dest: (pe.Rank() + 1) % pe.P(), Payload: sum},
+					{Dest: (pe.Rank() + pe.P()/2) % pe.P(), Payload: 1},
+				}
+				a2a = coll.AllToAllCombineChunkedStep(pe, items, scalingGatherChunk, nil, nil)
+			}
+			return a2a.Step(pe)
+		}),
+	)
 }
 
 // heapLive settles the heap and returns live bytes. Two GC cycles: the
@@ -263,10 +308,22 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 		r.Skipped = reason
 		return r
 	}
+	stridedNames := make(map[int]string, len(scalingStridedSweep))
+	for _, smp := range scalingStridedSweep {
+		name := stridedName
+		if smp != scalingStridedSamples {
+			name = fmt.Sprintf("%s/s=%d", stridedName, smp)
+		}
+		stridedNames[smp] = name
+	}
 	if mb := comm.MachineBytes(cfg); mb > budget {
 		reason := fmt.Sprintf("estimated machine memory %.2f GiB exceeds the %.1f GiB harness budget",
 			float64(mb)/(1<<30), float64(budget)/(1<<30))
-		return []BenchResult{skip(collName, reason), skip(gatherName, reason), skip(stridedName, reason), skip(selName, reason)}
+		out := []BenchResult{skip(collName, reason), skip(gatherName, reason)}
+		for _, smp := range scalingStridedSweep {
+			out = append(out, skip(stridedNames[smp], reason))
+		}
+		return append(out, skip(selName, reason))
 	}
 
 	baseline := runtime.NumGoroutine()
@@ -317,24 +374,30 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 		out = append(out, fill(res(collName), ns, s))
 	}
 
-	// Sampled/strided gather: every PE visits 64 strided peers, so the
-	// aggregate movement is p·64·m words — the gather-shaped workload that
-	// exists at p = 131072, where any full all-gather's p²·m movement does
-	// not fit one host. Continuation-scheduled on the mailbox backend.
-	{
+	// Sampled/strided gather, swept over s: every PE visits s strided
+	// peers, so the aggregate movement is p·s·m words — the gather-shaped
+	// workload that exists at p = 131072, where any full all-gather's p²·m
+	// movement does not fit one host. Continuation-scheduled on the
+	// mailbox backend; the sweep maps the O(m·s)-payload / O(α·s)-startup
+	// trade the way the chunked gathers' c does.
+	for _, smp := range scalingStridedSweep {
 		iters := scalingRunIters(3, quick)
+		if p >= 1<<16 && smp > scalingStridedSamples {
+			iters = 1 // the s=256 op moves 4× the default; bound host time
+		}
+		start := scalingStridedStart(smp)
 		var ns float64
 		var s comm.Stats
 		if backend == comm.BackendMailbox {
-			ns, s = measureScalingAsync(m, iters, scalingStridedStart)
+			ns, s = measureScalingAsync(m, iters, start)
 		} else {
 			ns, s = measureScaling(m, iters, func(pe *comm.PE) {
-				comm.RunSteps(pe, scalingStridedStart(pe))
+				comm.RunSteps(pe, start(pe))
 			})
 		}
-		r := fill(res(stridedName), ns, s)
-		r.Note = fmt.Sprintf("s=%d sources/PE; aggregate movement p·s·m = %.1e words", scalingStridedSamples,
-			float64(p)*scalingStridedSamples*gatherBlockLen)
+		r := fill(res(stridedNames[smp]), ns, s)
+		r.Note = fmt.Sprintf("s=%d sources/PE; aggregate movement p·s·m = %.1e words", smp,
+			float64(p)*float64(smp)*gatherBlockLen)
 		out = append(out, r)
 	}
 
@@ -354,29 +417,72 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 		if quick || moved > scalingGatherMaxMoved/8 {
 			iters = 1
 		}
-		ns, s := measureScaling(m, iters, scalingGatherBody)
-		r := fill(res(gatherName), ns, s)
+		matNote := ""
 		if matBytes > budget {
-			r.Note = fmt.Sprintf("materializing AllGatherv would need %.1f GiB of results; chunked window is %.1f MiB",
+			matNote = fmt.Sprintf("; materializing AllGatherv would need %.1f GiB of results (chunked window %.1f MiB)",
 				float64(matBytes)/(1<<30), float64(int64(p)*scalingGatherChunk*gatherBlockLen*8)/(1<<20))
 		}
-		out = append(out, r)
+		if backend == comm.BackendMailbox {
+			ns, s := measureScalingAsync(m, iters, scalingGatherStart)
+			r := fill(res(gatherName), ns, s)
+			r.Note = "continuation-scheduled (comm.RunAsync)" + matNote
+			out = append(out, r)
+			if !quick {
+				ns, s = measureScaling(m, iters, scalingGatherBody)
+				rb := fill(res(gatherName+"/blocking"), ns, s)
+				rb.Note = "park-churn A/B reference (blocking bodies)" + matNote
+				out = append(out, rb)
+			}
+		} else {
+			ns, s := measureScaling(m, iters, scalingGatherBody)
+			r := fill(res(gatherName), ns, s)
+			if matNote != "" {
+				r.Note = matNote[2:]
+			}
+			out = append(out, r)
+		}
 	}
 
+	// Table-1 unsorted selection. Since PR 5 the mailbox primary runs the
+	// full selection skeleton continuation-scheduled (sel.KthStep under
+	// comm.RunAsync — the whole Table-1 pipeline at O(w) mid-run
+	// goroutines); the "/blocking" twin is the park-churn A/B, skipped in
+	// the quick tier. Fixed pivot seed: every measured run takes the same
+	// communication path, so the per-op stats are exact rather than
+	// averaged estimates.
 	perPE := scalingSelPerPE(p)
 	locals := make([][]uint64, p)
 	for r := 0; r < p; r++ {
 		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), perPE, 12)
 	}
 	n := int64(p) * int64(perPE)
-	// Fixed pivot seed: every measured run takes the same communication
-	// path, so the per-op stats are exact rather than averaged estimates.
-	ns, s := measureScaling(m, scalingRunIters(3, quick), func(pe *comm.PE) {
+	selNote := fmt.Sprintf("n/p=%d", perPE)
+	selBlocking := func(pe *comm.PE) {
 		sel.Kth(pe, locals[pe.Rank()], n/2, xrand.NewPE(17, pe.Rank()))
-	})
-	r := fill(res(selName), ns, s)
-	r.Note = fmt.Sprintf("n/p=%d", perPE)
-	out = append(out, r)
+	}
+	if backend == comm.BackendMailbox {
+		ns, s := measureScalingAsync(m, scalingRunIters(3, quick), func(pe *comm.PE) comm.Stepper {
+			return sel.KthStep(pe, locals[pe.Rank()], n/2, xrand.NewPE(17, pe.Rank()), nil)
+		})
+		r := fill(res(selName), ns, s)
+		r.Note = selNote + "; continuation-scheduled (comm.RunAsync)"
+		out = append(out, r)
+		if !quick {
+			blockIters := 3
+			if p >= 1<<16 {
+				blockIters = 1
+			}
+			ns, s = measureScaling(m, blockIters, selBlocking)
+			rb := fill(res(selName+"/blocking"), ns, s)
+			rb.Note = selNote + "; park-churn A/B reference (blocking bodies)"
+			out = append(out, rb)
+		}
+	} else {
+		ns, s := measureScaling(m, scalingRunIters(3, quick), selBlocking)
+		r := fill(res(selName), ns, s)
+		r.Note = selNote
+		out = append(out, r)
+	}
 	return out
 }
 
@@ -385,9 +491,9 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 // callers pass pmax ≤ ScalingQuickPMax alongside it).
 func ScalingTable(pmax int, quick bool) Table {
 	t := Table{
-		Title: "Scaling: collectives (async + blocking A/B), gathers (chunked + strided) and Table-1 selection at large p (mailbox vs channel matrix)",
-		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front machine allocation (comm.MachineBytes); over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier (mailbox: continuation-scheduled via comm.RunAsync; /blocking twin = park-churn A/B)\ngather ops: chunked all-gather (m=%d, chunk=%d) + chunked hypercube A2A; strided gather (s=%d sources/PE, movement p·s·m)\nselection: k=n/2, n/p=2^10 through p=2^14 then reduced (see entry notes); goroutines = resident process count with the machine live (w = scheduler width)",
-			float64(ScalingMemBudgetBytes)/(1<<30), gatherBlockLen, scalingGatherChunk, scalingStridedSamples),
+		Title: "Scaling: collectives, gathers (chunked + strided s sweep) and Table-1 selection at large p, continuation-scheduled with blocking A/B twins (mailbox vs channel matrix)",
+		Notes: fmt.Sprintf("memory budget %.1f GiB for up-front machine allocation (comm.MachineBytes); over-budget configs are refused\ncollectives op = broadcast + all-reduce + prefix sum + barrier; all mailbox primaries run continuation-scheduled via comm.RunAsync on pooled stepper state, /blocking twins = park-churn A/B\ngather ops: chunked all-gather (m=%d, chunk=%d) + chunked hypercube A2A; strided gather swept over s=%v sources/PE (movement p·s·m; unsuffixed entry = s=%d)\nselection: sel.KthStep, k=n/2, n/p=2^10 through p=2^14 then reduced (see entry notes); goroutines = resident process count with the machine live (w = scheduler width)",
+			float64(ScalingMemBudgetBytes)/(1<<30), gatherBlockLen, scalingGatherChunk, scalingStridedSweep, scalingStridedSamples),
 		Header: []string{"workload", "p", "backend", "ns/op", "words/PE", "start/PE", "T_model", "machine MB", "w", "goroutines"},
 	}
 	for _, r := range ScalingSuite(ScalingPList(pmax), ScalingMemBudgetBytes, quick, nil) {

@@ -7,6 +7,9 @@ import (
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/gen"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
 )
 
 // TestScaling65536WithinBudgets is the CI smoke for the large-p regime:
@@ -55,19 +58,21 @@ func TestScaling65536WithinBudgets(t *testing.T) {
 	}
 }
 
-// TestMidRunGoroutineResidency16384 is the PR 4 extension of the
-// residency guard: PR 3 pinned O(w) goroutines for a *resident* machine
-// (parked bodies retired between runs); this asserts the bound *while a
-// p = 16384 collective is in flight*. The collectives op runs as a
-// continuation body (comm.RunAsync) — thousands of PEs are
-// simultaneously waiting mid-collective at any sampled instant, and none
-// of them may hold a goroutine. Skipped under -short; CI runs it
-// explicitly.
+// TestMidRunGoroutineResidency16384 is the PR 4 residency guard
+// extended to the PR 5 stepper set: PR 3 pinned O(w) goroutines for a
+// *resident* machine (parked bodies retired between runs); this asserts
+// the bound *while p = 16384 collectives are in flight*. The sampled
+// window now covers the scalar collectives op, the strided and chunked
+// gather workloads, and the full stepper-form selection (sel.KthStep) —
+// thousands of PEs are simultaneously waiting mid-collective at any
+// sampled instant, and none of them may hold a goroutine. Skipped under
+// -short; CI runs it explicitly.
 func TestMidRunGoroutineResidency16384(t *testing.T) {
 	if testing.Short() {
 		t.Skip("p=16384 mid-run guard skipped in -short mode")
 	}
 	const p = 16384
+	const selPerPE = 64
 	baseline := runtime.NumGoroutine()
 	m := comm.NewMachine(comm.MailboxConfig(p))
 	defer m.Close()
@@ -75,12 +80,22 @@ func TestMidRunGoroutineResidency16384(t *testing.T) {
 	if w >= p/4 {
 		t.Skipf("GOMAXPROCS too large for a meaningful bound (w=%d, p=%d)", w, p)
 	}
+	locals := make([][]uint64, p)
+	for r := 0; r < p; r++ {
+		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), selPerPE, 12)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := 0; i < 3; i++ {
+		for i := 0; i < 2; i++ {
 			m.MustRunAsync(scalingCollectivesStart)
 		}
+		m.MustRunAsync(scalingStridedStart(16))
+		m.MustRunAsync(scalingGatherStart)
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+			return sel.KthStep(pe, locals[pe.Rank()], int64(p*selPerPE/2),
+				xrand.NewPE(17, pe.Rank()), nil)
+		})
 	}()
 	var maxMid, samples int64
 	for sampling := true; sampling; {

@@ -422,6 +422,63 @@ func TestSchedContinuationStress(t *testing.T) {
 	}
 }
 
+// TestSchedContinuationResumeReuse is the resume-path reuse stress: a
+// rank suspends (Arm → notify → Ready → re-exec) several times within
+// one Run and the whole cycle repeats across Run boundaries on the same
+// scheduler — the lifecycle under which comm's pooled stepper state is
+// recycled. Each suspension must deliver exactly the awaited message,
+// and a rank resumed mid-batch must be able to re-arm immediately.
+func TestSchedContinuationResumeReuse(t *testing.T) {
+	const p, w, rounds, hops = 64, 3, 8, 4
+	boxes := make([]*Box, p)
+	sc := NewSched(p, w)
+	defer sc.Close()
+	for i := range boxes {
+		boxes[i] = New()
+		boxes[i].SetNotify(i, sc.Ready)
+	}
+	hop := make([]int, p)
+	sent := make([][hops]bool, p)
+	var delivered atomic.Int64
+	for round := 0; round < rounds; round++ {
+		for i := range hop {
+			hop[i] = 0
+			sent[i] = [hops]bool{}
+		}
+		round := round
+		sc.Run(func(rank int) bool {
+			for hop[rank] < hops {
+				h := hop[rank]
+				// Per-hop shifted ring: each hop pairs every rank with a
+				// different partner, so one body arms and resumes several
+				// times within one Run.
+				shift := 1 + (round+h)%(p-1)
+				if !sent[rank][h] {
+					sent[rank][h] = true
+					boxes[(rank+shift)%p].Put(Msg{Src: rank, Tag: uint64(round*hops + h)})
+				}
+				src := (rank - shift + p) % p
+				m, ok := boxes[rank].TryTake(src)
+				if !ok {
+					if boxes[rank].Arm(src) {
+						return false // suspended; Ready re-runs this rank
+					}
+					continue
+				}
+				if int(m.Tag) != round*hops+h {
+					t.Errorf("round %d hop %d rank %d: tag %d", round, h, rank, m.Tag)
+				}
+				delivered.Add(1)
+				hop[rank]++
+			}
+			return true
+		})
+	}
+	if got, want := delivered.Load(), int64(rounds*p*hops); got != want {
+		t.Fatalf("delivered %d messages, want %d", got, want)
+	}
+}
+
 // TestReadyQueueHandOffWhenRolelessBodyBlocks pins the WillPark path for
 // a body with no driver role (resumed via the ready queue): if it blocks
 // while another resumed rank is waiting in the ready queue, the draining

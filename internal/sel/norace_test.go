@@ -1,0 +1,5 @@
+//go:build !race
+
+package sel
+
+const raceEnabled = false

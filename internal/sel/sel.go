@@ -93,139 +93,20 @@ func baseCaseLimit(p int) int64 {
 // into a per-PE scratch buffer and the recursion partitions it in place
 // (three-way band partition, package qsel) instead of rebuilding filtered
 // copies per level.
+//
+// Kth is the continuation skeleton of async.go (KthStep) driven to
+// completion with blocking waits — one implementation for both execution
+// modes. The pivot-selection rationale (Bernoulli sample of expected
+// size Θ(√p), Floyd–Rivest pivots at sample ranks k|S|/n ± Δ with
+// Δ = m^(1/2+δ), δ = 1/10, extracted at the root with expected-linear
+// order statistics and shipped back as 2 words) lives with the state
+// machine there.
 func Kth[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) K {
-	n := coll.SumAll(pe, int64(len(local)))
-	if k < 1 || k > n {
-		panic(fmt.Sprintf("sel: rank %d out of range 1..%d", k, n))
-	}
-	work := comm.ScratchSlice[K](pe, "sel.kth.work", len(local))
-	copy(work, local)
-	return kthRec(pe, work, k, n, rng, 0)
-}
-
-func kthRec[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG, depth int) K {
-	p := pe.P()
-	if k == 1 {
-		// Base case of Algorithm 1: a single min-reduction.
-		var cand tagged[K]
-		if len(s) > 0 {
-			cand = tagged[K]{Has: true, Val: slices.Min(s)}
-		}
-		return coll.AllReduceScalar(pe, cand, minTagged[K]).Val
-	}
-	if n <= baseCaseLimit(p) || depth > 120 {
-		return gatherSolve(pe, s, k)
-	}
-
-	lo, hi := pickPivots(pe, s, k, n, rng)
-
-	// Partition in place into a < lo, lo ≤ b ≤ hi, c > hi.
-	la, lb := qsel.PartitionRange(s, lo, hi)
-	a, b, c := s[:la], s[la:la+lb], s[la+lb:]
-	var counts [2]int64
-	counts[0], counts[1] = int64(la), int64(lb)
-	sums := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.kth.counts", 2),
-		counts[:], func(x, y int64) int64 { return x + y })
-	na, nb := sums[0], sums[1]
-	switch {
-	case na >= k:
-		return kthRec(pe, a, k, na, rng, depth+1)
-	case na+nb < k:
-		return kthRec(pe, c, k-na-nb, n-na-nb, rng, depth+1)
-	case lo == hi:
-		// Equal pivots: b is one big tie group and the k-th element falls
-		// inside it — the answer is the pivot itself. (Crucial for heavily
-		// duplicated inputs, where the tie group can be Θ(n).)
-		return lo
-	case nb == n:
-		// No shrinkage (pivots straddle all remaining values — tiny
-		// samples or very few distinct values). Peel the boundary tie
-		// group of the lower pivot arithmetically: either the answer is
-		// lo itself or the recursion continues on the strictly larger
-		// elements, which excludes at least the lo group. The peel is an
-		// exact three-way partition of b around lo, again in place.
-		_, nEqLocal := qsel.PartitionRange(b, lo, lo)
-		gt := b[nEqLocal:]
-		nEq := coll.SumAll(pe, int64(nEqLocal))
-		if k-na <= nEq {
-			return lo
-		}
-		return kthRec(pe, gt, k-na-nEq, nb-nEq, rng, depth+1)
-	default:
-		return kthRec(pe, b, k-na, nb, rng, depth+1)
-	}
-}
-
-// pickPivots draws the Bernoulli sample of expected size Θ(√p) (Theorem 1;
-// a small additive constant keeps the sample usable at low PE counts),
-// sorts it with the fast inefficient sorting collective, and returns the
-// two Floyd–Rivest pivots at sample ranks k|S|/n ± Δ. Δ follows the
-// Floyd–Rivest rule Δ = m^(1/2+δ) on the realized sample size m with
-// δ = 1/10, which specializes to the paper's p^(1/4+δ) when m = Θ(√p) and
-// keeps the rank window a constant fraction of the sample, so the
-// candidate range shrinks geometrically per level.
-func pickPivots[K cmp.Ordered](pe *comm.PE, s []K, k, n int64, rng *xrand.RNG) (lo, hi K) {
-	p := float64(pe.P())
-	target := 4 * (math.Sqrt(p) + 8)
-	rho := target / float64(n)
-	if rho > 1 {
-		rho = 1
-	}
-	// The sample lives in a per-PE scratch buffer sized for 4× this PE's
-	// expected draw (the global target spread over p PEs — sizing it for
-	// the whole sample charged every PE Θ(√p) words of scratch, ~6 GiB
-	// across a p = 131072 machine); if an unlucky draw or a skewed
-	// residual grows it anyway, the grown buffer is stored back so the
-	// growth is paid at most once per size.
-	scratch := comm.ScratchSlice[K](pe, "sel.pivots.sample", int(4*target)/pe.P()+16)
-	sample := scratch[:0]
-	sk := xrand.NewSkipSampler(rng, rho)
-	for idx := sk.Next(); idx < int64(len(s)); idx = sk.Next() {
-		sample = append(sample, s[idx])
-	}
-	if cap(sample) > cap(scratch) {
-		grown := sample
-		pe.SetScratch("sel.pivots.sample", &grown)
-	}
-	// Extract the two pivots at the root and ship back only those: the
-	// sorted sample itself is never needed beyond pivot extraction, so the
-	// return volume is 2 words instead of |S| (the gather side still obeys
-	// the paper's O(β√p + α log p) sample-sorting budget). Order
-	// statistics, not a sort, suffice locally: two expected-linear
-	// selections (package qsel) replace the O(|S| log |S|) sample sort.
-	parts := coll.Gatherv(pe, 0, sample)
-	pivots := comm.ScratchSlice[K](pe, "sel.pivots.out", 2)[:0]
-	if pe.Rank() == 0 {
-		var total int
-		for _, part := range parts {
-			total += len(part)
-		}
-		all := comm.ScratchSlice[K](pe, "sel.pivots.concat", total)[:0]
-		for _, part := range parts {
-			all = append(all, part...)
-		}
-		if m := int64(len(all)); m > 0 {
-			r := k * m / n
-			delta := int64(math.Ceil(math.Pow(float64(m), 0.5+0.1)))
-			iLo := int(clamp(r-delta, 0, m-1))
-			iHi := int(clamp(r+delta, 0, m-1))
-			vLo := qsel.Select(all, iLo)
-			// Select leaves all[:iLo] ≤ all[iLo] ≤ all[iLo+1:], so the
-			// second rank is found in the (small) upper remainder.
-			vHi := qsel.Select(all[iLo:], iHi-iLo)
-			pivots = append(pivots, vLo, vHi)
-		}
-	}
-	pivots = coll.Broadcast(pe, 0, pivots)
-	if len(pivots) == 0 {
-		// Extremely unlucky sample; fall back to the global extremes so the
-		// next round keeps everything (then n ≤ base case soon, or a fresh
-		// sample succeeds).
-		loT := coll.AllReduceScalar(pe, localMinTagged(s), minTagged[K])
-		hiT := coll.AllReduceScalar(pe, localMaxTagged(s), maxTagged[K])
-		return loT.Val, hiT.Val
-	}
-	return pivots[0], pivots[1]
+	st := newKthStep(pe, local, k, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 func localMinTagged[K cmp.Ordered](s []K) tagged[K] {
