@@ -15,6 +15,11 @@
 // blocking A/B twins, and the channel matrix is refused beyond the
 // harness memory budget. `-quick` selects the CI tier (p ≤ 4096, one
 // run per op, no A/B twins) — including the stepper-form selection path.
+// `-exp kernels` (also not part of `all`) runs the host-local kernel
+// family: the selection engines swept over n = 2^10…2^24 and five input
+// distributions, plus the dht.Table probe loop and the treap structural
+// ops; with `-quick` it is the CI smoke tier (one run per op, n ≤ 2^18).
+// `-cpuprofile f` / `-memprofile f` write pprof profiles of any run.
 //
 // Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
 //
@@ -32,14 +37,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"commtopk/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, all)")
-	quick := flag.Bool("quick", false, "with -exp scaling: the CI tier — p capped at 4096, one run per op, no blocking A/B twins")
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, all)")
+	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
@@ -49,7 +56,39 @@ func main() {
 	baseline := flag.String("baseline", "", "earlier BENCH_PR<N>.json whose results are embedded as the baseline")
 	out := flag.String("out", "", "benchmark report path (default BENCH_PR<pr>.json)")
 	note := flag.String("note", "", "free-form note recorded in the benchmark report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "topkbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topkbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained, not transient, memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "topkbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *jsonMode {
 		// The pipeline suite runs fixed configurations (so reports stay
@@ -141,6 +180,13 @@ func main() {
 			os.Exit(2)
 		}
 		tables = append(tables, experiments.ScalingTable(scaleMax, *quick))
+	}
+	if *exp == "kernels" {
+		// Not part of -exp all: host-local microbenchmarks of the selection
+		// engines, the dht.Table probe loop and the treap structural ops
+		// (no machine, no meters). -quick is the CI smoke tier: one run per
+		// op and n capped at 2^18.
+		tables = append(tables, experiments.KernelsTables(*quick)...)
 	}
 
 	if len(tables) == 0 {

@@ -1,0 +1,162 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAsyncSendBufferPostedVsDelivered drives two PEs from the test
+// goroutine (no Run, nothing blocks) to pin the distinction the buffer
+// introduces: a posted send is metered immediately, but delivery waits
+// for channel capacity, and the handle observes the difference.
+func TestAsyncSendBufferPostedVsDelivered(t *testing.T) {
+	cfg := MatrixConfig(2)
+	cfg.ChanCap = 1
+	cfg.AsyncSendBuffer = true
+	m := NewMachine(cfg)
+	pe0, pe1 := m.pes[0], m.pes[1]
+	tag := Tag(7)
+
+	h1 := pe0.ISend(1, tag, 100, 1)
+	h2 := pe0.ISend(1, tag, 200, 1)
+	h3 := pe0.ISend(1, tag, 300, 1)
+	if !h1.Test() {
+		t.Fatal("first ISend should deliver straight into the free channel slot")
+	}
+	if h2.Test() || h3.Test() {
+		t.Fatal("ISends beyond ChanCap should be posted but not delivered")
+	}
+	// The meter advanced at post time for all three.
+	if pe0.Sends() != 3 || pe0.SentWords() != 3 {
+		t.Fatalf("posted sends not metered: sends=%d words=%d", pe0.Sends(), pe0.SentWords())
+	}
+	wantClock := 3 * (cfg.Alpha + cfg.Beta)
+	if pe0.Clock() != wantClock {
+		t.Fatalf("clock = %v, want %v (advance at post time)", pe0.Clock(), wantClock)
+	}
+
+	// Receiving frees capacity; Test's opportunistic drain delivers the
+	// next pending send, strictly in posted order.
+	if v, _ := pe1.Recv(0, tag); v.(int) != 100 {
+		t.Fatalf("first delivery = %v, want 100", v)
+	}
+	if !h2.Test() {
+		t.Fatal("capacity freed: second send should now deliver via Test")
+	}
+	if h3.Test() {
+		t.Fatal("third send should still be pending (channel refilled by the second)")
+	}
+	if v, _ := pe1.Recv(0, tag); v.(int) != 200 {
+		t.Fatal("second delivery out of posted order")
+	}
+	h3.Wait() // capacity is free again, so the flush completes immediately
+	if !h3.Test() {
+		t.Fatal("waited handle should test complete")
+	}
+	if v, _ := pe1.Recv(0, tag); v.(int) != 300 {
+		t.Fatal("third delivery out of posted order")
+	}
+}
+
+// asyncHeadToHead is the exchange pattern that deadlocks under eager
+// (blocking) ISend when the per-pair channel cannot hold all messages:
+// both PEs post n sends to each other before receiving anything.
+func asyncHeadToHead(n int) func(pe *PE) {
+	return func(pe *PE) {
+		peer := 1 - pe.Rank()
+		tag := pe.NextCollTag()
+		hs := make([]SendHandle, n)
+		for i := 0; i < n; i++ {
+			hs[i] = pe.ISend(peer, tag, pe.Rank()*1000+i, 1)
+		}
+		for i := 0; i < n; i++ {
+			v, _ := pe.Recv(peer, tag)
+			if got, want := v.(int), peer*1000+i; got != want {
+				panic(fmt.Sprintf("PE %d: delivery %d = %d, want %d (posted order violated)", pe.Rank(), i, got, want))
+			}
+		}
+		for _, h := range hs {
+			h.Wait()
+		}
+	}
+}
+
+// TestAsyncSendBufferHeadToHead runs the head-to-head exchange with the
+// buffer on and a small channel (it would deadlock eagerly), and checks
+// results and the full meter are bit-identical to an eager reference run
+// whose channels are deep enough to never block.
+func TestAsyncSendBufferHeadToHead(t *testing.T) {
+	const n = 8
+	buffered := MatrixConfig(2)
+	buffered.ChanCap = 1
+	buffered.AsyncSendBuffer = true
+	mb := NewMachine(buffered)
+	if err := mb.Run(asyncHeadToHead(n)); err != nil {
+		t.Fatalf("buffered run failed: %v", err)
+	}
+
+	eager := MatrixConfig(2)
+	eager.ChanCap = 2 * n // deep enough that eager ISend never blocks
+	me := NewMachine(eager)
+	if err := me.Run(asyncHeadToHead(n)); err != nil {
+		t.Fatalf("eager reference run failed: %v", err)
+	}
+
+	if got, want := mb.Stats(), me.Stats(); got != want {
+		t.Errorf("meters diverge:\n  buffered %+v\n  eager    %+v", got, want)
+	}
+}
+
+// TestAsyncSendBufferFlushAtBodyEnd pins that buffered sends a body never
+// waits on are still delivered before the PE retires: PE 0 posts and
+// returns; PE 1 receives everything.
+func TestAsyncSendBufferFlushAtBodyEnd(t *testing.T) {
+	const n = 6
+	cfg := MatrixConfig(2)
+	cfg.ChanCap = 1
+	cfg.AsyncSendBuffer = true
+	m := NewMachine(cfg)
+	err := m.Run(func(pe *PE) {
+		tag := pe.NextCollTag()
+		if pe.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				pe.ISend(1, tag, i, 1) // handles dropped on purpose
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if v, _ := pe.Recv(0, tag); v.(int) != i {
+				panic("posted order violated")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncSendBufferSendFlushesFIFO pins that a blocking Send posted
+// after buffered ISends cannot overtake them (per-sender FIFO).
+func TestAsyncSendBufferSendFlushesFIFO(t *testing.T) {
+	cfg := MatrixConfig(2)
+	cfg.ChanCap = 1
+	cfg.AsyncSendBuffer = true
+	m := NewMachine(cfg)
+	err := m.Run(func(pe *PE) {
+		tag := pe.NextCollTag()
+		if pe.Rank() == 0 {
+			pe.ISend(1, tag, 1, 1)
+			pe.ISend(1, tag, 2, 1) // pending: channel already holds the first
+			pe.Send(1, tag, 3, 1)  // must flush the pending send first
+			return
+		}
+		for want := 1; want <= 3; want++ {
+			if v, _ := pe.Recv(0, tag); v.(int) != want {
+				panic(fmt.Sprintf("got %v, want %d", v, want))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

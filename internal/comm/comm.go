@@ -115,6 +115,18 @@ type Config struct {
 	// and metering are independent of w (pinned by the differential
 	// tests); w only trades host parallelism against resident memory.
 	Workers int
+	// AsyncSendBuffer (channel matrix only) makes ISend truly
+	// non-blocking: a send that finds its channel full is buffered in a
+	// per-PE pending FIFO instead of blocking, and drains at the next
+	// blocking point (a parked receive offers the pending head while it
+	// waits, SendHandle.Wait and blocking Send flush, and the end of the
+	// PE body flushes the rest). The meter is unchanged — clock, word and
+	// startup counters advance at post time with the same depart stamp the
+	// eager path would produce — so posted-order semantics become
+	// observable (head-to-head exchanges beyond ChanCap complete instead
+	// of deadlocking) while results and statistics stay bit-identical.
+	// Mailbox sends never block, so the knob is meaningless there.
+	AsyncSendBuffer bool
 }
 
 // DefaultConfig returns a machine configuration with p PEs on the mailbox
@@ -209,6 +221,12 @@ type message struct {
 	data   any
 }
 
+// pendingSend is one buffered ISend awaiting channel capacity.
+type pendingSend struct {
+	dst int
+	msg message
+}
+
 // Machine is a simulated cluster of PEs. Create one with NewMachine, run
 // SPMD programs with Run, and read aggregate statistics with Stats.
 type Machine struct {
@@ -277,6 +295,8 @@ func NewMachine(cfg Config) *Machine {
 			pe.box = m.boxes[i]
 			pe.sendBoxes = m.boxes
 			pe.sched = m.sched
+		} else {
+			pe.asyncBuf = cfg.AsyncSendBuffer
 		}
 		m.pes[i] = pe
 	}
@@ -386,6 +406,10 @@ func (m *Machine) Run(body func(pe *PE)) error {
 					}
 				}()
 				body(pe)
+				// Buffered ISends the body never waited on must still be
+				// delivered before the PE retires (a peer may be blocked
+				// receiving them).
+				pe.flushPending(pe.pendTotal)
 			}()
 		}
 		wg.Wait()
@@ -577,6 +601,16 @@ type PE struct {
 	freeH            *RecvHandle
 	step             Stepper
 
+	// Buffered-ISend state (channel matrix with Config.AsyncSendBuffer):
+	// the pending FIFO of posted-but-undelivered sends, its consumed-head
+	// index, and the monotone posted/delivered counters SendHandle
+	// completion is judged against.
+	asyncBuf  bool
+	pendQ     []pendingSend
+	pendHead  int
+	pendTotal uint64
+	pendDone  uint64
+
 	scratch map[string]any
 	// pools holds the per-PE typed freelists of pooled stepper state
 	// (see steppool.go). Like scratch, it is only touched by the
@@ -667,6 +701,9 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 	if dst == pe.rank {
 		panic(fmt.Sprintf("comm: PE %d: self-send is not modeled; keep data local", pe.rank))
 	}
+	// Earlier buffered ISends must hit the wire first (per-sender FIFO is
+	// a transport guarantee the receivers' tag discipline relies on).
+	pe.flushPending(pe.pendTotal)
 	pe.clock += pe.alpha + pe.beta*float64(words)
 	pe.sentWords += words
 	pe.sends++

@@ -82,11 +82,16 @@ func CountKV(pe *comm.PE, items []KV, mode RouteMode) *Table {
 			// senders never touch a slice after Send).
 			return out.AppendKVs(held[:0])
 		}
-		held := coll.RouteCombine(pe, items, destFn, combine)
-		out.Reset()
-		for _, kv := range held {
-			out.Add(kv.Key, kv.Count)
-		}
+		// The stepper form lends the routed batch to the out hook for the
+		// duration of the call — the table rebuild consumes it element by
+		// element, so RouteCombine's defensive clone of the result would be
+		// pure allocation.
+		comm.RunSteps(pe, coll.RouteCombineStep(pe, items, destFn, combine, func(held []KV) {
+			out.Reset()
+			for _, kv := range held {
+				out.Add(kv.Key, kv.Count)
+			}
+		}))
 		return out
 	default:
 		panic("dht: unknown route mode")
@@ -168,9 +173,13 @@ func BuildSBF(pe *comm.PE, local *Table) *SBF {
 		}
 		return out
 	}
-	for _, hc := range coll.RouteCombine(pe, items, destFn, combine) {
-		s.Cells[hc.Hash] += int64(hc.Count)
-	}
+	// Borrowed-batch consumption: the cell map is folded straight out of
+	// the router's held buffer, no caller-owned clone needed.
+	comm.RunSteps(pe, coll.RouteCombineStep(pe, items, destFn, combine, func(held []HC) {
+		for _, hc := range held {
+			s.Cells[hc.Hash] += int64(hc.Count)
+		}
+	}))
 	return s
 }
 

@@ -2,18 +2,30 @@ package dht
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
 	"commtopk/internal/commbuf"
 )
 
-// Table is an open-addressing (linear-probing) uint64 → int64 count
-// table whose slot array is a pooled buffer (internal/commbuf). The
+// Table is an open-addressing uint64 → int64 count table whose slot and
+// control arrays are pooled buffers (internal/commbuf). The
 // frequent-objects and sum-aggregation layers build and discard a count
 // table per query — and, on the hypercube insertion route, one per
 // routing step — so the Go map they used churned O(distinct keys) of
-// allocation per query. A Table recycles its slots through the pool:
+// allocation per query. A Table recycles its arrays through the pool:
 // steady-state queries allocate nothing for counting.
+//
+// The probe loop is cache-conscious in the SwissTable style: liveness and
+// a 7-bit hash tag live in a separate control array, one byte per slot,
+// packed eight to a uint64 word so a whole group of eight slots is
+// tag-matched with three word ops (SWAR zero-byte finder) before any
+// 16-byte slot is touched. Slots store only {key, val} — no liveness
+// byte, so a cache line holds four of them instead of two — and a probe
+// walks groups linearly, stopping at the first group containing an empty
+// byte (the table never deletes, so an empty byte ends every probe
+// chain). Tag mismatches are rejected eight at a time without leaving the
+// control line; the slot array is read only for the (rare) tag hits.
 //
 // SumTable is the same structure over float64 values, for the
 // sum-aggregation layer's per-key value totals (Section 8.1) — the last
@@ -23,12 +35,13 @@ import (
 // function of the insertion sequence — deterministic wherever the
 // insertions are, unlike Go map iteration; SortedKeys gives the
 // ascending-key order the RNG-consuming passes need. Keys hash through
-// Mix, the same finalizer that shards keys across PEs.
+// Mix, the same finalizer that shards keys across PEs: the group index
+// comes from its low bits, the control tag from its top seven.
 //
 // A Table is not safe for concurrent use; like all per-PE state it lives
-// on one PE at a time. Call Release to return the slots to the pool (the
+// on one PE at a time. Call Release to return the arrays to the pool (the
 // zero Table and a released Table are both usable again and simply
-// re-acquire slots on first insert).
+// re-acquire storage on first insert).
 type Table struct {
 	tableOf[int64]
 }
@@ -62,17 +75,42 @@ func NewSumTable(hint int) *SumTable {
 }
 
 // tableOf is the open-addressing engine shared by Table and SumTable.
+//
+// ctrl holds one byte per slot, eight slots to a word: 0x00 for empty,
+// 0x80|tag for live, where tag is the top seven bits of Mix(key). slots
+// is never cleared — a slot's bytes are meaningful only while its control
+// byte is live, so Reset and grow touch just the control words (n/8 words
+// instead of n slots).
 type tableOf[V int64 | float64] struct {
+	ctrl  *[]uint64
 	slots *[]slotOf[V]
 	used  int
 	total V
 }
 
 type slotOf[V int64 | float64] struct {
-	key  uint64
-	val  V
-	live bool
+	key uint64
+	val V
 }
+
+const (
+	ctrlLive = 0x80               // high bit of every live control byte
+	lowBytes = 0x0101010101010101 // SWAR broadcast constants
+	highBits = 0x8080808080808080
+)
+
+// ctrlTag returns the control byte for a key's hash: live bit + top
+// seven hash bits. The group index uses the hash's low bits, so tag and
+// placement are independent.
+func ctrlTag(h uint64) uint64 { return (h >> 57) | ctrlLive }
+
+// matchWord flags (with the byte's high bit) every zero byte of x.
+// Empty-slot detection passes ctrl words directly: live bytes all have
+// the high bit set, so the borrow chain cannot false-positive on them and
+// the result is exact. Tag matching passes ctrl ^ (tag·lowBytes): a
+// matching live byte XORs to zero; a non-matching one may rarely be
+// flagged through a borrow, which costs only a key compare.
+func matchWord(x uint64) uint64 { return (x - lowBytes) &^ x & highBits }
 
 func (t *tableOf[V]) presize(hint int) {
 	if hint > 0 {
@@ -98,34 +136,74 @@ func (t *tableOf[V]) Len() int { return t.used }
 // scan.
 func (t *tableOf[V]) Total() V { return t.total }
 
+// find returns the index of the slot holding key (live=true) or of the
+// first empty slot on key's probe chain (live=false). Group-at-a-time:
+// each iteration tag-matches eight control bytes in three word ops, reads
+// the slot array only on tag hits, and terminates at the first group
+// containing an empty byte. The control and slot slices are loaded into
+// locals once, hoisting the pointer-chase and length loads out of the
+// probe loop. Requires a non-nil slot array.
+func (t *tableOf[V]) find(key uint64) (idx int, live bool) {
+	ctrl := *t.ctrl
+	slots := *t.slots
+	h := Mix(key)
+	gm := uint64(len(ctrl) - 1)
+	tagw := ctrlTag(h) * lowBytes
+	for gi := h & gm; ; gi = (gi + 1) & gm {
+		w := ctrl[gi]
+		for m := matchWord(w ^ tagw); m != 0; m &= m - 1 {
+			i := int(gi)<<3 + bits.TrailingZeros64(m)>>3
+			if slots[i].key == key {
+				return i, true
+			}
+		}
+		if e := matchWord(w); e != 0 {
+			return int(gi)<<3 + bits.TrailingZeros64(e)>>3, false
+		}
+	}
+}
+
+// markLive publishes slot idx as holding key in the control array.
+func (t *tableOf[V]) markLive(idx int, key uint64) {
+	(*t.ctrl)[idx>>3] |= ctrlTag(Mix(key)) << uint((idx&7)<<3)
+}
+
 // Add increments key's count by delta, inserting it if absent.
 func (t *tableOf[V]) Add(key uint64, delta V) {
 	t.total += delta
-	slot := t.probe(key)
-	if !slot.live {
+	if t.slots == nil {
+		t.grow(16)
+	}
+	idx, live := t.find(key)
+	if !live {
 		if t.ensure() {
-			slot = t.probe(key)
+			idx, _ = t.find(key)
 		}
-		slot.key, slot.val, slot.live = key, 0, true
+		(*t.slots)[idx] = slotOf[V]{key: key}
+		t.markLive(idx, key)
 		t.used++
 	}
-	slot.val += delta
+	(*t.slots)[idx].val += delta
 }
 
 // Set stores val for key, replacing any previous value. Total tracks the
 // stored values like Add's deltas would.
 func (t *tableOf[V]) Set(key uint64, val V) {
-	slot := t.probe(key)
-	if !slot.live {
+	if t.slots == nil {
+		t.grow(16)
+	}
+	idx, live := t.find(key)
+	if !live {
 		if t.ensure() {
-			slot = t.probe(key)
+			idx, _ = t.find(key)
 		}
-		slot.key, slot.live = key, true
+		(*t.slots)[idx] = slotOf[V]{key: key}
+		t.markLive(idx, key)
 		t.used++
 	} else {
-		t.total -= slot.val
+		t.total -= (*t.slots)[idx].val
 	}
-	slot.val = val
+	(*t.slots)[idx].val = val
 	t.total += val
 }
 
@@ -134,27 +212,15 @@ func (t *tableOf[V]) Get(key uint64) (V, bool) {
 	if t.slots == nil || t.used == 0 {
 		return 0, false
 	}
-	slot := t.probe(key)
-	return slot.val, slot.live
-}
-
-// probe returns the slot holding key, or the empty slot where it would
-// be inserted. Requires a non-nil slot array unless called via ensure.
-func (t *tableOf[V]) probe(key uint64) *slotOf[V] {
-	if t.slots == nil {
-		t.grow(16)
+	idx, live := t.find(key)
+	if !live {
+		return 0, false
 	}
-	s := *t.slots
-	mask := uint64(len(s) - 1)
-	for i := Mix(key) & mask; ; i = (i + 1) & mask {
-		if !s[i].live || s[i].key == key {
-			return &s[i]
-		}
-	}
+	return (*t.slots)[idx].val, true
 }
 
 // ensure grows the table if the next insert would push the load factor
-// past ~2/3, reporting whether a rehash happened (invalidating slots).
+// past ~2/3, reporting whether a rehash happened (invalidating indices).
 func (t *tableOf[V]) ensure() bool {
 	if t.slots != nil && (t.used+1)*3 <= len(*t.slots)*2 {
 		return false
@@ -167,29 +233,32 @@ func (t *tableOf[V]) ensure() bool {
 	return true
 }
 
-// grow rehashes into a pooled slot array of exactly n (power-of-two)
-// slots, recycling the previous array.
+// grow rehashes into pooled control/slot arrays of exactly n
+// (power-of-two, ≥ 16) slots, recycling the previous arrays. Only the
+// control words are cleared; slot bytes are garbage until marked live.
 func (t *tableOf[V]) grow(n int) {
-	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("dht: slot count %d not a power of two", n))
+	if n&(n-1) != 0 || n < 16 {
+		panic(fmt.Sprintf("dht: slot count %d not a power of two ≥ 16", n))
 	}
-	old := t.slots
-	fresh := commbuf.For[slotOf[V]]().Get(n)
-	clear(*fresh)
-	t.slots = fresh
-	if old != nil {
-		mask := uint64(n - 1)
-		for _, s := range *old {
-			if !s.live {
-				continue
+	oldCtrl, oldSlots := t.ctrl, t.slots
+	freshCtrl := commbuf.For[uint64]().Get(n >> 3)
+	clear(*freshCtrl)
+	t.ctrl = freshCtrl
+	t.slots = commbuf.For[slotOf[V]]().Get(n)
+	if oldCtrl != nil {
+		oc, os := *oldCtrl, *oldSlots
+		for gi, w := range oc {
+			for w != 0 {
+				i := bits.TrailingZeros64(w) >> 3
+				w &^= 0xff << uint(i<<3)
+				s := os[gi<<3+i]
+				idx, _ := t.find(s.key)
+				(*t.slots)[idx] = s
+				t.markLive(idx, s.key)
 			}
-			i := Mix(s.key) & mask
-			for (*fresh)[i].live {
-				i = (i + 1) & mask
-			}
-			(*fresh)[i] = s
 		}
-		commbuf.For[slotOf[V]]().Put(old)
+		commbuf.For[uint64]().Put(oldCtrl)
+		commbuf.For[slotOf[V]]().Put(oldSlots)
 	}
 }
 
@@ -199,8 +268,12 @@ func (t *tableOf[V]) ForEach(f func(key uint64, val V)) {
 	if t.slots == nil {
 		return
 	}
-	for _, s := range *t.slots {
-		if s.live {
+	slots := *t.slots
+	for gi, w := range *t.ctrl {
+		for w != 0 {
+			i := bits.TrailingZeros64(w) >> 3
+			w &^= 0xff << uint(i<<3)
+			s := slots[gi<<3+i]
 			f(s.key, s.val)
 		}
 	}
@@ -216,20 +289,23 @@ func (t *tableOf[V]) SortedKeys(dst []uint64) []uint64 {
 	return dst
 }
 
-// Reset clears the table for reuse, keeping its slot array.
+// Reset clears the table for reuse, keeping its arrays. Only the control
+// words need zeroing — 1/24th of the footprint the old slot-clearing
+// Reset touched.
 func (t *tableOf[V]) Reset() {
-	if t.slots != nil {
-		clear(*t.slots)
+	if t.ctrl != nil {
+		clear(*t.ctrl)
 	}
 	t.used, t.total = 0, 0
 }
 
-// Release returns the slot array to the pool; the table remains usable
-// and re-acquires slots on the next insert.
+// Release returns the arrays to the pool; the table remains usable and
+// re-acquires storage on the next insert.
 func (t *tableOf[V]) Release() {
 	if t.slots != nil {
+		commbuf.For[uint64]().Put(t.ctrl)
 		commbuf.For[slotOf[V]]().Put(t.slots)
-		t.slots = nil
+		t.ctrl, t.slots = nil, nil
 	}
 	t.used, t.total = 0, 0
 }

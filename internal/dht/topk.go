@@ -5,6 +5,7 @@ import (
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/qsel"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
@@ -62,23 +63,27 @@ func selectTopKItems(pe *comm.PE, items []KV, k int, rng *xrand.RNG) []KV {
 	}
 	thr := sel.Kth(pe, ords, int64(k), rng)
 	thrCount := int64(^thr)
-	// Partition in place: strictly-above entries to the front, threshold
-	// ties right behind them — no per-query selected/tied slices.
-	nSel, nTied := 0, 0
-	for i, it := range items {
+	// Rank the threshold in the complemented-count multiset first (ords may
+	// have been reordered by Kth's window, but rank is permutation-
+	// invariant): below ⇔ Count strictly above the threshold, equal ⇔ tied.
+	// Knowing the band sizes up front turns the extraction into a single
+	// forward compress — strictly-above entries slide to the front (the
+	// write cursor never passes the read cursor), ties stage through a
+	// scratch band copied in behind them. Both branches are rare once the
+	// threshold is selective, so the pass predicts well, mirroring the
+	// compress narrowing of qsel's bucket engine.
+	nSel, nTied := qsel.Rank(ords, thr)
+	tiedTmp := comm.ScratchSlice[KV](pe, "dht.topk.tied", nTied)[:0]
+	w := 0
+	for _, it := range items {
 		if it.Count > thrCount {
-			items[i] = items[nSel+nTied]
-			if nTied > 0 {
-				items[nSel+nTied] = items[nSel]
-			}
-			items[nSel] = it
-			nSel++
+			items[w] = it
+			w++
 		} else if it.Count == thrCount {
-			items[i] = items[nSel+nTied]
-			items[nSel+nTied] = it
-			nTied++
+			tiedTmp = append(tiedTmp, it)
 		}
 	}
+	copy(items[nSel:], tiedTmp)
 	tied := items[nSel : nSel+nTied]
 	nAbove := coll.SumAll(pe, int64(nSel))
 	needTies := int64(k) - nAbove

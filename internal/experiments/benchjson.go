@@ -186,6 +186,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 				c.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp))
 		}
 	}
+	out = append(out, KernelSuite(progress)...)
 	out = append(out, ScalingSuite(ScalingPList(1<<17), ScalingMemBudgetBytes, false, progress)...)
 	return out
 }

@@ -1,0 +1,488 @@
+package qsel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"unsafe"
+)
+
+// diffCase runs the three-way differential: bucket-routed Select, scalar
+// Floyd–Rivest, and a sorted reference must agree on the rank-k value, the
+// partition invariant, and multiset preservation.
+func diffCase[K selKey](t *testing.T, label string, orig []K, k int) {
+	t.Helper()
+	n := len(orig)
+	sorted := slices.Clone(orig)
+	slices.Sort(sorted)
+
+	s := slices.Clone(orig)
+	got := Select(s, k)
+	sc := slices.Clone(orig)
+	gotScalar := SelectScalar(sc, k)
+	dst := make([]K, n)
+	gotInto := SelectInto(dst, orig, k)
+
+	if got != sorted[k] || gotScalar != sorted[k] || gotInto != sorted[k] {
+		t.Fatalf("%s n=%d k=%d: Select=%v SelectScalar=%v SelectInto=%v, want %v",
+			label, n, k, got, gotScalar, gotInto, sorted[k])
+	}
+	if s[k] != got {
+		t.Fatalf("%s n=%d k=%d: s[k] not in place", label, n, k)
+	}
+	for i := 0; i < k; i++ {
+		if s[i] > got {
+			t.Fatalf("%s n=%d k=%d: s[%d]=%v > s[k]=%v", label, n, k, i, s[i], got)
+		}
+	}
+	for i := k + 1; i < n; i++ {
+		if s[i] < got {
+			t.Fatalf("%s n=%d k=%d: s[%d]=%v < s[k]=%v", label, n, k, i, s[i], got)
+		}
+	}
+	resorted := slices.Clone(s)
+	slices.Sort(resorted)
+	if !slices.Equal(resorted, sorted) {
+		t.Fatalf("%s n=%d k=%d: multiset changed", label, n, k)
+	}
+}
+
+// diffCaseReadOnly additionally pins that SelectInto never writes src.
+func diffCaseReadOnly[K selKey](t *testing.T, label string, orig []K, k int) {
+	t.Helper()
+	snapshot := slices.Clone(orig)
+	diffCase(t, label, orig, k)
+	if !slices.Equal(orig, snapshot) {
+		t.Fatalf("%s n=%d k=%d: SelectInto modified src", label, len(orig), k)
+	}
+}
+
+// selKey is the test-local constraint: ordered and comparable (all Select key
+// types used in the repo).
+type selKey interface {
+	~int | ~int32 | ~int64 | ~uint | ~uint32 | ~uint64 | ~float32 | ~float64 | ~uint16
+}
+
+func runDiff[K selKey](t *testing.T, typeName string, gens []struct {
+	name string
+	gen  func(r *rand.Rand, n int) []K
+}) {
+	r := rand.New(rand.NewSource(11))
+	sizes := []int{1, 3, 257, BucketMinN - 1, BucketMinN, BucketMinN + 777, 3 * BucketMinN}
+	for _, g := range gens {
+		t.Run(typeName+"/"+g.name, func(t *testing.T) {
+			for _, n := range sizes {
+				orig := g.gen(r, n)
+				ks := []int{0, n / 4, n / 2, n - 1}
+				for _, k := range ks {
+					diffCaseReadOnly(t, typeName+"/"+g.name, orig, k)
+				}
+			}
+		})
+	}
+}
+
+func TestBucketSelectDifferentialUints(t *testing.T) {
+	runDiff(t, "uint64", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []uint64
+	}{
+		{"random", func(r *rand.Rand, n int) []uint64 {
+			s := make([]uint64, n)
+			for i := range s {
+				s[i] = r.Uint64()
+			}
+			return s
+		}},
+		{"dupheavy", func(r *rand.Rand, n int) []uint64 {
+			s := make([]uint64, n)
+			for i := range s {
+				s[i] = uint64(r.Intn(1 + n/64))
+			}
+			return s
+		}},
+		{"lowbyteonly", func(r *rand.Rand, n int) []uint64 {
+			// Constant high 7 bytes: the or/and fold must skip straight to
+			// the only varying byte instead of 7 dead counting passes.
+			s := make([]uint64, n)
+			for i := range s {
+				s[i] = 0xABCD_0000_0000_0000 | uint64(r.Intn(256))
+			}
+			return s
+		}},
+		{"sawtooth", func(r *rand.Rand, n int) []uint64 {
+			s := make([]uint64, n)
+			for i := range s {
+				s[i] = uint64(i % 509)
+			}
+			return s
+		}},
+		{"sorted", func(r *rand.Rand, n int) []uint64 {
+			s := make([]uint64, n)
+			for i := range s {
+				s[i] = uint64(i) * 7
+			}
+			return s
+		}},
+	})
+	runDiff(t, "uint32", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []uint32
+	}{
+		{"random", func(r *rand.Rand, n int) []uint32 {
+			s := make([]uint32, n)
+			for i := range s {
+				s[i] = r.Uint32()
+			}
+			return s
+		}},
+		{"dupheavy", func(r *rand.Rand, n int) []uint32 {
+			s := make([]uint32, n)
+			for i := range s {
+				s[i] = uint32(r.Intn(1 + n/64))
+			}
+			return s
+		}},
+	})
+	runDiff(t, "uint", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []uint
+	}{
+		{"random", func(r *rand.Rand, n int) []uint {
+			s := make([]uint, n)
+			for i := range s {
+				s[i] = uint(r.Uint64())
+			}
+			return s
+		}},
+	})
+}
+
+func TestBucketSelectDifferentialInts(t *testing.T) {
+	runDiff(t, "int64", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []int64
+	}{
+		{"random", func(r *rand.Rand, n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = int64(r.Uint64()) // full range, both signs
+			}
+			return s
+		}},
+		{"signstraddle", func(r *rand.Rand, n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = int64(r.Intn(2*n+1) - n)
+			}
+			return s
+		}},
+		{"extremes", func(r *rand.Rand, n int) []int64 {
+			s := make([]int64, n)
+			vals := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}
+			for i := range s {
+				s[i] = vals[r.Intn(len(vals))]
+			}
+			return s
+		}},
+	})
+	runDiff(t, "int32", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []int32
+	}{
+		{"signstraddle", func(r *rand.Rand, n int) []int32 {
+			s := make([]int32, n)
+			for i := range s {
+				s[i] = int32(r.Intn(2*n+1) - n)
+			}
+			return s
+		}},
+	})
+	runDiff(t, "int", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []int
+	}{
+		{"signstraddle", func(r *rand.Rand, n int) []int {
+			s := make([]int, n)
+			for i := range s {
+				s[i] = r.Intn(2*n+1) - n
+			}
+			return s
+		}},
+	})
+}
+
+func TestBucketSelectDifferentialFloats(t *testing.T) {
+	runDiff(t, "float64", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []float64
+	}{
+		{"random", func(r *rand.Rand, n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = (r.Float64() - 0.5) * 1e12
+			}
+			return s
+		}},
+		{"specials", func(r *rand.Rand, n int) []float64 {
+			// ±0, ±Inf, denormals and sign-straddling magnitudes: the
+			// monotone bit flip must order all of them like <.
+			vals := []float64{
+				math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64,
+				math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 2.5,
+				math.MaxFloat64, math.Inf(1),
+			}
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = vals[r.Intn(len(vals))]
+			}
+			return s
+		}},
+	})
+	runDiff(t, "float32", []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []float32
+	}{
+		{"specials", func(r *rand.Rand, n int) []float32 {
+			vals := []float32{
+				float32(math.Inf(-1)), -math.MaxFloat32, -3,
+				float32(math.Copysign(0, -1)), 0, 3, math.MaxFloat32,
+				float32(math.Inf(1)),
+			}
+			s := make([]float32, n)
+			for i := range s {
+				s[i] = vals[r.Intn(len(vals))]
+			}
+			return s
+		}},
+	})
+}
+
+// TestBucketSelectNegZeroBitsPreserved pins that the float transform is a
+// bijection: the -0.0 population (invisible to ==) survives round-trip.
+func TestBucketSelectNegZeroBitsPreserved(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := BucketMinN + 100
+	s := make([]float64, n)
+	negZeros := 0
+	for i := range s {
+		switch r.Intn(3) {
+		case 0:
+			s[i] = math.Copysign(0, -1)
+			negZeros++
+		case 1:
+			s[i] = 0
+		default:
+			s[i] = r.NormFloat64()
+		}
+	}
+	Select(s, n/2)
+	after := 0
+	for _, v := range s {
+		if v == 0 && math.Signbit(v) {
+			after++
+		}
+	}
+	if after != negZeros {
+		t.Fatalf("-0.0 count changed: %d -> %d", negZeros, after)
+	}
+}
+
+// TestBucketSelectUnsupportedTypeFallsBack pins that key types outside the
+// transform table still work (scalar path) at bucket-eligible sizes.
+func TestBucketSelectUnsupportedTypeFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := BucketMinN + 13
+	before := BucketSelects()
+	s := make([]uint16, n)
+	for i := range s {
+		s[i] = uint16(r.Intn(1 << 16))
+	}
+	sorted := slices.Clone(s)
+	slices.Sort(sorted)
+	if got := Select(s, n/3); got != sorted[n/3] {
+		t.Fatalf("uint16 fallback: got %d want %d", got, sorted[n/3])
+	}
+	if BucketSelects() != before {
+		t.Fatalf("uint16 took the bucket path; transform table has no entry for it")
+	}
+}
+
+// TestBucketPathTaken is the CI guard: above the crossover, supported key
+// types must actually be served by the bucket engine (counter-based, not
+// timing-based), and below it they must not be.
+func TestBucketPathTaken(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	mk := func(n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = r.Uint64()
+		}
+		return s
+	}
+	before := BucketSelects()
+	Select(mk(BucketMinN), BucketMinN/2)
+	if got := BucketSelects(); got != before+1 {
+		t.Fatalf("bucket path not taken at n=BucketMinN: counter %d -> %d", before, got)
+	}
+	before = BucketSelects()
+	Select(mk(BucketMinN-1), (BucketMinN-1)/2)
+	if got := BucketSelects(); got != before {
+		t.Fatalf("bucket path taken below crossover: counter %d -> %d", before, got)
+	}
+	// Select's in-place engine is bounded above: past BucketMaxInPlaceN it
+	// must fall back to Floyd–Rivest …
+	before = BucketSelects()
+	Select(mk(BucketMaxInPlaceN+1), BucketMaxInPlaceN/2)
+	if got := BucketSelects(); got != before {
+		t.Fatalf("in-place bucket path taken above BucketMaxInPlaceN: counter %d -> %d", before, got)
+	}
+	// … while SelectInto's compress engine keeps going at any size.
+	before = BucketSelects()
+	big := mk(4 * BucketMaxInPlaceN)
+	SelectInto(make([]uint64, len(big)), big, len(big)/2)
+	if got := BucketSelects(); got != before+1 {
+		t.Fatalf("compress path not taken at n=%d: counter %d -> %d", len(big), before, got)
+	}
+	// Every supported key type takes a bucket path at eligible sizes.
+	before = BucketSelects()
+	Select(make([]int64, BucketMinN), 0)
+	Select(make([]int32, BucketMinN), 0)
+	Select(make([]int, BucketMinN), 0)
+	Select(make([]uint32, BucketMinN), 0)
+	Select(make([]uint, BucketMinN), 0)
+	Select(make([]float64, BucketMinN), 0)
+	Select(make([]float32, BucketMinN), 0)
+	dst8 := make([]uint64, BucketMinN)
+	SelectInto(unsafeCast[int64](dst8), make([]int64, BucketMinN), 0)
+	SelectInto(unsafeCast[float64](dst8), make([]float64, BucketMinN), 0)
+	if got := BucketSelects(); got != before+9 {
+		t.Fatalf("expected 9 bucket-path selects, counter %d -> %d", before, got)
+	}
+}
+
+// unsafeCast reinterprets a uint64 scratch slice as a same-width key slice
+// (test helper for exercising SelectInto workspaces across types).
+func unsafeCast[K int64 | float64](s []uint64) []K {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*K)(unsafe.Pointer(&s[0])), len(s))
+}
+
+func TestBucketSelectZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 4 * BucketMinN
+	u := make([]uint64, n)
+	f := make([]float64, n)
+	i64 := make([]int64, n)
+	refill := func() {
+		for i := range u {
+			u[i] = r.Uint64()
+			f[i] = r.NormFloat64()
+			i64[i] = int64(r.Uint64())
+		}
+	}
+	refill()
+	if allocs := testing.AllocsPerRun(10, func() {
+		Select(u, n/2)
+		Select(f, n/2)
+		Select(i64, n/2)
+	}); allocs != 0 {
+		t.Errorf("bucket Select allocates %.1f per run, want 0", allocs)
+	}
+	dst := make([]uint64, n)
+	if allocs := testing.AllocsPerRun(10, func() {
+		SelectInto(dst, u, n/2)
+	}); allocs != 0 {
+		t.Errorf("SelectInto allocates %.1f per run, want 0", allocs)
+	}
+	// Narrow-range input large enough for the 2^16-bucket level: its
+	// histogram is pooled (too large for a stack frame), so the steady
+	// state must stay allocation-free too.
+	nw := 1 << 17
+	saw := make([]uint64, nw)
+	for i := range saw {
+		saw[i] = uint64(i % 1024)
+	}
+	dstW := make([]uint64, nw)
+	SelectInto(dstW, saw, nw/2) // warm the histogram pool
+	if allocs := testing.AllocsPerRun(10, func() {
+		SelectInto(dstW, saw, nw/2)
+	}); allocs != 0 {
+		t.Errorf("SelectInto (16-bit level) allocates %.1f per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		Rank(u, u[0])
+	}); allocs != 0 {
+		t.Errorf("Rank allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestRank(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(500)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(r.Intn(64))
+		}
+		v := uint64(r.Intn(64))
+		below, equal := Rank(s, v)
+		wb, we := 0, 0
+		for _, e := range s {
+			if e < v {
+				wb++
+			} else if e == v {
+				we++
+			}
+		}
+		if below != wb || equal != we {
+			t.Fatalf("trial %d: Rank=(%d,%d), want (%d,%d)", trial, below, equal, wb, we)
+		}
+	}
+}
+
+func TestSelectInto(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	src := make([]uint64, 5000)
+	for i := range src {
+		src[i] = r.Uint64()
+	}
+	orig := slices.Clone(src)
+	sorted := slices.Clone(src)
+	slices.Sort(sorted)
+	dst := make([]uint64, len(src)+7)
+	got := SelectInto(dst, src, 1234)
+	if got != sorted[1234] {
+		t.Fatalf("SelectInto: got %d want %d", got, sorted[1234])
+	}
+	if !slices.Equal(src, orig) {
+		t.Fatal("SelectInto modified src")
+	}
+}
+
+func BenchmarkBucketVsScalar(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		orig := make([]uint64, n)
+		for i := range orig {
+			orig[i] = r.Uint64()
+		}
+		work := make([]uint64, n)
+		b.Run(fmt.Sprintf("Bucket/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, orig)
+				Select(work, n/2)
+			}
+		})
+		b.Run(fmt.Sprintf("Scalar/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, orig)
+				SelectScalar(work, n/2)
+			}
+		})
+	}
+}

@@ -24,12 +24,75 @@ import (
 // (0-based) and returns it: afterwards every element of s[:k] is ≤ s[k]
 // and every element of s[k+1:] is ≥ s[k]. Expected O(len(s)) time, zero
 // allocations. Panics if k is out of range.
+//
+// Cache-resident slices ([BucketMinN, BucketMaxInPlaceN] elements) of a
+// fixed-width numeric key type are served by the in-place bucket engine
+// (bucket.go); everything else uses scalar Floyd–Rivest. Both paths produce
+// the same partition contract. Callers that only need the rank-k value —
+// no partition side effect — should use SelectInto, whose compress engine
+// has no upper crossover and wins at memory scale.
 func Select[K cmp.Ordered](s []K, k int) K {
+	if k < 0 || k >= len(s) {
+		panic(fmt.Sprintf("qsel: rank %d out of range [0, %d)", k, len(s)))
+	}
+	if len(s) >= BucketMinN && len(s) <= BucketMaxInPlaceN && bucketSelect(s, k) {
+		return s[k]
+	}
+	sel(s, 0, len(s)-1, k)
+	return s[k]
+}
+
+// SelectScalar is Select pinned to the scalar Floyd–Rivest path regardless
+// of size or key type — the pre-bucket kernel, kept callable for the
+// differential tests and the -exp kernels before/after benchmark family.
+func SelectScalar[K cmp.Ordered](s []K, k int) K {
 	if k < 0 || k >= len(s) {
 		panic(fmt.Sprintf("qsel: rank %d out of range [0, %d)", k, len(s)))
 	}
 	sel(s, 0, len(s)-1, k)
 	return s[k]
+}
+
+// SelectInto returns the element of rank k (0-based) of src without
+// modifying src, using dst (len(dst) ≥ len(src)) as workspace; dst's
+// contents are unspecified on return. This is the value-only kernel: every
+// pivot-extraction and residual-solve site in the distributed pipelines
+// needs just the order statistic, not Select's partition side effect, and
+// dropping that obligation lets the large-n path narrow by compressing the
+// rank-k radix bucket (branch-predictable, no swap traffic) instead of
+// partitioning — see bucket.go. Small or unsupported-key inputs fall back
+// to copy + scalar Floyd–Rivest inside dst. Zero allocations either way.
+func SelectInto[K cmp.Ordered](dst, src []K, k int) K {
+	if k < 0 || k >= len(src) {
+		panic(fmt.Sprintf("qsel: rank %d out of range [0, %d)", k, len(src)))
+	}
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("qsel: SelectInto dst len %d < src len %d", len(dst), len(src)))
+	}
+	if len(src) >= BucketMinN {
+		if v, ok := bucketSelectInto(dst, src, k); ok {
+			return v
+		}
+	}
+	d := dst[:len(src)]
+	copy(d, src)
+	sel(d, 0, len(d)-1, k)
+	return d[k]
+}
+
+// Rank counts the elements of s strictly below v and equal to v in one
+// pass — the local rank split every threshold-partition consumer (SmallestK,
+// the dht top-k extraction) needs after a distributed selection. Zero
+// allocations.
+func Rank[K cmp.Ordered](s []K, v K) (below, equal int) {
+	for _, e := range s {
+		if e < v {
+			below++
+		} else if e == v {
+			equal++
+		}
+	}
+	return below, equal
 }
 
 // sel narrows [left, right] (inclusive) until s[k] is in final position.

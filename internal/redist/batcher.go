@@ -103,33 +103,36 @@ func BuildPlanBatcher(pe *comm.PE, localCount int64) Plan {
 		From   int32
 		Lo, Hi int64
 	}
+	overlap := func(aLo, aHi, bLo, bHi int64) int64 {
+		return min(aHi, bHi) - max(aLo, bLo)
+	}
+	boundDest := func(b bound) int { return int(b.Dest) }
 	var outbound []bound
 	for r := r0; r < rEnd; r++ { // my s-run boundaries → candidate receivers
 		outbound = append(outbound, bound{Dest: int32(r), From: int32(rank), Lo: sPrev, Hi: sCur})
 	}
-	dBounds := coll.RouteCombine(pe, outbound, func(b bound) int { return int(b.Dest) }, nil)
-	// dBounds currently holds *received s-run* boundaries (receiver role).
-	sIn := dBounds
+	// The routed boundary batches are consumed in place via the stepper
+	// form's borrowed view — each bound folds into the plan during the out
+	// call, so the blocking router's caller-owned clone would be waste.
+	comm.RunSteps(pe, coll.RouteCombineStep(pe, outbound, boundDest, nil, func(sIn []bound) {
+		for _, b := range sIn { // receiver role: pair my d-run with received s-runs
+			if c := overlap(b.Lo, b.Hi, dPrev, dCur); c > 0 {
+				plan.Recvs = append(plan.Recvs, Transfer{Peer: int(b.From), Count: c})
+			}
+		}
+	}))
 
 	outbound = nil
 	for j := j0; j < jEnd; j++ { // my d-run boundaries → candidate senders
 		outbound = append(outbound, bound{Dest: int32(j), From: int32(rank), Lo: dPrev, Hi: dCur})
 	}
-	dIn := coll.RouteCombine(pe, outbound, func(b bound) int { return int(b.Dest) }, nil)
-
-	overlap := func(aLo, aHi, bLo, bHi int64) int64 {
-		return min(aHi, bHi) - max(aLo, bLo)
-	}
-	for _, b := range dIn { // sender role: pair my s-run with received d-runs
-		if c := overlap(sPrev, sCur, b.Lo, b.Hi); c > 0 {
-			plan.Sends = append(plan.Sends, Transfer{Peer: int(b.From), Count: c})
+	comm.RunSteps(pe, coll.RouteCombineStep(pe, outbound, boundDest, nil, func(dIn []bound) {
+		for _, b := range dIn { // sender role: pair my s-run with received d-runs
+			if c := overlap(sPrev, sCur, b.Lo, b.Hi); c > 0 {
+				plan.Sends = append(plan.Sends, Transfer{Peer: int(b.From), Count: c})
+			}
 		}
-	}
-	for _, b := range sIn { // receiver role: pair my d-run with received s-runs
-		if c := overlap(b.Lo, b.Hi, dPrev, dCur); c > 0 {
-			plan.Recvs = append(plan.Recvs, Transfer{Peer: int(b.From), Count: c})
-		}
-	}
+	}))
 	sort.Slice(plan.Sends, func(i, j int) bool { return plan.Sends[i].Peer < plan.Sends[j].Peer })
 	sort.Slice(plan.Recvs, func(i, j int) bool { return plan.Recvs[i].Peer < plan.Recvs[j].Peer })
 

@@ -166,8 +166,13 @@ func (s *kthStep[K]) consumeGather(parts [][]K) {
 				delta := int64(math.Ceil(math.Pow(float64(m), 0.5+0.1)))
 				iLo := int(clamp(r-delta, 0, m-1))
 				iHi := int(clamp(r+delta, 0, m-1))
-				vLo := qsel.Select(all, iLo)
-				vHi := qsel.Select(all[iLo:], iHi-iLo)
+				// Value-only order statistics: SelectInto leaves the
+				// concatenated sample untouched, so the two ranks are
+				// extracted independently (no reliance on Select's
+				// partition side effect) through the bucket kernel.
+				ws := comm.ScratchSlice[K](pe, "sel.pivots.ws", total)
+				vLo := qsel.SelectInto(ws, all, iLo)
+				vHi := qsel.SelectInto(ws, all, iHi)
 				pivots = append(pivots, vLo, vHi)
 			}
 		}
@@ -187,7 +192,8 @@ func (s *kthStep[K]) consumeGather(parts [][]K) {
 		if s.kRem < 1 || s.kRem > int64(len(all)) {
 			panic(fmt.Sprintf("sel: internal rank %d out of residual range %d", s.kRem, len(all)))
 		}
-		s.kthVal = qsel.Select(all, int(s.kRem-1))
+		ws := comm.ScratchSlice[K](pe, "sel.gather.ws", total)
+		s.kthVal = qsel.SelectInto(ws, all, int(s.kRem-1))
 	}
 }
 

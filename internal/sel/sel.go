@@ -143,7 +143,10 @@ func gatherSolve[K cmp.Ordered](pe *comm.PE, s []K, k int64) K {
 		if k < 1 || k > int64(len(all)) {
 			panic(fmt.Sprintf("sel: internal rank %d out of residual range %d", k, len(all)))
 		}
-		kth = qsel.Select(all, int(k-1))
+		// Value-only: the residual answer needs no partition side effect,
+		// so route through the compress kernel with a scratch workspace.
+		ws := comm.ScratchSlice[K](pe, "sel.gather.ws", total)
+		kth = qsel.SelectInto(ws, all, int(k-1))
 	}
 	return coll.BroadcastScalar(pe, 0, kth)
 }
@@ -163,15 +166,8 @@ func SmallestK[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) [
 		return slices.Clone(local)
 	}
 	v := Kth(pe, local, k, rng)
-	var below, equal int64
-	for _, e := range local {
-		switch {
-		case e < v:
-			below++
-		case e == v:
-			equal++
-		}
-	}
+	belowI, equalI := qsel.Rank(local, v)
+	below, equal := int64(belowI), int64(equalI)
 	globBelow := coll.SumAll(pe, below)
 	needEqual := k - globBelow // how many copies of v belong to the result
 	prevEqual := coll.ExScanSum(pe, equal)

@@ -7,6 +7,14 @@
 //
 // Keys must be unique (the paper assumes a unique total order, obtained by
 // tie-breaking if necessary); inserting a duplicate key is rejected.
+//
+// The structural operations (split, merge, delete, in-order walk) are
+// iterative and allocation-free: merge stitches top-down through a hook
+// pointer, the splits precompute the boundary rank with one search walk
+// and then fix every size on the way down, and Ascend drives an explicit
+// stack in a fixed array. The bulk-parallel priority queue calls these on
+// every DeleteMin, so recursion frames and closure allocations on this
+// path were pure overhead.
 package treap
 
 import (
@@ -27,10 +35,6 @@ func size[K cmp.Ordered](n *node[K]) int {
 		return 0
 	}
 	return n.size
-}
-
-func (n *node[K]) update() {
-	n.size = 1 + size(n.left) + size(n.right)
 }
 
 // Tree is a treap over unique keys. The zero value is not usable; create
@@ -59,22 +63,59 @@ func (t *Tree[K]) Len() int { return size(t.root) }
 
 // split splits n into (< key) and (>= key).
 func split[K cmp.Ordered](n *node[K], key K) (lt, ge *node[K]) {
-	if n == nil {
-		return nil, nil
+	return splitBound(n, key, false)
+}
+
+// splitLE splits n into (<= key) and (> key).
+func splitLE[K cmp.Ordered](n *node[K], key K) (le, gt *node[K]) {
+	return splitBound(n, key, true)
+}
+
+// splitBound splits n at key into (a, b) where a holds the keys < key
+// (incl=false) or ≤ key (incl=true) and b the rest. Iterative two-pass:
+// the first walk counts how many keys fall on the a side (the boundary
+// rank c); the second walk detaches nodes onto the two output spines via
+// hook pointers, using c to write each node's final subtree size on the
+// way down — a node kept on the a side retains exactly the c a-side keys
+// of its old subtree, and descending right discards its left subtree and
+// itself from that count, while a node on the b side loses exactly the c
+// a-side keys below it. No recursion, no allocation, sizes exact without
+// an unwind.
+func splitBound[K cmp.Ordered](n *node[K], key K, incl bool) (a, b *node[K]) {
+	c := 0
+	for m := n; m != nil; {
+		if m.key < key || (incl && m.key == key) {
+			c += size(m.left) + 1
+			m = m.right
+		} else {
+			m = m.left
+		}
 	}
-	if n.key < key {
-		l, r := split(n.right, key)
-		n.right = l
-		n.update()
-		return n, r
+	ahook, bhook := &a, &b
+	for n != nil {
+		if n.key < key || (incl && n.key == key) {
+			n.size = c
+			c -= size(n.left) + 1
+			*ahook = n
+			ahook = &n.right
+			n = n.right
+		} else {
+			n.size -= c
+			*bhook = n
+			bhook = &n.left
+			n = n.left
+		}
 	}
-	l, r := split(n.left, key)
-	n.left = r
-	n.update()
-	return l, n
+	*ahook = nil
+	*bhook = nil
+	return a, b
 }
 
 // merge concatenates two treaps assuming all keys in a < all keys in b.
+// Iterative top-down: the winner by priority is stitched onto the output
+// spine through a hook pointer and absorbs the loser's entire remaining
+// subtree into its size (everything left of the other tree ends up below
+// it), so sizes are final on the way down and no unwind pass is needed.
 func merge[K cmp.Ordered](a, b *node[K]) *node[K] {
 	if a == nil {
 		return b
@@ -82,14 +123,29 @@ func merge[K cmp.Ordered](a, b *node[K]) *node[K] {
 	if b == nil {
 		return a
 	}
-	if a.prio >= b.prio {
-		a.right = merge(a.right, b)
-		a.update()
-		return a
+	var root *node[K]
+	hook := &root
+	for {
+		if a.prio >= b.prio {
+			a.size += b.size
+			*hook = a
+			if a.right == nil {
+				a.right = b
+				return root
+			}
+			hook = &a.right
+			a = a.right
+		} else {
+			b.size += a.size
+			*hook = b
+			if b.left == nil {
+				b.left = a
+				return root
+			}
+			hook = &b.left
+			b = b.left
+		}
 	}
-	b.left = merge(a, b.left)
-	b.update()
-	return b
 }
 
 // Insert adds key to the tree. It returns false (and leaves the tree
@@ -116,30 +172,32 @@ func (t *Tree[K]) Insert(key K) bool {
 }
 
 // Delete removes key from the tree, reporting whether it was present.
+// Presence is checked first (one O(log n) read-only walk), after which the
+// deleting walk can decrement every size on the way down unconditionally
+// and splice the node out through a hook pointer — no recursion, no
+// closure, no unwind.
 func (t *Tree[K]) Delete(key K) bool {
-	var deleted bool
-	var del func(n *node[K]) *node[K]
-	del = func(n *node[K]) *node[K] {
-		if n == nil {
-			return nil
-		}
+	if !t.Contains(key) {
+		return false
+	}
+	hook := &t.root
+	for {
+		n := *hook
 		switch {
 		case key < n.key:
-			n.left = del(n.left)
+			n.size--
+			hook = &n.left
 		case key > n.key:
-			n.right = del(n.right)
+			n.size--
+			hook = &n.right
 		default:
-			deleted = true
-			return merge(n.left, n.right)
+			*hook = merge(n.left, n.right)
+			if t.extOK && (key == t.minK || key == t.maxK) {
+				t.extOK = false // extreme removed; recompute lazily
+			}
+			return true
 		}
-		n.update()
-		return n
 	}
-	t.root = del(t.root)
-	if deleted && t.extOK && (key == t.minK || key == t.maxK) {
-		t.extOK = false // extreme removed; recompute lazily
-	}
-	return deleted
 }
 
 // Contains reports whether key is present.
@@ -238,45 +296,10 @@ func (t *Tree[K]) Rank(key K) int {
 // SplitByKey removes and returns a new tree holding all keys ≤ key; the
 // receiver keeps the keys > key. This is the paper's T.split(x).
 func (t *Tree[K]) SplitByKey(key K) *Tree[K] {
-	// split() separates on <, so split at the successor boundary: keys
-	// ≤ key means keys < key plus key itself.
-	le, gt := split(t.root, key)
-	// le holds keys < key; check whether gt's minimum equals key.
-	if gt != nil {
-		mn := gt
-		for mn.left != nil {
-			mn = mn.left
-		}
-		if mn.key == key {
-			// Move the single node with the boundary key over to le.
-			var lt2, ge2 *node[K]
-			// split gt into (< succ) and rest by splitting on key then
-			// extracting its min: simplest is to delete and re-insert.
-			lt2, ge2 = splitLE(gt, key)
-			le = merge(le, lt2)
-			gt = ge2
-		}
-	}
+	le, gt := splitLE(t.root, key)
 	t.root = gt
 	t.extOK = false
 	return &Tree[K]{root: le, rng: xrand.New(int64(t.rng.Uint64()))}
-}
-
-// splitLE splits n into (<= key) and (> key).
-func splitLE[K cmp.Ordered](n *node[K], key K) (le, gt *node[K]) {
-	if n == nil {
-		return nil, nil
-	}
-	if n.key <= key {
-		l, r := splitLE(n.right, key)
-		n.right = l
-		n.update()
-		return n, r
-	}
-	l, r := splitLE(n.left, key)
-	n.left = r
-	n.update()
-	return l, n
 }
 
 // SplitByRank removes and returns a new tree holding the i smallest keys;
@@ -290,24 +313,29 @@ func (t *Tree[K]) SplitByRank(i int) *Tree[K] {
 		t.root = nil
 		return out
 	}
-	var splitN func(n *node[K], i int) (*node[K], *node[K])
-	splitN = func(n *node[K], i int) (*node[K], *node[K]) {
-		if n == nil {
-			return nil, nil
-		}
+	// Iterative rank split: i threads down as "how many keys of the
+	// current subtree go to the low side", so each node's final size is
+	// known on the way down — a node sent high loses exactly i keys, a
+	// node sent low keeps exactly i (its left subtree, itself, and the
+	// i-ls-1 smallest of its right subtree).
+	var l, r *node[K]
+	lhook, rhook := &l, &r
+	for n := t.root; n != nil; {
 		if ls := size(n.left); i <= ls {
-			l, r := splitN(n.left, i)
-			n.left = r
-			n.update()
-			return l, n
+			n.size -= i
+			*rhook = n
+			rhook = &n.left
+			n = n.left
 		} else {
-			l, r := splitN(n.right, i-ls-1)
-			n.right = l
-			n.update()
-			return n, r
+			n.size = i
+			i -= ls + 1
+			*lhook = n
+			lhook = &n.right
+			n = n.right
 		}
 	}
-	l, r := splitN(t.root, i)
+	*lhook = nil
+	*rhook = nil
 	t.root = r
 	t.extOK = false
 	return &Tree[K]{root: l, rng: xrand.New(int64(t.rng.Uint64()))}
@@ -331,15 +359,26 @@ func (t *Tree[K]) Concat(other *Tree[K]) {
 }
 
 // Ascend calls fn on every key in ascending order until fn returns false.
+// Iterative in-order walk over an explicit stack; the fixed array covers
+// any depth a randomized treap reaches in practice (expected depth is
+// ~2.9 log₂ n, so 96 frames handle astronomically large trees), and the
+// append fallback keeps deeper trees correct rather than crashing.
 func (t *Tree[K]) Ascend(fn func(key K) bool) {
-	var walk func(n *node[K]) bool
-	walk = func(n *node[K]) bool {
-		if n == nil {
-			return true
+	var arr [96]*node[K]
+	stack := arr[:0]
+	n := t.root
+	for n != nil || len(stack) > 0 {
+		for n != nil {
+			stack = append(stack, n)
+			n = n.left
 		}
-		return walk(n.left) && fn(n.key) && walk(n.right)
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(n.key) {
+			return
+		}
+		n = n.right
 	}
-	walk(t.root)
 }
 
 // Keys returns all keys in ascending order (for tests and extraction).

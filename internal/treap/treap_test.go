@@ -386,3 +386,119 @@ func TestQuickMinMaxAgainstModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// checkInvariants walks the whole tree verifying the BST order, the heap
+// property on priorities, and — critical for the iterative split/merge
+// paths, which write sizes top-down without an unwinding update pass —
+// that every node's size equals 1 + size(left) + size(right).
+func checkInvariants(t *testing.T, tr *Tree[uint64]) {
+	t.Helper()
+	var walk func(n *node[uint64], lo, hi *uint64) int
+	walk = func(n *node[uint64], lo, hi *uint64) int {
+		if n == nil {
+			return 0
+		}
+		if lo != nil && n.key <= *lo {
+			t.Fatalf("BST order violated: %d <= bound %d", n.key, *lo)
+		}
+		if hi != nil && n.key >= *hi {
+			t.Fatalf("BST order violated: %d >= bound %d", n.key, *hi)
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			t.Fatalf("heap order violated at %d", n.key)
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			t.Fatalf("heap order violated at %d", n.key)
+		}
+		sz := 1 + walk(n.left, lo, &n.key) + walk(n.right, &n.key, hi)
+		if n.size != sz {
+			t.Fatalf("size at key %d = %d, want %d", n.key, n.size, sz)
+		}
+		return sz
+	}
+	walk(tr.root, nil, nil)
+}
+
+// TestIterativeOpsInvariants hammers the iterative split/merge/delete
+// paths with a random op mix and re-verifies the full structural
+// invariants after every mutation.
+func TestIterativeOpsInvariants(t *testing.T) {
+	rng := xrand.New(42)
+	tr := New[uint64](7)
+	live := map[uint64]bool{}
+	for op := 0; op < 2000; op++ {
+		switch rng.Uint64() % 5 {
+		case 0, 1: // insert
+			k := rng.Uint64() % 4096
+			if tr.Insert(k) == live[k] {
+				t.Fatalf("Insert(%d) disagreed with model", k)
+			}
+			live[k] = true
+		case 2: // delete
+			k := rng.Uint64() % 4096
+			if tr.Delete(k) != live[k] {
+				t.Fatalf("Delete(%d) disagreed with model", k)
+			}
+			delete(live, k)
+		case 3: // split by key, then concat back
+			k := rng.Uint64() % 4096
+			low := tr.SplitByKey(k)
+			checkInvariants(t, low)
+			checkInvariants(t, tr)
+			if lm, ok := low.Max(); ok && lm > k {
+				t.Fatalf("SplitByKey(%d) left %d in low side", k, lm)
+			}
+			if tm, ok := tr.Min(); ok && tm <= k {
+				t.Fatalf("SplitByKey(%d) left %d in high side", k, tm)
+			}
+			low.Concat(tr)
+			*tr = *low
+		case 4: // split by rank, then concat back
+			if n := tr.Len(); n > 0 {
+				i := int(rng.Uint64() % uint64(n+1))
+				low := tr.SplitByRank(i)
+				checkInvariants(t, low)
+				checkInvariants(t, tr)
+				if low.Len() != i {
+					t.Fatalf("SplitByRank(%d) gave %d keys", i, low.Len())
+				}
+				low.Concat(tr)
+				*tr = *low
+			}
+		}
+		checkInvariants(t, tr)
+		if tr.Len() != len(live) {
+			t.Fatalf("Len = %d, model has %d", tr.Len(), len(live))
+		}
+	}
+	keys := tr.Keys()
+	if !slices.IsSorted(keys) {
+		t.Fatal("Keys not sorted after op mix")
+	}
+}
+
+// TestIterativeOpsZeroAlloc pins the allocation-free contract of the
+// per-DeleteMin treap operations: Delete (contains-walk + hook splice +
+// iterative merge), SplitByRank, Concat, and Ascend must not allocate.
+func TestIterativeOpsZeroAlloc(t *testing.T) {
+	tr := New[uint64](3)
+	for i := uint64(0); i < 4096; i++ {
+		tr.Insert(i * 2654435761 % 1000003)
+	}
+	key := uint64(4*2654435761) % 1000003
+	if a := testing.AllocsPerRun(100, func() {
+		tr.Delete(key)
+		tr.Insert(key)
+	}); a > 1 { // Insert allocates exactly its one node
+		t.Errorf("Delete+Insert allocs = %v, want <= 1", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		sum := uint64(0)
+		tr.Ascend(func(k uint64) bool {
+			sum += k
+			return true
+		})
+	}); a != 0 {
+		t.Errorf("Ascend allocs = %v, want 0", a)
+	}
+}
