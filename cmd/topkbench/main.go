@@ -19,6 +19,11 @@
 // family: the selection engines swept over n = 2^10…2^24 and five input
 // distributions, plus the dht.Table probe loop and the treap structural
 // ops; with `-quick` it is the CI smoke tier (one run per op, n ≤ 2^18).
+// `-exp serve` (also not part of `all`) runs the multi-tenant serving
+// axis: open-loop QPS and p50/p95/p99 completion latency of the
+// internal/serve front end at a calibrated offered rate, comparing
+// sequential vs interleaved inflight and sharded vs global scheduler
+// ready queues; `-quick` is the CI smoke tier (fewer queries).
 // `-cpuprofile f` / `-memprofile f` write pprof profiles of any run.
 //
 // Benchmark pipeline mode (see EXPERIMENTS.md § Benchmark pipeline):
@@ -45,8 +50,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, all)")
-	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op")
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, serve, all)")
+	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op; with -exp serve a reduced query count")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
@@ -187,6 +192,13 @@ func main() {
 		// (no machine, no meters). -quick is the CI smoke tier: one run per
 		// op and n capped at 2^18.
 		tables = append(tables, experiments.KernelsTables(*quick)...)
+	}
+	if *exp == "serve" {
+		// Not part of -exp all: wall-clock serving measurements (open-loop
+		// QPS / tail latency of internal/serve) are load-sensitive and take
+		// tens of seconds. -quick is the CI smoke tier: fewer queries, same
+		// calibrated offered rate.
+		tables = append(tables, experiments.ServingTable(*quick))
 	}
 
 	if len(tables) == 0 {

@@ -217,6 +217,40 @@ func asyncPairs() []asyncPair {
 			},
 		},
 		{
+			name: "Reduce",
+			block: func(pe *comm.PE, out *any) {
+				x := []int64{int64(pe.Rank()) + 5, int64(pe.Rank() * 3), 11}
+				*out = Reduce(pe, 1%pe.P(), x, sum)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				x := []int64{int64(pe.Rank()) + 5, int64(pe.Rank() * 3), 11}
+				return ReduceStep(pe, 1%pe.P(), nil, x, sum, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
+			name: "Scatterv",
+			block: func(pe *comm.PE, out *any) {
+				var parts [][]int64
+				if pe.Rank() == 0 {
+					parts = make([][]int64, pe.P())
+					for i := range parts {
+						parts[i] = []int64{int64(i * 13), int64(i)}
+					}
+				}
+				*out = slices.Clone(Scatterv(pe, 0, parts))
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				var parts [][]int64
+				if pe.Rank() == 0 {
+					parts = make([][]int64, pe.P())
+					for i := range parts {
+						parts[i] = []int64{int64(i * 13), int64(i)}
+					}
+				}
+				return ScattervStep(pe, 0, parts, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
 			name: "BroadcastScalar",
 			block: func(pe *comm.PE, out *any) {
 				*out = BroadcastScalar(pe, 0, int64(pe.Rank())+41)

@@ -176,61 +176,13 @@ func Reduce[T any](pe *comm.PE, root int, x []T, op func(a, b T) T) []T {
 // ReduceInto is Reduce writing the root's result into dst (grown as
 // needed; pass nil to allocate). dst must not overlap x. Only the root's
 // dst is used; other PEs may pass nil and receive nil. With a reused dst
-// the steady-state allocation count is zero on every PE.
+// the steady-state allocation count is zero on every PE. The schedule is
+// the binomial-tree engine of async_reduce.go driven to completion with
+// blocking waits — one implementation for both execution modes.
 func ReduceInto[T any](pe *comm.PE, root int, dst, x []T, op func(a, b T) T) []T {
-	p := pe.P()
-	if p == 1 {
-		dst = commbuf.Resize(dst[:0], len(x))
-		copy(dst, x)
-		return dst
-	}
-	pool := commbuf.For[T]()
-	tag := pe.NextCollTag()
-	vr := (pe.Rank() - root + p) % p
-	// accPtr is the pooled accumulator, nil until the first child
-	// contribution arrives (leaves never need one).
-	var accPtr *[]T
-	mask := 1
-	for mask < p {
-		if vr&mask != 0 {
-			parent := ((vr &^ mask) + root) % p
-			if accPtr != nil {
-				// Hand the accumulator itself to the parent; it recycles it.
-				pe.Send(parent, tag, accPtr, sliceWords(*accPtr))
-			} else {
-				sendCopy(pe, pool, parent, tag, x)
-			}
-			return nil
-		}
-		child := vr | mask
-		if child < p {
-			rx := recvOwned[T](pe, (child+root)%p, tag)
-			if accPtr == nil {
-				// First contribution: fold x into the received buffer and
-				// adopt it as the accumulator — zero copies, zero allocs.
-				if len(*rx) != len(x) {
-					panic(fmt.Sprintf("coll: reduction vector length mismatch: %d vs %d", len(x), len(*rx)))
-				}
-				for i, v := range x {
-					(*rx)[i] = op(v, (*rx)[i])
-				}
-				accPtr = rx
-			} else {
-				combine(op, *accPtr, *rx)
-				pool.Put(rx)
-			}
-		}
-		mask <<= 1
-	}
-	// Only vr == 0 (the root) exits the loop.
-	dst = commbuf.Resize(dst[:0], len(x))
-	if accPtr != nil {
-		copy(dst, *accPtr)
-		pool.Put(accPtr)
-	} else {
-		copy(dst, x)
-	}
-	return dst
+	var result []T
+	comm.RunSteps(pe, ReduceStep(pe, root, dst, x, op, func(r []T) { result = r }))
+	return result
 }
 
 // AllReduce combines x elementwise with op and returns the result on all
@@ -454,67 +406,12 @@ func Gatherv[T any](pe *comm.PE, root int, data []T) [][]T {
 
 // Scatterv distributes parts[i] from root to PE i along a binomial tree and
 // returns the local part on every PE. parts is only read on root. The
-// returned slice aliases the root's parts[i] (not a copy).
+// returned slice aliases the root's parts[i] (not a copy). The schedule
+// is the binomial-tree engine of async_reduce.go driven to completion
+// with blocking waits — one implementation for both execution modes.
 func Scatterv[T any](pe *comm.PE, root int, parts [][]T) []T {
-	p := pe.P()
-	if p == 1 {
-		return parts[0]
-	}
-	if pe.Rank() == root && len(parts) != p {
-		panic(fmt.Sprintf("coll: Scatterv needs %d parts, got %d", p, len(parts)))
-	}
-	tag := pe.NextCollTag()
-	vr := (pe.Rank() - root + p) % p
-
-	// mySpan is the power of two covering my subtree in vr-space.
-	mySpan := 1
-	if vr == 0 {
-		for mySpan < p {
-			mySpan <<= 1
-		}
-	} else {
-		mySpan = vr & (-vr)
-	}
-
-	var hold []rankedBlock[T]
-	if vr == 0 {
-		for i, part := range parts {
-			hold = append(hold, rankedBlock[T]{rank: (i - root + p) % p, data: part})
-		}
-	} else {
-		parent := ((vr - mySpan) + root) % p
-		rx, _ := pe.Recv(parent, tag)
-		hold = rx.([]rankedBlock[T])
-	}
 	var mine []T
-	for mask := mySpan >> 1; mask >= 1; mask >>= 1 {
-		child := vr | mask
-		if child >= p {
-			continue
-		}
-		var block []rankedBlock[T]
-		var words int64
-		for _, b := range hold {
-			if b.rank >= child && b.rank < child+mask {
-				block = append(block, b)
-				words += sliceWords(b.data)
-			}
-		}
-		pe.Send((child+root)%p, tag, block, words)
-		// Keep only what remains in my half.
-		var rest []rankedBlock[T]
-		for _, b := range hold {
-			if b.rank < child || b.rank >= child+mask {
-				rest = append(rest, b)
-			}
-		}
-		hold = rest
-	}
-	for _, b := range hold {
-		if b.rank == vr {
-			mine = b.data
-		}
-	}
+	comm.RunSteps(pe, ScattervStep(pe, root, parts, func(r []T) { mine = r }))
 	return mine
 }
 

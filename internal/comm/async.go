@@ -2,8 +2,11 @@ package comm
 
 import (
 	"fmt"
+	"reflect"
 	"runtime/debug"
 	"time"
+
+	"commtopk/internal/mailbox"
 )
 
 // Non-blocking communication: IRecv/ISend handles with Test/Wait/WaitAll,
@@ -64,6 +67,7 @@ const (
 type RecvHandle struct {
 	pe    *PE
 	src   int
+	ctx   uint32 // the PE's communication context at posting time
 	tag   Tag
 	state uint8
 	msg   message
@@ -105,22 +109,24 @@ func (h SendHandle) Wait() {
 }
 
 // IRecv posts a non-blocking receive for the next message from src with
-// the given tag and returns its handle. Posting has no effect on the
-// meter; the virtual clock and counters advance at Wait, in program
-// order, exactly as a blocking Recv would at that point. Receives from
-// one source must be waited in posting order.
+// the given tag, in the PE's current communication context, and returns
+// its handle. src may be ExternalSrc (= p) to receive injected messages
+// (Machine.Post). Posting has no effect on the meter; the virtual clock
+// and counters advance at Wait, in program order, exactly as a blocking
+// Recv would at that point. Receives from one (source, context) stream
+// must be waited in posting order.
 func (pe *PE) IRecv(src int, tag Tag) *RecvHandle {
-	if src < 0 || src >= pe.p {
+	if src < 0 || src > pe.p {
 		panic(fmt.Sprintf("comm: PE %d: recv from invalid rank %d", pe.rank, src))
 	}
 	h := pe.getHandle()
-	h.src, h.tag, h.state = src, tag, hPending
+	h.src, h.ctx, h.tag, h.state = src, pe.ctx, tag, hPending
 	pe.outAppend(h)
 	// Eager bind: if the message is already queued (and no older handle
-	// for src is pending), binding now keeps Test O(1) and Wait free of
-	// transport calls on the fast path.
-	if h.prevPendingFor(src) == nil {
-		if msg, ok := pe.takeTry(src); ok {
+	// for the stream is pending), binding now keeps Test O(1) and Wait
+	// free of transport calls on the fast path.
+	if h.prevPendingFor(src, h.ctx) == nil {
+		if msg, ok := pe.takeTry(src, h.ctx); ok {
 			pe.bindMsg(h, msg)
 		}
 	}
@@ -150,7 +156,7 @@ func (pe *PE) ISend(dst int, tag Tag, data any, words int64) SendHandle {
 	pe.clock += pe.alpha + pe.beta*float64(words)
 	pe.sentWords += words
 	pe.sends++
-	msg := message{tag: tag, words: words, depart: pe.clock, data: data}
+	msg := message{tag: tag, ctx: pe.ctx, words: words, depart: pe.clock, data: data}
 	pe.drainPendingTry()
 	if pe.pendHead == len(pe.pendQ) {
 		select {
@@ -225,8 +231,8 @@ func (h *RecvHandle) Test() bool {
 	}
 	pe := h.pe
 	for {
-		g := pe.oldestPendingFor(h.src)
-		msg, ok := pe.takeTry(h.src)
+		g := pe.oldestPendingFor(h.src, h.ctx)
+		msg, ok := pe.takeTry(h.src, h.ctx)
 		if !ok {
 			return false
 		}
@@ -286,36 +292,43 @@ func (h *RecvHandle) ensureBound() {
 	}
 }
 
-// prevPendingFor returns the closest older pending handle for src before
-// h in the outstanding list, or nil.
-func (h *RecvHandle) prevPendingFor(src int) *RecvHandle {
+// prevPendingFor returns the closest older pending handle for the
+// (src, ctx) stream before h in the outstanding list, or nil.
+func (h *RecvHandle) prevPendingFor(src int, ctx uint32) *RecvHandle {
 	for g := h.prev; g != nil; g = g.prev {
-		if g.src == src && g.state == hPending {
+		if g.src == src && g.ctx == ctx && g.state == hPending {
 			return g
 		}
 	}
 	return nil
 }
 
-// oldestPendingFor returns the oldest pending handle for src. The caller
-// guarantees one exists.
-func (pe *PE) oldestPendingFor(src int) *RecvHandle {
+// oldestPendingFor returns the oldest pending handle for the (src, ctx)
+// stream. The caller guarantees one exists.
+func (pe *PE) oldestPendingFor(src int, ctx uint32) *RecvHandle {
+	if g := pe.oldestPendingForOrNil(src, ctx); g != nil {
+		return g
+	}
+	panic(fmt.Sprintf("comm: PE %d: no pending receive from %d ctx %d", pe.rank, src, ctx))
+}
+
+func (pe *PE) oldestPendingForOrNil(src int, ctx uint32) *RecvHandle {
 	for g := pe.outHead; g != nil; g = g.next {
-		if g.src == src && g.state == hPending {
+		if g.src == src && g.ctx == ctx && g.state == hPending {
 			return g
 		}
 	}
-	panic(fmt.Sprintf("comm: PE %d: no pending receive from %d", pe.rank, src))
+	return nil
 }
 
-// fillUntil blocks taking messages from h's source, binding them to the
-// pending handles for that source in posting order, until h is bound.
+// fillUntil blocks taking messages from h's stream, binding them to the
+// pending handles for that stream in posting order, until h is bound.
 func (pe *PE) fillUntil(h *RecvHandle) {
 	for h.state != hBound {
-		g := pe.oldestPendingFor(h.src)
-		msg, ok := pe.takeTry(h.src)
+		g := pe.oldestPendingFor(h.src, h.ctx)
+		msg, ok := pe.takeTry(h.src, h.ctx)
 		if !ok {
-			msg = pe.takeBlocking(h.src)
+			msg = pe.takeBlocking(h.src, h.ctx)
 		}
 		pe.bindMsg(g, msg)
 	}
@@ -332,42 +345,103 @@ func (pe *PE) bindMsg(h *RecvHandle, msg message) {
 	h.state = hBound
 }
 
-// takeTry removes the next queued message from src without blocking.
-func (pe *PE) takeTry(src int) (message, bool) {
+// fromMsg converts a mailbox message to the metered form.
+func fromMsg(mm mailbox.Msg) message {
+	return message{tag: Tag(mm.Tag), ctx: mm.Ctx, words: mm.Words, depart: mm.Depart, data: mm.Data}
+}
+
+// recvChan returns the channel-matrix channel messages from src arrive
+// on: the matrix column for PEs, the external-injection channel for
+// ExternalSrc.
+func (pe *PE) recvChan(src int) chan message {
+	if src == pe.p {
+		return pe.m.ext[pe.rank]
+	}
+	return pe.m.chans[src][pe.rank]
+}
+
+// stashMsg parks a channel-matrix message taken off src's channel while
+// looking for a different context; takeTry for its own (src, ctx)
+// stream will find it. Stash order is arrival order, so per-stream FIFO
+// survives the detour.
+func (pe *PE) stashMsg(src int, msg message) {
+	key := mailbox.Key(src, msg.ctx)
+	if pe.stash == nil {
+		pe.stash = make(map[uint64]*msgFifo)
+	}
+	f := pe.stash[key]
+	if f == nil {
+		f = &msgFifo{}
+		pe.stash[key] = f
+	}
+	f.q = append(f.q, msg)
+}
+
+// stashTake removes the oldest stashed message for (src, ctx), if any.
+func (pe *PE) stashTake(src int, ctx uint32) (message, bool) {
+	f := pe.stash[mailbox.Key(src, ctx)]
+	if f == nil || f.head >= len(f.q) {
+		return message{}, false
+	}
+	msg := f.q[f.head]
+	f.q[f.head] = message{}
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	return msg, true
+}
+
+// takeTry removes the next queued message of the (src, ctx) stream
+// without blocking. On the channel matrix, messages of other contexts
+// encountered on the way are stashed per stream (each moved once), the
+// same amortized discipline the mailbox Box applies internally.
+func (pe *PE) takeTry(src int, ctx uint32) (message, bool) {
 	if pe.box != nil {
-		mm, ok := pe.box.TryTake(src)
+		mm, ok := pe.box.TryTakeKey(mailbox.Key(src, ctx))
 		if !ok {
 			return message{}, false
 		}
-		return message{tag: Tag(mm.Tag), words: mm.Words, depart: mm.Depart, data: mm.Data}, true
+		return fromMsg(mm), true
 	}
 	if pe.asyncBuf {
 		pe.drainPendingTry()
 	}
-	select {
-	case msg := <-pe.m.chans[src][pe.rank]:
+	if msg, ok := pe.stashTake(src, ctx); ok {
 		return msg, true
-	default:
-		return message{}, false
+	}
+	ch := pe.recvChan(src)
+	for {
+		select {
+		case msg := <-ch:
+			if msg.ctx == ctx {
+				return msg, true
+			}
+			pe.stashMsg(src, msg)
+		default:
+			return message{}, false
+		}
 	}
 }
 
-// takeBlocking blocks for the next message from src, accumulating wait
-// time; on machine abort it unwinds via panic. On the mailbox backend it
-// first hands the shard driver role off (WillPark) so queued PE bodies
-// keep starting while this one parks.
-func (pe *PE) takeBlocking(src int) message {
+// takeBlocking blocks for the next message of the (src, ctx) stream,
+// accumulating wait time; on machine abort it unwinds via panic. On the
+// mailbox backend it first hands the shard driver role off (WillPark)
+// so queued PE bodies keep starting while this one parks.
+func (pe *PE) takeBlocking(src int, ctx uint32) message {
 	if pe.box != nil {
 		pe.sched.WillPark(pe.rank)
 		t0 := time.Now()
-		mm, ok := pe.box.Take(src)
+		mm, ok := pe.box.TakeKey(mailbox.Key(src, ctx))
 		pe.waitNs += time.Since(t0).Nanoseconds()
 		if !ok {
 			panic(abortedError{})
 		}
-		return message{tag: Tag(mm.Tag), words: mm.Words, depart: mm.Depart, data: mm.Data}
+		return fromMsg(mm)
 	}
 	t0 := time.Now()
+	ch := pe.recvChan(src)
 	// A parked receiver keeps offering its pending ISend head — the
 	// progress guarantee that makes buffered posting deadlock-free: every
 	// blocked PE is still a willing sender, so channel capacity somewhere
@@ -375,7 +449,11 @@ func (pe *PE) takeBlocking(src int) message {
 	for pe.pendHead < len(pe.pendQ) {
 		ps := &pe.pendQ[pe.pendHead]
 		select {
-		case msg := <-pe.m.chans[src][pe.rank]:
+		case msg := <-ch:
+			if msg.ctx != ctx {
+				pe.stashMsg(src, msg)
+				continue
+			}
 			pe.waitNs += time.Since(t0).Nanoseconds()
 			return msg
 		case pe.m.chans[pe.rank][ps.dst] <- ps.msg:
@@ -384,12 +462,18 @@ func (pe *PE) takeBlocking(src int) message {
 			panic(abortedError{})
 		}
 	}
-	select {
-	case msg := <-pe.m.chans[src][pe.rank]:
-		pe.waitNs += time.Since(t0).Nanoseconds()
-		return msg
-	case <-pe.m.abort:
-		panic(abortedError{})
+	for {
+		select {
+		case msg := <-ch:
+			if msg.ctx != ctx {
+				pe.stashMsg(src, msg)
+				continue
+			}
+			pe.waitNs += time.Since(t0).Nanoseconds()
+			return msg
+		case <-pe.m.abort:
+			panic(abortedError{})
+		}
 	}
 }
 
@@ -441,10 +525,17 @@ func (pe *PE) outUnlink(h *RecvHandle) {
 	h.prev, h.next = nil, nil
 }
 
-// resetAsync drops any outstanding handles and the current stepper —
-// abort-path cleanup so a machine is reusable after a failed run.
+// resetAsync drops any outstanding handles, the current stepper, the
+// channel-matrix stash, and the context state — abort-path cleanup so a
+// machine is reusable after a failed run.
 func (pe *PE) resetAsync() {
 	pe.step = nil
+	pe.ctx = 0
+	for _, f := range pe.stash {
+		clear(f.q)
+		f.q = f.q[:0]
+		f.head = 0
+	}
 	for h := pe.outHead; h != nil; {
 		next := h.next
 		pe.putHandle(h)
@@ -468,6 +559,25 @@ func (pe *PE) resetAsync() {
 // O(w) mid-run residency guarantee to hold.
 type Stepper interface {
 	Step(pe *PE) *RecvHandle
+}
+
+// MultiWaiter is an optional Stepper extension for bodies multiplexing
+// several independent protocols — the serving mux, whose query slots
+// suspend on handles in different communication contexts. A plain
+// Stepper suspends on exactly the one handle Step returned; a
+// MultiWaiter body instead advertises every handle it could resume on,
+// and the scheduler arms its mailbox on all of them (ArmKeys) — resp.
+// blocks on any of them under a blocking drive — so whichever query's
+// message arrives first resumes the body. Without this, two PEs can
+// deadlock each blocked on the other query's traffic even though both
+// queries are individually deadlock-free.
+type MultiWaiter interface {
+	Stepper
+	// PendingHandles appends the pending (unbound) handles the body is
+	// currently suspended on to buf and returns it. Called only when
+	// Step has just returned a non-nil handle; that handle must be
+	// among them.
+	PendingHandles(buf []*RecvHandle) []*RecvHandle
 }
 
 // StepFunc adapts a closure (typically over its own mutable state) to
@@ -527,14 +637,95 @@ func (s *seqStep) Step(pe *PE) *RecvHandle {
 // bridge that lets one stepper implementation serve both worlds: inside
 // a blocking body (or on the channel matrix) RunSteps parks like any
 // blocking protocol; under RunAsync on the mailbox backend the scheduler
-// drives the same Step calls without ever blocking a goroutine.
+// drives the same Step calls without ever blocking a goroutine. A
+// MultiWaiter body blocks on any of its pending handles instead of the
+// one Step returned.
 func RunSteps(pe *PE, st Stepper) {
+	mw, _ := st.(MultiWaiter)
 	for {
 		h := st.Step(pe)
 		if h == nil {
 			return
 		}
+		if mw != nil {
+			pe.hBuf = mw.PendingHandles(pe.hBuf[:0])
+			if len(pe.hBuf) > 1 {
+				pe.waitAnyBound(pe.hBuf)
+				continue
+			}
+		}
 		h.ensureBound()
+	}
+}
+
+// waitAnyBound blocks until at least one of the pending handles hs is
+// bound, without folding any meter. The mailbox backend waits on the
+// handles' (src, ctx) keys directly; the channel matrix multiplexes the
+// distinct source channels through reflect.Select, stashing messages of
+// uninvolved contexts exactly like takeBlocking. hs must belong to the
+// running PE body and be pending.
+func (pe *PE) waitAnyBound(hs []*RecvHandle) {
+	// Messages may already be queued (or have raced in since Step
+	// returned): a non-blocking sweep binds them without parking.
+	for _, h := range hs {
+		if h.Test() {
+			return
+		}
+	}
+	if pe.box != nil {
+		keys := pe.keyBuf[:0]
+		for _, h := range hs {
+			keys = append(keys, mailbox.Key(h.src, h.ctx))
+		}
+		pe.keyBuf = keys
+		pe.sched.WillPark(pe.rank)
+		t0 := time.Now()
+		mm, ok := pe.box.WaitAnyKeys(keys)
+		pe.waitNs += time.Since(t0).Nanoseconds()
+		if !ok {
+			panic(abortedError{})
+		}
+		pe.bindMsg(pe.oldestPendingFor(mm.Src, mm.Ctx), fromMsg(mm))
+		return
+	}
+	// Channel matrix: select over the distinct source channels plus the
+	// abort. Allocation per park is acceptable — the matrix is the
+	// small-p differential reference, never the serving engine.
+	t0 := time.Now()
+	srcs := make([]int, 0, len(hs))
+	cases := make([]reflect.SelectCase, 1, len(hs)+1)
+	cases[0] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(pe.m.abort)}
+	for _, h := range hs {
+		seen := false
+		for _, s := range srcs {
+			if s == h.src {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			srcs = append(srcs, h.src)
+			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(pe.recvChan(h.src))})
+		}
+	}
+	for {
+		chosen, v, _ := reflect.Select(cases)
+		if chosen == 0 {
+			panic(abortedError{})
+		}
+		src := srcs[chosen-1]
+		msg := v.Interface().(message)
+		if g := pe.oldestPendingForOrNil(src, msg.ctx); g != nil {
+			pe.bindMsg(g, msg)
+			for _, h := range hs {
+				if h.state == hBound {
+					pe.waitNs += time.Since(t0).Nanoseconds()
+					return
+				}
+			}
+			continue
+		}
+		pe.stashMsg(src, msg)
 	}
 }
 
@@ -601,7 +792,22 @@ func (m *Machine) execAsyncRank(rank int) (done bool) {
 			return true
 		}
 		if h.state != hBound {
-			if pe.box.Arm(h.src) {
+			var armed bool
+			if mw, ok := pe.step.(MultiWaiter); ok {
+				// Multi-query bodies resume when ANY pending receive can
+				// bind, not just the one Step happened to return — arming
+				// on a single key would strand progress on the others.
+				pe.hBuf = mw.PendingHandles(pe.hBuf[:0])
+				keys := pe.keyBuf[:0]
+				for _, g := range pe.hBuf {
+					keys = append(keys, mailbox.Key(g.src, g.ctx))
+				}
+				pe.keyBuf = keys
+				armed = pe.box.ArmKeys(keys)
+			} else {
+				armed = pe.box.ArmKey(mailbox.Key(h.src, h.ctx))
+			}
+			if armed {
 				// Suspended: the body exists only as data (pe.step plus the
 				// armed box) until the message arrives. No goroutine parks.
 				return false

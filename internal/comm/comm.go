@@ -115,6 +115,15 @@ type Config struct {
 	// and metering are independent of w (pinned by the differential
 	// tests); w only trades host parallelism against resident memory.
 	Workers int
+	// GlobalReadyQueue (mailbox only) selects the scheduler's single
+	// global ready queue instead of the default per-shard ready queues —
+	// the contention A/B reference for the serving benchmark: under
+	// concurrent-query resume storms every notify callback of the
+	// machine funnels through the ready-queue mutex, and the per-shard
+	// split spreads that over w mutexes with work stealing. Results and
+	// metering are identical either way (only host-side contention
+	// changes); the serving suite measures both.
+	GlobalReadyQueue bool
 	// AsyncSendBuffer (channel matrix only) makes ISend truly
 	// non-blocking: a send that finds its channel full is buffered in a
 	// per-PE pending FIFO instead of blocking, and drains at the next
@@ -187,10 +196,11 @@ func QueueBytes(cfg Config) int64 {
 		if chanCap <= 0 {
 			chanCap = 64
 		}
-		// hchan header (~96 B) + ring buffer of message structs.
+		// hchan header (~96 B) + ring buffer of message structs; the +1
+		// row is the per-destination external-injection channels.
 		const hchanBytes = 96
 		msgBytes := int64(unsafe.Sizeof(message{}))
-		return p * p * (hchanBytes + chanCap*msgBytes)
+		return (p*p + p) * (hchanBytes + chanCap*msgBytes)
 	}
 }
 
@@ -216,6 +226,7 @@ func MachineBytes(cfg Config) int64 {
 
 type message struct {
 	tag    Tag
+	ctx    uint32 // communication context (0: default); matched with tag at receive
 	words  int64
 	depart float64 // sender's virtual clock after the send completed
 	data   any
@@ -233,7 +244,20 @@ type Machine struct {
 	cfg   Config
 	chans [][]chan message // channel-matrix backend: chans[src][dst]
 	boxes []*mailbox.Box   // mailbox backend: boxes[dst]
-	pes   []*PE
+	// ext carries externally injected messages (Machine.Post — the
+	// serving front end's doorbells) on the channel matrix, one channel
+	// per destination; the mailbox backend injects straight into the
+	// destination box under the ExternalSrc rank.
+	ext []chan message
+	pes []*PE
+
+	// Pooled communication-context allocator (NewContext/ReleaseContext):
+	// ids are never 0 (the default context) and are recycled so long
+	// serving runs keep the per-PE per-context state bounded by the
+	// front end's inflight limit rather than by query count.
+	ctxMu   sync.Mutex
+	ctxFree []Ctx
+	ctxNext uint32
 
 	// Mailbox-backend run machinery: the sharded scheduler (w shards
 	// multiplexing the p PE bodies; goroutines spawn lazily and at most w
@@ -285,9 +309,13 @@ func NewMachine(cfg Config) *Machine {
 				m.chans[i][j] = make(chan message, cfg.ChanCap)
 			}
 		}
+		m.ext = make([]chan message, cfg.P)
+		for i := range m.ext {
+			m.ext[i] = make(chan message, cfg.ChanCap)
+		}
 	}
 	if cfg.Backend == BackendMailbox {
-		m.sched = mailbox.NewSched(cfg.P, SchedWorkers(cfg))
+		m.sched = mailbox.NewSchedReady(cfg.P, SchedWorkers(cfg), !cfg.GlobalReadyQueue)
 	}
 	for i := 0; i < cfg.P; i++ {
 		pe := &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
@@ -438,6 +466,11 @@ func (m *Machine) finishRun() error {
 				}
 			}
 		}
+		for _, ch := range m.ext {
+			for len(ch) > 0 {
+				<-ch
+			}
+		}
 		for _, pe := range m.pes {
 			pe.resetAsync()
 		}
@@ -486,6 +519,74 @@ func (m *Machine) foldStats(pe *PE) {
 		m.agg.MaxClock = pe.clock
 	}
 	m.aggMu.Unlock()
+}
+
+// Ctx is a communication context — the MPI-communicator-style tag that
+// isolates concurrent operations sharing one machine. Every message
+// carries its sender's current context, and receives match on
+// (source, context) before the tag discipline applies, so collectives
+// and selection steppers of different queries interleave on one
+// scheduler without ever seeing each other's traffic. Context 0 is the
+// default every PE starts in; nonzero contexts are leased from the
+// machine's pooled allocator (NewContext/ReleaseContext).
+type Ctx uint32
+
+// NewContext leases a communication context from the machine's pool.
+// Safe from any goroutine. Contexts are recycled by ReleaseContext;
+// a context must not be released while any operation tagged with it is
+// still in flight on any PE (the serving layer releases only after all
+// p per-PE steppers of the context's operation have completed).
+func (m *Machine) NewContext() Ctx {
+	m.ctxMu.Lock()
+	defer m.ctxMu.Unlock()
+	if n := len(m.ctxFree); n > 0 {
+		c := m.ctxFree[n-1]
+		m.ctxFree = m.ctxFree[:n-1]
+		return c
+	}
+	m.ctxNext++
+	return Ctx(m.ctxNext)
+}
+
+// ReleaseContext returns a leased context to the pool. Safe from any
+// goroutine. Reuse is safe because operations run SPMD over all PEs:
+// every PE has retired the context's traffic (messages and collective
+// tag state) before the next lease can reach it.
+func (m *Machine) ReleaseContext(c Ctx) {
+	if c == 0 {
+		panic("comm: cannot release the default context")
+	}
+	m.ctxMu.Lock()
+	m.ctxFree = append(m.ctxFree, c)
+	m.ctxMu.Unlock()
+}
+
+// ExternalSrc is the reserved source rank of externally injected
+// messages (Machine.Post): one past the last PE, so it can never
+// collide with PE traffic.
+func (m *Machine) ExternalSrc() int { return m.cfg.P }
+
+// Post injects a message from outside the machine — the serving front
+// end's doorbell: an admission goroutine that is not a PE hands work to
+// the PEs mid-run. The message arrives at dst under (ExternalSrc, ctx)
+// and is received like any other (IRecv(ExternalSrc, tag) with the PE's
+// context set to ctx). It carries no sender-side meter (no PE paid a
+// send); the receiver's Wait folds the usual α + βm receive cost with a
+// zero depart stamp, so consuming a doorbell costs one startup of
+// modeled time. Safe from any goroutine; never blocks on the mailbox
+// backend (channel-matrix injection queues block when full, watching
+// the abort).
+func (m *Machine) Post(dst int, ctx Ctx, tag Tag, data any, words int64) {
+	if m.boxes != nil {
+		m.boxes[dst].Put(mailbox.Msg{
+			Src: m.cfg.P, Ctx: uint32(ctx), Tag: uint64(tag), Words: words, Data: data,
+		})
+		return
+	}
+	select {
+	case m.ext[dst] <- message{tag: tag, ctx: uint32(ctx), words: words, data: data}:
+	case <-m.abort:
+	}
 }
 
 // MustRun is Run but panics on error. Intended for examples and benches.
@@ -591,7 +692,28 @@ type PE struct {
 	foldedSentWords int64
 	foldedSends     int64
 
-	collSeq uint64
+	// ctx is the PE's current communication context: attached to every
+	// send and matched by every receive posted while set. The serving
+	// mux switches it per query slot (SetCtx); everything else runs in
+	// the default context 0. collSeq is context 0's collective tag
+	// sequence (the hot path); nonzero contexts draw from collSeqCtx,
+	// one independent sequence per context so concurrently interleaved
+	// queries each keep the SPMD tag discipline internally.
+	ctx        uint32
+	collSeq    uint64
+	collSeqCtx map[uint32]uint64
+
+	// Channel-matrix per-PE stash: messages taken off a source channel
+	// while looking for a different context, parked per (src, ctx) key
+	// until their own receive comes looking. The mailbox backend demuxes
+	// inside the Box instead.
+	stash map[uint64]*msgFifo
+
+	// keyBuf/hBuf are reusable buffers for multi-handle suspension
+	// (MultiWaiter bodies): the pending handles of the current body and
+	// their (src, ctx) arm keys.
+	keyBuf []uint64
+	hBuf   []*RecvHandle
 
 	// Non-blocking receive state: the outstanding posted handles (FIFO,
 	// doubly linked), the handle freelist (so Recv = IRecv+Wait allocates
@@ -611,28 +733,49 @@ type PE struct {
 	pendTotal uint64
 	pendDone  uint64
 
-	scratch map[string]any
+	scratch map[scratchKey]any
 	// pools holds the per-PE typed freelists of pooled stepper state
 	// (see steppool.go). Like scratch, it is only touched by the
-	// goroutine currently running this PE's body.
+	// goroutine currently running this PE's body. Pools need no context
+	// namespacing: concurrent queries pop distinct objects off the same
+	// freelist, and released objects carry no query state.
 	pools map[reflect.Type]any
 }
 
-// Scratch returns the value stored under key in this PE's scratch store,
-// or nil. The store holds goroutine-local reusable state (typically
-// buffers, see ScratchSlice) that survives across collective calls and
-// Runs; it needs no synchronization because a PE handle is only valid
-// inside its own goroutine.
-func (pe *PE) Scratch(key string) any {
-	return pe.scratch[key]
+// scratchKey namespaces the scratch store by the PE's communication
+// context, so concurrently interleaved queries reusing the same named
+// buffers (sel.KthStep's partition scratch, the collectives' hold
+// buffers) never alias each other. Call sites keep their plain string
+// keys; the context is attached here.
+type scratchKey struct {
+	ctx uint32
+	key string
 }
 
-// SetScratch stores v under key in this PE's scratch store.
+// msgFifo is one (src, ctx) key's stashed-message queue on the channel
+// matrix (see PE.stash).
+type msgFifo struct {
+	q    []message
+	head int
+}
+
+// Scratch returns the value stored under key in this PE's scratch store
+// (scoped to the PE's current communication context), or nil. The store
+// holds goroutine-local reusable state (typically buffers, see
+// ScratchSlice) that survives across collective calls and Runs; it
+// needs no synchronization because a PE handle is only valid inside its
+// own goroutine.
+func (pe *PE) Scratch(key string) any {
+	return pe.scratch[scratchKey{pe.ctx, key}]
+}
+
+// SetScratch stores v under key in this PE's scratch store (scoped to
+// the PE's current communication context).
 func (pe *PE) SetScratch(key string, v any) {
 	if pe.scratch == nil {
-		pe.scratch = make(map[string]any)
+		pe.scratch = make(map[scratchKey]any)
 	}
-	pe.scratch[key] = v
+	pe.scratch[scratchKey{pe.ctx, key}] = v
 }
 
 // ScratchSlice returns a per-PE reusable buffer of length n for the given
@@ -640,9 +783,11 @@ func (pe *PE) SetScratch(key string, v any) {
 // of a different element type, or too small. Contents are unspecified.
 // Callers own the buffer until their next ScratchSlice call with the same
 // key — do not hold it across calls into code that may use the same key,
-// and never send it (ownership cannot transfer off the PE).
+// and never send it (ownership cannot transfer off the PE). Buffers are
+// scoped to the PE's current communication context, so interleaved
+// queries cannot alias each other's scratch.
 func ScratchSlice[T any](pe *PE, key string, n int) []T {
-	if v, ok := pe.scratch[key]; ok {
+	if v, ok := pe.scratch[scratchKey{pe.ctx, key}]; ok {
 		if b, ok := v.(*[]T); ok && cap(*b) >= n {
 			*b = (*b)[:n]
 			return *b
@@ -682,12 +827,38 @@ func (pe *PE) RecvWords() int64 { return pe.recvWords }
 // Sends returns the number of messages this PE has sent.
 func (pe *PE) Sends() int64 { return pe.sends }
 
+// SetCtx switches the PE's current communication context: sends attach
+// it, receives posted afterwards match on it, and the scratch store and
+// collective tag sequence are scoped to it. The serving mux switches
+// contexts between query slots; ordinary SPMD bodies stay in the
+// default context 0. The context must be identical across PEs for the
+// same logical operation (it replaces nothing of the SPMD discipline —
+// it isolates whole operations from each other).
+func (pe *PE) SetCtx(c Ctx) { pe.ctx = uint32(c) }
+
+// CurCtx returns the PE's current communication context.
+func (pe *PE) CurCtx() Ctx { return Ctx(pe.ctx) }
+
+// ExternalSrc is the reserved source rank of externally injected
+// messages (Machine.Post) — one past the last PE.
+func (pe *PE) ExternalSrc() int { return pe.p }
+
 // NextCollTag returns the next collective-operation tag. Every PE must call
-// it the same number of times in the same order (SPMD discipline); the
-// returned tags then agree across PEs without communication.
+// it the same number of times in the same order (SPMD discipline, per
+// communication context — concurrent contexts hold independent
+// sequences); the returned tags then agree across PEs without
+// communication.
 func (pe *PE) NextCollTag() Tag {
-	pe.collSeq++
-	return Tag(1<<32 | pe.collSeq)
+	if pe.ctx == 0 {
+		pe.collSeq++
+		return Tag(1<<32 | pe.collSeq)
+	}
+	if pe.collSeqCtx == nil {
+		pe.collSeqCtx = make(map[uint32]uint64)
+	}
+	s := pe.collSeqCtx[pe.ctx] + 1
+	pe.collSeqCtx[pe.ctx] = s
+	return Tag(1<<32 | s)
 }
 
 // Send transmits data (words machine words) to PE dst with the given tag.
@@ -711,11 +882,11 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 		// Mailbox backend: intake is unbounded, so sends never block and
 		// need no abort watch.
 		pe.sendBoxes[dst].Put(mailbox.Msg{
-			Src: pe.rank, Tag: uint64(tag), Words: words, Depart: pe.clock, Data: data,
+			Src: pe.rank, Ctx: pe.ctx, Tag: uint64(tag), Words: words, Depart: pe.clock, Data: data,
 		})
 		return
 	}
-	msg := message{tag: tag, words: words, depart: pe.clock, data: data}
+	msg := message{tag: tag, ctx: pe.ctx, words: words, depart: pe.clock, data: data}
 	// Fast path: the buffered channel has space, so no abort watch and no
 	// wait-time clock reads are needed.
 	select {

@@ -146,8 +146,9 @@ func benchSuite() []benchCase {
 }
 
 // RunBenchSuite executes the pipeline suite — the fixed benchmark set
-// followed by the large-p scaling suite — and returns its measurements.
-// progress (optional) receives one line per finished benchmark.
+// followed by the large-p scaling suite and the open-loop serving axis —
+// and returns its measurements. progress (optional) receives one line
+// per finished benchmark.
 func RunBenchSuite(progress func(string)) []BenchResult {
 	var out []BenchResult
 	for _, c := range benchSuite() {
@@ -188,6 +189,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 	}
 	out = append(out, KernelSuite(progress)...)
 	out = append(out, ScalingSuite(ScalingPList(1<<17), ScalingMemBudgetBytes, false, progress)...)
+	out = append(out, ServingSuite(false, progress)...)
 	return out
 }
 

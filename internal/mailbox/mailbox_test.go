@@ -542,7 +542,7 @@ func TestReadyQueueHandOffWhenRolelessBodyBlocks(t *testing.T) {
 func armedOn(b *Box) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.armSrc >= 0
+	return len(b.armed) > 0
 }
 
 // TestTransientExitHandsOffReadyQueue pins the off-duty check: a

@@ -76,10 +76,19 @@ type Sched struct {
 	// blocks (transient spawn on the miss) and never strands a role.
 	kick []chan struct{}
 	work chan int32
-	// The global ready queue of resumed continuation ranks: an intrusive
-	// FIFO threaded through readyNext, drained by whichever driver or
-	// idle worker sees it first. readyCh (buffered, cap w) carries
-	// coalesced wake-ups for workers parked between assignments.
+	// The ready queue of resumed continuation ranks: intrusive FIFOs
+	// threaded through readyNext, drained by whichever driver or idle
+	// worker sees it first. readyCh (buffered, cap w) carries coalesced
+	// wake-ups for workers parked between assignments. In the default
+	// sharded mode each shard owns a ready list (head/tail/mutex in the
+	// shard, shardOf maps rank → shard) so concurrent-query resume
+	// storms from many producer threads spread over w mutexes instead
+	// of serializing on one; readyCount stays global, so the duty
+	// invariant — count > 0 means a token is pending or a goroutine is
+	// on draining duty — is unchanged from the global-queue mode, which
+	// remains selectable (NewSchedReady) as the A/B reference.
+	sharded    bool
+	shardOf    []int32
 	readyMu    sync.Mutex
 	readyHead  int32
 	readyTail  int32
@@ -116,6 +125,12 @@ type shard struct {
 	mu     sync.Mutex
 	spill  []span
 	spillN atomic.Int32
+	// The shard's ready list (sharded mode): resumed ranks in [lo, hi),
+	// threaded through the scheduler's shared readyNext array. Guarded
+	// by rMu, separate from mu so resume storms never contend with
+	// spill traffic.
+	rMu          sync.Mutex
+	rHead, rTail int32
 }
 
 // span is a half-open rank interval [lo, hi) of claimed, unstarted ranks.
@@ -143,8 +158,15 @@ func (sh *shard) popSpill() (span, bool) {
 }
 
 // NewSched creates a scheduler for p ranks over w shards (clamped to
-// 1 ≤ w ≤ p). No goroutines are started until the first Run.
-func NewSched(p, w int) *Sched {
+// 1 ≤ w ≤ p) with per-shard ready queues. No goroutines are started
+// until the first Run.
+func NewSched(p, w int) *Sched { return NewSchedReady(p, w, true) }
+
+// NewSchedReady is NewSched with the ready-queue layout explicit:
+// sharded selects per-shard ready lists (the default), false the single
+// global list — kept as the contention A/B reference for the serving
+// benchmark.
+func NewSchedReady(p, w int, sharded bool) *Sched {
 	if w < 1 {
 		w = 1
 	}
@@ -155,6 +177,7 @@ func NewSched(p, w int) *Sched {
 		shards:    make([]shard, w),
 		driverOf:  make([]int32, p),
 		remHi:     make([]int32, p),
+		sharded:   sharded,
 		readyNext: make([]int32, p),
 		readyHead: -1,
 		readyTail: -1,
@@ -166,10 +189,20 @@ func NewSched(p, w int) *Sched {
 		sc.shards[i].lo = i * p / w
 		sc.shards[i].hi = (i + 1) * p / w
 		sc.shards[i].next.Store(int32(sc.shards[i].hi)) // empty until Run
+		sc.shards[i].rHead = -1
+		sc.shards[i].rTail = -1
 		sc.kick[i] = make(chan struct{}, 1)
 	}
 	for i := range sc.driverOf {
 		sc.driverOf[i] = -1
+	}
+	if sharded {
+		sc.shardOf = make([]int32, p)
+		for i := range sc.shards {
+			for r := sc.shards[i].lo; r < sc.shards[i].hi; r++ {
+				sc.shardOf[r] = int32(i)
+			}
+		}
 	}
 	return sc
 }
@@ -207,16 +240,30 @@ func (sc *Sched) Run(exec func(rank int) bool) {
 // picked up by an active driver between bodies or by an idle worker via
 // readyCh.
 func (sc *Sched) Ready(rank int) {
-	sc.readyMu.Lock()
-	sc.readyNext[rank] = -1
-	if sc.readyTail >= 0 {
-		sc.readyNext[sc.readyTail] = int32(rank)
+	if sc.sharded {
+		sh := &sc.shards[sc.shardOf[rank]]
+		sh.rMu.Lock()
+		sc.readyNext[rank] = -1
+		if sh.rTail >= 0 {
+			sc.readyNext[sh.rTail] = int32(rank)
+		} else {
+			sh.rHead = int32(rank)
+		}
+		sh.rTail = int32(rank)
+		sc.readyCount.Add(1)
+		sh.rMu.Unlock()
 	} else {
-		sc.readyHead = int32(rank)
+		sc.readyMu.Lock()
+		sc.readyNext[rank] = -1
+		if sc.readyTail >= 0 {
+			sc.readyNext[sc.readyTail] = int32(rank)
+		} else {
+			sc.readyHead = int32(rank)
+		}
+		sc.readyTail = int32(rank)
+		sc.readyCount.Add(1)
+		sc.readyMu.Unlock()
 	}
-	sc.readyTail = int32(rank)
-	sc.readyCount.Add(1)
-	sc.readyMu.Unlock()
 	select {
 	case sc.readyCh <- struct{}{}:
 	default:
@@ -226,24 +273,53 @@ func (sc *Sched) Ready(rank int) {
 }
 
 // popReady dequeues one resumed rank, or -1. The atomic count makes the
-// empty check lock-free (drivers poll it between bodies).
-func (sc *Sched) popReady() int {
+// empty check lock-free (drivers poll it between bodies). pref is the
+// calling driver's shard (-1: none): in sharded mode its own ready list
+// is tried first, then the others round-robin — work stealing, so a
+// resume never waits on the locality preference. A pop may return -1
+// while readyCount is transiently positive (a push landing behind the
+// scan); the offDuty hand-off backstop covers that window exactly as it
+// covers the equivalent global-mode race.
+func (sc *Sched) popReady(pref int32) int {
 	if sc.readyCount.Load() == 0 {
 		return -1
 	}
-	sc.readyMu.Lock()
-	r := sc.readyHead
-	if r < 0 {
+	if !sc.sharded {
+		sc.readyMu.Lock()
+		r := sc.readyHead
+		if r < 0 {
+			sc.readyMu.Unlock()
+			return -1
+		}
+		sc.readyHead = sc.readyNext[r]
+		if sc.readyHead < 0 {
+			sc.readyTail = -1
+		}
+		sc.readyCount.Add(-1)
 		sc.readyMu.Unlock()
-		return -1
+		return int(r)
 	}
-	sc.readyHead = sc.readyNext[r]
-	if sc.readyHead < 0 {
-		sc.readyTail = -1
+	w := int32(len(sc.shards))
+	if pref < 0 {
+		pref = 0
 	}
-	sc.readyCount.Add(-1)
-	sc.readyMu.Unlock()
-	return int(r)
+	for off := int32(0); off < w; off++ {
+		sh := &sc.shards[(pref+off)%w]
+		sh.rMu.Lock()
+		r := sh.rHead
+		if r < 0 {
+			sh.rMu.Unlock()
+			continue
+		}
+		sh.rHead = sc.readyNext[r]
+		if sh.rHead < 0 {
+			sh.rTail = -1
+		}
+		sc.readyCount.Add(-1)
+		sh.rMu.Unlock()
+		return int(r)
+	}
+	return -1
 }
 
 // worker is a permanent scheduler goroutine: kicked once per Run for its
@@ -275,11 +351,11 @@ func (sc *Sched) worker(kick chan struct{}, own int32) {
 	}
 }
 
-// drainReady runs resumed ranks until the ready queue is empty.
+// drainReady runs resumed ranks until every ready queue is empty.
 func (sc *Sched) drainReady() {
 	defer sc.offDuty()
 	for {
-		r := sc.popReady()
+		r := sc.popReady(-1)
 		if r < 0 {
 			return
 		}
@@ -324,7 +400,7 @@ func (sc *Sched) drive(s int32) {
 	defer sc.offDuty()
 	sh := &sc.shards[s]
 	for {
-		if r := sc.popReady(); r >= 0 {
+		if r := sc.popReady(s); r >= 0 {
 			if !sc.runOne(s, r, int32(r)+1) {
 				return
 			}
@@ -434,7 +510,7 @@ func StateBytes(p, w int) int64 {
 		w = p
 	}
 	const stackBytes = 8 << 10
-	const kickBytes = 96 + 16 // hchan + slot + slice entry
-	const perRank = 4 + 4 + 4 // driverOf + remHi + readyNext
+	const kickBytes = 96 + 16     // hchan + slot + slice entry
+	const perRank = 4 + 4 + 4 + 4 // driverOf + remHi + readyNext + shardOf
 	return int64(w)*(int64(unsafe.Sizeof(shard{}))+kickBytes+stackBytes) + int64(p)*perRank
 }

@@ -486,3 +486,48 @@ func BenchmarkBucketVsScalar(b *testing.B) {
 		})
 	}
 }
+
+// TestPeriodicitySniffRoutes pins the small-period reroute: sawtooth
+// inputs must bypass the compress engine (counter-guarded, like
+// TestBucketPathTaken) and still select correctly, while random and
+// duplicate-heavy inputs must NOT trigger the sniff — those are bucket
+// wins the heuristic is forbidden to give back.
+func TestPeriodicitySniffRoutes(t *testing.T) {
+	const n = 1 << 18
+	dst := make([]uint64, n)
+
+	saw := make([]uint64, n)
+	for i := range saw {
+		saw[i] = uint64(i % 1024)
+	}
+	before := BucketSelects()
+	if got := SelectInto(dst, saw, n/2); got != 512 {
+		t.Fatalf("sawtooth rank n/2: got %d want 512", got)
+	}
+	if BucketSelects() != before {
+		t.Fatal("sawtooth input took the bucket path despite the periodicity sniff")
+	}
+
+	r := rand.New(rand.NewSource(19))
+	rnd := make([]uint64, n)
+	for i := range rnd {
+		rnd[i] = r.Uint64()
+	}
+	before = BucketSelects()
+	SelectInto(dst, rnd, n/3)
+	if BucketSelects() != before+1 {
+		t.Fatal("sniff misfired on a random input")
+	}
+
+	// Duplicate-heavy random input: the leading pair recurs within the
+	// scan window, so the strided probes must do the rejecting.
+	dup := make([]uint64, n)
+	for i := range dup {
+		dup[i] = uint64(r.Intn(64))
+	}
+	before = BucketSelects()
+	SelectInto(dst, dup, n/2)
+	if BucketSelects() != before+1 {
+		t.Fatal("sniff misfired on a duplicate-heavy (aperiodic) input")
+	}
+}

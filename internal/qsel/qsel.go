@@ -69,7 +69,7 @@ func SelectInto[K cmp.Ordered](dst, src []K, k int) K {
 	if len(dst) < len(src) {
 		panic(fmt.Sprintf("qsel: SelectInto dst len %d < src len %d", len(dst), len(src)))
 	}
-	if len(src) >= BucketMinN {
+	if len(src) >= BucketMinN && !smallPeriod(src) {
 		if v, ok := bucketSelectInto(dst, src, k); ok {
 			return v
 		}
@@ -78,6 +78,51 @@ func SelectInto[K cmp.Ordered](dst, src []K, k int) K {
 	copy(d, src)
 	sel(d, 0, len(d)-1, k)
 	return d[k]
+}
+
+// Small-period inputs (sawtooth and friends) are the compress engine's
+// documented adversarial case: the value range is tiny, so every element
+// survives the early bucket levels and each pass re-streams nearly the
+// whole window, while scalar Floyd–Rivest's fat-pivot partition retires
+// the k-th value's whole equal run at once. sniffMaxPeriod bounds the
+// recurrence scan (and with it the sniff's cost: at most one extra pass
+// over a prefix); periods above it don't repeat values often enough to
+// hurt the bucket path.
+const (
+	sniffMaxPeriod = 4096
+	sniffProbes    = 16
+)
+
+// smallPeriod reports whether s looks periodic with a small period: the
+// leading pair recurs within min(len/4, sniffMaxPeriod) positions AND
+// sniffProbes strided probes across the whole slice agree with that
+// period. Random inputs practically never pass the pair recurrence, and
+// duplicate-heavy (random small-range) inputs that do are rejected by
+// the probes, so the bucket path keeps those wins. False positives only
+// reroute to the (always correct) scalar path.
+func smallPeriod[K cmp.Ordered](s []K) bool {
+	n := len(s)
+	limit := min(n/4, sniffMaxPeriod)
+	p := 0
+	for j := 1; j <= limit; j++ {
+		if s[j] == s[0] && s[j+1] == s[1] {
+			p = j
+			break
+		}
+	}
+	if p <= 1 {
+		// No recurrence, or a constant prefix: truly constant windows are
+		// the compress engine's best case (the prep fold's diff==0 path
+		// answers right after the transform pass), so never reroute them.
+		return false
+	}
+	for t := 1; t <= sniffProbes; t++ {
+		pos := (n - 1) * t / sniffProbes
+		if s[pos] != s[pos%p] {
+			return false
+		}
+	}
+	return true
 }
 
 // Rank counts the elements of s strictly below v and equal to v in one

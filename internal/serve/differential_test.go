@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+// queryOutcome is one query's observable: its answer and its attributed
+// meter (words + startups summed over PEs).
+type queryOutcome struct {
+	res   uint64
+	words int64
+	sends int64
+}
+
+// runServed executes the fixed query set against a fresh server on m,
+// either strictly sequentially (submit → wait → submit) or fully
+// concurrently (submit all, wait all), and returns per-query outcomes in
+// submission order.
+func runServed(t *testing.T, m *comm.Machine, shards [][]uint64, ranks []int64, cfg Config, concurrent bool) []queryOutcome {
+	t.Helper()
+	s, err := NewServer(m, shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]queryOutcome, len(ranks))
+	collect := func(i int, tk *Ticket[uint64]) {
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		w, sd := tk.Meters()
+		out[i] = queryOutcome{res: res, words: w, sends: sd}
+	}
+	if concurrent {
+		tickets := make([]*Ticket[uint64], len(ranks))
+		for i, k := range ranks {
+			tk, err := s.Kth(k)
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			tickets[i] = tk
+		}
+		for i, tk := range tickets {
+			collect(i, tk)
+		}
+	} else {
+		for i, k := range ranks {
+			tk, err := s.Kth(k)
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			collect(i, tk)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeConcurrentMatchesSequential is the serving layer's
+// differential: N tagged queries interleaved at full inflight depth must
+// be bit-identical — answers AND per-query attributed meters — to the
+// same queries run strictly one at a time, on both backends, with the
+// mailbox scheduler squeezed to w < p (the regime where suspended
+// tenants genuinely share workers). Per-query RNG streams are derived
+// from the submission index, so the pivot walks are interleaving-
+// independent by construction; this test pins that nothing else (tag
+// allocation, scratch, context demux, meter attribution) leaks between
+// tenants either.
+func TestServeConcurrentMatchesSequential(t *testing.T) {
+	const p = 8
+	shards, sorted := mkShards(p, 17)
+	ranks := []int64{1, 3, 500, 999, 42, int64(len(sorted)), 7, 7, 250, 250, 123, 1000}
+	for _, tc := range []struct {
+		name string
+		cfg  comm.Config
+	}{
+		{"mailbox-wltp", func() comm.Config { c := comm.MailboxConfig(p); c.Workers = 3; return c }()},
+		{"matrix", comm.MatrixConfig(p)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqM := comm.NewMachine(tc.cfg)
+			defer seqM.Close()
+			seq := runServed(t, seqM, shards, ranks, Config{MaxInflight: 1, BatchMax: 1, Seed: 29}, false)
+			conM := comm.NewMachine(tc.cfg)
+			defer conM.Close()
+			con := runServed(t, conM, shards, ranks, Config{MaxInflight: 6, BatchMax: 4, Seed: 29}, true)
+			for i := range ranks {
+				if want := sorted[ranks[i]-1]; seq[i].res != want {
+					t.Errorf("query %d (rank %d): sequential got %d want %d", i, ranks[i], seq[i].res, want)
+				}
+				if seq[i] != con[i] {
+					t.Errorf("query %d (rank %d): outcomes diverge\n  sequential: %+v\n  concurrent: %+v",
+						i, ranks[i], seq[i], con[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"cmp"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// op is one doorbell's payload: the batch of queries to start. A nil
+// *op (or an empty batch) is the poison pill that retires the mux.
+type op[K cmp.Ordered] struct {
+	queries []*query[K]
+}
+
+// slot is one in-flight query on one PE: its selection stepper, the
+// receive it is suspended on (nil when runnable), and the result
+// delivery closure's landing field.
+type slot[K cmp.Ordered] struct {
+	q       *query[K]
+	step    comm.Stepper
+	pending *comm.RecvHandle
+	res     K
+}
+
+// mux is the per-PE tenant multiplexer: one long-lived stepper that
+// consumes doorbells from the admission front end and interleaves every
+// active query's selection stepper on this PE, switching the PE's
+// communication context per slot so the queries' traffic (and scratch,
+// and collective tag sequences) never mix.
+//
+// Scheduling is a full sweep: every Step invocation tries the doorbell
+// and every runnable slot until nothing can progress, then suspends.
+// As a comm.MultiWaiter the mux suspends on ALL its pending receives at
+// once — the doorbell plus one per waiting slot — so a message for any
+// tenant (or a new batch) resumes the PE. A resume storm from one query
+// cannot starve another: each sweep revisits every slot, and a slot
+// only consumes worker time when one of its messages has arrived.
+type mux[K cmp.Ordered] struct {
+	srv     *Server[K]
+	shard   []K
+	db      *comm.RecvHandle // posted doorbell receive (ctx 0)
+	slots   []*slot[K]
+	closing bool
+}
+
+func newMux[K cmp.Ordered](s *Server[K], pe *comm.PE) *mux[K] {
+	return &mux[K]{srv: s, shard: s.shards[pe.Rank()]}
+}
+
+// PendingHandles implements comm.MultiWaiter: everything this PE might
+// be resumed by.
+func (x *mux[K]) PendingHandles(buf []*comm.RecvHandle) []*comm.RecvHandle {
+	if x.db != nil {
+		buf = append(buf, x.db)
+	}
+	for _, sl := range x.slots {
+		if sl.pending != nil {
+			buf = append(buf, sl.pending)
+		}
+	}
+	return buf
+}
+
+func (x *mux[K]) Step(pe *comm.PE) *comm.RecvHandle {
+	if x.db == nil && !x.closing {
+		x.db = pe.IRecv(pe.ExternalSrc(), doorbellTag)
+	}
+	for {
+		progress := false
+		if x.db != nil && x.db.Test() {
+			rx, _ := x.db.Wait()
+			x.db = nil
+			progress = true
+			if o, _ := rx.(*op[K]); o != nil && len(o.queries) > 0 {
+				for _, q := range o.queries {
+					x.addSlot(pe, q)
+				}
+				x.db = pe.IRecv(pe.ExternalSrc(), doorbellTag)
+			} else {
+				x.closing = true
+			}
+		}
+		// Sweep the slots; completed ones swap-delete out. A slot's Step
+		// runs its query as far as arrived messages allow — it returns
+		// only when suspended (or done), so each sweep gives every
+		// runnable tenant one burst.
+		for i := 0; i < len(x.slots); {
+			sl := x.slots[i]
+			if sl.pending != nil && !sl.pending.Test() {
+				i++
+				continue
+			}
+			sl.pending = nil
+			progress = true
+			if x.stepSlot(pe, sl) {
+				last := len(x.slots) - 1
+				x.slots[i] = x.slots[last]
+				x.slots[last] = nil
+				x.slots = x.slots[:last]
+				continue
+			}
+			i++
+		}
+		if !progress {
+			if x.closing && len(x.slots) == 0 {
+				return nil // retired: poison consumed, tenants drained
+			}
+			// Suspend. The returned handle is what single-waiter drivers
+			// block on; MultiWaiter-aware drivers (RunSteps, RunAsync)
+			// collect the full set via PendingHandles instead.
+			if x.db != nil {
+				return x.db
+			}
+			return x.slots[0].pending
+		}
+	}
+}
+
+// addSlot starts a dispatched query on this PE. The per-query RNG seed
+// makes the pivot walk (and so the meter) independent of interleaving.
+func (x *mux[K]) addSlot(pe *comm.PE, q *query[K]) {
+	sl := &slot[K]{q: q}
+	pe.SetCtx(q.ctx)
+	sl.step = sel.KthStep(pe, x.shard, q.k, xrand.NewPE(q.seed, pe.Rank()), func(v K) { sl.res = v })
+	pe.SetCtx(0)
+	x.slots = append(x.slots, sl)
+}
+
+// stepSlot runs one tenant burst under its context, attributing the
+// traffic it performs (sent words and message startups, exact deltas of
+// this PE's counters around the burst) to its query. Reports completion.
+func (x *mux[K]) stepSlot(pe *comm.PE, sl *slot[K]) (done bool) {
+	w0, s0 := pe.SentWords(), pe.Sends()
+	pe.SetCtx(sl.q.ctx)
+	h := sl.step.Step(pe)
+	pe.SetCtx(0)
+	if dw := pe.SentWords() - w0; dw != 0 {
+		sl.q.words.Add(dw)
+	}
+	if ds := pe.Sends() - s0; ds != 0 {
+		sl.q.sends.Add(ds)
+	}
+	if h != nil {
+		sl.pending = h
+		return false
+	}
+	// KthStep delivered on every PE; rank 0's copy is the ticket's.
+	if pe.Rank() == 0 {
+		sl.q.t.res = sl.res
+	}
+	if sl.q.peLeft.Add(-1) == 0 {
+		x.srv.finishQuery(sl.q)
+	}
+	return true
+}

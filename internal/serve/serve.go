@@ -1,0 +1,334 @@
+// Package serve is the multi-tenant query-serving front end over one
+// simulated machine: an admission queue, a batching dispatcher, and a
+// per-PE tenant multiplexer that interleaves many concurrent selection
+// queries — each under its own leased communication context — on the
+// machine's single scheduler.
+//
+// The paper's algorithms are phrased as one SPMD program at a time; a
+// serving deployment instead sees an open stream of independent top-k
+// queries against resident shards. Running them back-to-back leaves the
+// machine idle during every query's communication stalls. The pieces
+// here overlap those stalls: every query leases a comm.Ctx, so its
+// collective traffic is invisible to every other query's, and the per-PE
+// mux steps whichever query's messages have arrived (comm.MultiWaiter
+// suspension arms all pending (src, ctx) keys at once). Throughput
+// rises with inflight depth while each query's metered words/sends stay
+// bit-identical to a sequential run — pinned by the differential test.
+//
+// Lifecycle: NewServer starts the machine body (RunAsync on the mailbox
+// backend; a blocking RunSteps body on the channel matrix, which serves
+// as the small-p differential reference) and the dispatcher. Submit
+// (Kth) is non-blocking admission: a full queue returns ErrOverloaded —
+// the caller sheds load instead of queueing unboundedly. Close drains,
+// posts a poison doorbell, and waits for the muxes to retire. The
+// machine itself stays owned by the caller (Close does not close it),
+// so one machine can outlive many server generations.
+//
+// Not supported: the channel matrix with AsyncSendBuffer (buffered
+// posting parks without offering sends inside the serving mux's
+// multi-key wait, which can deadlock the reference backend; the mailbox
+// backend has no such coupling).
+package serve
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"commtopk/internal/comm"
+)
+
+var (
+	// ErrOverloaded is returned by Submit when the admission queue is
+	// full — open-loop callers drop or retry with backoff.
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrCanceled is returned by Ticket.Wait for queries canceled while
+	// still queued.
+	ErrCanceled = errors.New("serve: query canceled")
+)
+
+// doorbellTag marks doorbell messages. The (ExternalSrc, ctx 0) stream
+// carries nothing else, so any fixed tag below the collective tag space
+// (1<<32 | seq) works.
+const doorbellTag = comm.Tag(0x0d00)
+
+// Config tunes the admission front end. Zero values select defaults.
+type Config struct {
+	// QueueDepth bounds the submission queue (default 256). Admission
+	// beyond it fails fast with ErrOverloaded.
+	QueueDepth int
+	// MaxInflight bounds concurrently executing queries — the number of
+	// simultaneously leased communication contexts (default 4).
+	// MaxInflight == 1 is the sequential baseline the benchmark and the
+	// differential test compare against.
+	MaxInflight int
+	// BatchMax bounds how many queued queries one doorbell dispatches
+	// (default 8): same-shape queries coalesce into one bulk op, paying
+	// one doorbell startup per PE for the whole batch.
+	BatchMax int
+	// Seed derives per-query RNG streams (query i uses Seed+i on every
+	// PE via xrand.NewPE), making every query's pivot walk — and with it
+	// its meter — reproducible independent of interleaving.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	return c
+}
+
+// query is the shared per-query record all p mux slots work on.
+type query[K cmp.Ordered] struct {
+	k    int64
+	seed int64
+	ctx  comm.Ctx
+	t    *Ticket[K]
+	// peLeft counts PEs still running this query's stepper; the PE that
+	// takes it to zero releases the context lease and completes the
+	// ticket.
+	peLeft     atomic.Int32
+	dispatched atomic.Bool
+	words      atomic.Int64 // sent words, summed over PEs
+	sends      atomic.Int64 // messages, summed over PEs
+}
+
+// Ticket is a submitted query's handle.
+type Ticket[K cmp.Ordered] struct {
+	srv      *Server[K]
+	q        *query[K]
+	res      K
+	err      error
+	done     chan struct{}
+	canceled atomic.Bool
+}
+
+// Wait blocks until the query completes (or the machine dies) and
+// returns the element of global rank k.
+func (t *Ticket[K]) Wait() (K, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-t.srv.runDone:
+		// The machine body exited (abort or Close racing an in-flight
+		// query); prefer a completed result if both races resolved.
+		select {
+		case <-t.done:
+			return t.res, t.err
+		default:
+			var zero K
+			if err := t.srv.runErr; err != nil {
+				return zero, err
+			}
+			return zero, ErrClosed
+		}
+	}
+}
+
+// Cancel marks the query canceled. It reports true if the cancellation
+// can still take effect — i.e. the query had not been dispatched to the
+// PEs yet. A dispatched query runs to completion (its collectives are
+// SPMD across all p PEs; there is no mid-collective abort that does not
+// kill the machine) and Cancel returns false.
+func (t *Ticket[K]) Cancel() bool {
+	t.canceled.Store(true)
+	return !t.q.dispatched.Load()
+}
+
+// Meters returns the query's attributed communication: words sent and
+// messages sent, summed over all PEs, exactly the traffic its stepper
+// performed. Valid after Wait returns nil error. The virtual clock is
+// deliberately not attributed — under interleaving a PE's clock folds
+// waits of whichever query resumed it, so per-query clock is not well
+// defined; words and startups are, and they are what the differential
+// test pins against sequential execution.
+func (t *Ticket[K]) Meters() (words, sends int64) {
+	return t.q.words.Load(), t.q.sends.Load()
+}
+
+// Server owns the serving state over one machine. Create with NewServer.
+type Server[K cmp.Ordered] struct {
+	m      *comm.Machine
+	shards [][]K
+	n      int64 // total elements across shards
+	cfg    Config
+
+	mu      sync.RWMutex // guards subQ against Submit/Close races
+	subQ    chan *query[K]
+	sem     chan struct{} // MaxInflight lease tokens
+	closed  atomic.Bool
+	nextID  atomic.Int64
+	batch   []*query[K] // dispatcher's reusable coalescing buffer
+	runErr  error
+	runDone chan struct{}
+	dspDone chan struct{}
+}
+
+// NewServer starts serving queries against shards (shards[i] is PE i's
+// resident data; read-only for the server's lifetime) on m. The machine
+// must be idle; it stays busy until Close and remains owned by the
+// caller afterwards.
+func NewServer[K cmp.Ordered](m *comm.Machine, shards [][]K, cfg Config) (*Server[K], error) {
+	if len(shards) != m.P() {
+		return nil, fmt.Errorf("serve: %d shards for %d PEs", len(shards), m.P())
+	}
+	if m.Config().Backend == comm.BackendChannelMatrix && m.Config().AsyncSendBuffer {
+		return nil, errors.New("serve: channel matrix with AsyncSendBuffer is not supported")
+	}
+	s := &Server[K]{
+		m:       m,
+		shards:  shards,
+		cfg:     cfg.withDefaults(),
+		runDone: make(chan struct{}),
+		dspDone: make(chan struct{}),
+	}
+	for _, sh := range shards {
+		s.n += int64(len(sh))
+	}
+	s.subQ = make(chan *query[K], s.cfg.QueueDepth)
+	s.sem = make(chan struct{}, s.cfg.MaxInflight)
+	go func() {
+		var err error
+		if m.Config().Backend == comm.BackendMailbox {
+			err = m.RunAsync(func(pe *comm.PE) comm.Stepper { return newMux(s, pe) })
+		} else {
+			err = m.Run(func(pe *comm.PE) { comm.RunSteps(pe, newMux(s, pe)) })
+		}
+		s.runErr = err
+		close(s.runDone)
+	}()
+	go s.dispatch()
+	return s, nil
+}
+
+// Kth submits a query for the element of global rank k (1-based) among
+// the union of all shards. Non-blocking: a full admission queue returns
+// ErrOverloaded immediately.
+func (s *Server[K]) Kth(k int64) (*Ticket[K], error) {
+	if k < 1 || k > s.n {
+		return nil, fmt.Errorf("serve: rank %d out of range [1, %d]", k, s.n)
+	}
+	t := &Ticket[K]{done: make(chan struct{}), srv: s}
+	t.q = &query[K]{k: k, seed: s.cfg.Seed + s.nextID.Add(1), t: t}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	select {
+	case s.subQ <- t.q:
+		return t, nil
+	default:
+		return nil, ErrOverloaded
+	}
+}
+
+// Close stops admission, drains dispatched queries, retires the per-PE
+// muxes via a poison doorbell, and returns the machine body's error (nil
+// on a clean drain). Idempotent. The machine is NOT closed — it belongs
+// to the caller.
+func (s *Server[K]) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		s.mu.Lock()
+		close(s.subQ)
+		s.mu.Unlock()
+	}
+	<-s.dspDone
+	<-s.runDone
+	return s.runErr
+}
+
+// dispatch is the admission loop: dequeue, coalesce up to BatchMax
+// queries, lease a context per query (blocking on the MaxInflight
+// semaphore — backpressure lands in the bounded subQ, which is what
+// Submit's ErrOverloaded reports against), and ring every PE's doorbell
+// once per batch.
+func (s *Server[K]) dispatch() {
+	defer close(s.dspDone)
+	p := s.m.P()
+	for q := range s.subQ {
+		s.batch = s.batch[:0]
+		s.admit(q)
+	coalesce:
+		for len(s.batch) < s.cfg.BatchMax {
+			select {
+			case q2, ok := <-s.subQ:
+				if !ok {
+					break coalesce
+				}
+				s.admit(q2)
+			default:
+				break coalesce
+			}
+		}
+		if len(s.batch) == 0 {
+			continue
+		}
+		// Ring in sub-batches bounded by available inflight leases: a
+		// doorbell must carry only leased queries, and leases must never
+		// block behind queries this loop has not yet posted (a batch
+		// larger than MaxInflight would otherwise deadlock on its own
+		// tokens).
+		pending := s.batch
+		for len(pending) > 0 {
+			s.sem <- struct{}{}
+			k := 1
+			for k < len(pending) {
+				select {
+				case s.sem <- struct{}{}:
+					k++
+					continue
+				default:
+				}
+				break
+			}
+			for _, q := range pending[:k] {
+				q.ctx = s.m.NewContext()
+				q.peLeft.Store(int32(p))
+				q.dispatched.Store(true)
+			}
+			o := &op[K]{queries: append([]*query[K](nil), pending[:k]...)}
+			for dst := 0; dst < p; dst++ {
+				s.m.Post(dst, 0, doorbellTag, o, 1)
+			}
+			pending = pending[k:]
+		}
+	}
+	// Admission closed and every batch dispatched: poison the muxes.
+	// In-flight queries finish first — the mux only retires once its
+	// slots drain.
+	for dst := 0; dst < p; dst++ {
+		s.m.Post(dst, 0, doorbellTag, (*op[K])(nil), 1)
+	}
+}
+
+// admit moves a dequeued query into the current batch, resolving queued
+// cancellations.
+func (s *Server[K]) admit(q *query[K]) {
+	if q.t.canceled.Load() {
+		q.t.err = ErrCanceled
+		close(q.t.done)
+		return
+	}
+	s.batch = append(s.batch, q)
+}
+
+// finishQuery runs on whichever PE decrements peLeft to zero: all p
+// steppers have retired, so no traffic under the context remains and the
+// lease can recycle.
+func (s *Server[K]) finishQuery(q *query[K]) {
+	s.m.ReleaseContext(q.ctx)
+	<-s.sem
+	close(q.t.done)
+}
