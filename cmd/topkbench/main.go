@@ -19,6 +19,11 @@
 // family: the selection engines swept over n = 2^10…2^24 and five input
 // distributions, plus the dht.Table probe loop and the treap structural
 // ops; with `-quick` it is the CI smoke tier (one run per op, n ≤ 2^18).
+// `-exp bpq` (also not part of `all`) runs the bulk-priority-queue
+// churn family: ascending InsertBulk + global DeleteMin batches swept
+// over p and per-PE batch size b, continuation-scheduled with blocking
+// A/B twins, plus the treap insert/delete arena gate; `-quick` is the
+// CI smoke tier (p = 256 only, one run per op, no twins).
 // `-exp serve` (also not part of `all`) runs the multi-tenant serving
 // axis: open-loop QPS and p50/p95/p99 completion latency of the
 // internal/serve front end at a calibrated offered rate, comparing
@@ -50,8 +55,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, serve, all)")
-	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op; with -exp serve a reduced query count")
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, bpq, serve, all)")
+	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op; with -exp bpq p=256 only, one run per op, no twins; with -exp serve a reduced query count")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
 	k := flag.Int("k", 32, "output size k")
@@ -192,6 +197,12 @@ func main() {
 		// (no machine, no meters). -quick is the CI smoke tier: one run per
 		// op and n capped at 2^18.
 		tables = append(tables, experiments.KernelsTables(*quick)...)
+	}
+	if *exp == "bpq" {
+		// Not part of -exp all: the churn family builds machines up to
+		// p = 16384. -quick is the CI smoke tier: p = 256, one run per op,
+		// no blocking A/B twins.
+		tables = append(tables, experiments.BpqTable(*quick))
 	}
 	if *exp == "serve" {
 		// Not part of -exp all: wall-clock serving measurements (open-loop

@@ -1,0 +1,231 @@
+package bpq
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+// churnResult is everything one schedule produces on one machine: the
+// per-round, per-rank batches plus the realized sizes and final state.
+type churnResult struct {
+	batches [][][]uint64 // [round][rank]
+	ns      [][]int64    // [round][rank] realized size as reported
+	lens    []int64      // GlobalLen after each round
+	stats   comm.Stats
+}
+
+// runChurn executes the same insert/delete schedule on a fresh set of
+// queue handles over m, using either the blocking forms (async=false) or
+// the stepper forms under RunAsync (async=true). Inserts are local and
+// happen in a plain blocking run either way — the A/B difference is only
+// in how the collective deletes execute.
+func runChurn(m *comm.Machine, p int, async bool) churnResult {
+	const perPE = 64
+	qs := make([]*Queue[uint64], p)
+	m.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		qs[r] = New[uint64](pe, 4242)
+		keys := make([]uint64, perPE)
+		for i := range keys {
+			keys[i] = uint64(i*p + r)
+		}
+		qs[r].InsertBulk(keys)
+	})
+	var res churnResult
+	next := perPE // next fresh key block, shared by all rounds
+	// Rounds: exact batch, flexible batch, exact again after refill, and
+	// a final drain (k far above the remaining total).
+	type round struct {
+		kmin, kmax int64
+		flex       bool
+		refill     int
+	}
+	rounds := []round{
+		{kmin: int64(p * perPE / 4), kmax: int64(p * perPE / 4)},
+		{kmin: int64(p * 4), kmax: int64(p * 16), flex: true, refill: 16},
+		{kmin: 3, kmax: 3, refill: 8},
+		{kmin: int64(10 * p * perPE), kmax: int64(10 * p * perPE)},
+	}
+	for _, rd := range rounds {
+		if rd.refill > 0 {
+			m.MustRun(func(pe *comm.PE) {
+				r := pe.Rank()
+				keys := make([]uint64, rd.refill)
+				for i := range keys {
+					keys[i] = uint64((next+i)*p + r)
+				}
+				qs[r].InsertBulk(keys)
+			})
+			next += rd.refill
+		}
+		batches := make([][]uint64, p)
+		ns := make([]int64, p)
+		if async {
+			m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+				r := pe.Rank()
+				out := func(batch []uint64, _ uint64, n int64) {
+					batches[r], ns[r] = batch, n
+				}
+				if rd.flex {
+					return qs[r].DeleteMinFlexibleStep(rd.kmin, rd.kmax, out)
+				}
+				return qs[r].DeleteMinStep(rd.kmin, out)
+			})
+		} else {
+			m.MustRun(func(pe *comm.PE) {
+				r := pe.Rank()
+				if rd.flex {
+					batches[r], ns[r] = qs[r].DeleteMinFlexible(rd.kmin, rd.kmax)
+				} else {
+					batches[r] = qs[r].DeleteMin(rd.kmin)
+				}
+			})
+			if !rd.flex {
+				// Blocking DeleteMin doesn't report the realized size; it is
+				// the global batch size (k, or the whole queue on a drain).
+				var tot int64
+				for r := 0; r < p; r++ {
+					tot += int64(len(batches[r]))
+				}
+				for r := 0; r < p; r++ {
+					ns[r] = tot
+				}
+			}
+		}
+		lens := make([]int64, p)
+		m.MustRun(func(pe *comm.PE) {
+			lens[pe.Rank()] = qs[pe.Rank()].GlobalLen()
+		})
+		res.batches = append(res.batches, batches)
+		res.ns = append(res.ns, ns)
+		res.lens = append(res.lens, lens[0])
+	}
+	res.stats = m.Stats()
+	return res
+}
+
+// The stepper-form queue ops must be bit-identical to the blocking forms
+// — batches, realized sizes, and metered statistics — whether driven by
+// RunAsync on the mailbox scheduler (including w < p) or by the channel
+// matrix's blocking drive.
+func TestDeleteMinStepMatchesBlockingAcrossBackends(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			mc := comm.NewMachine(comm.MatrixConfig(p))
+			ref := runChurn(mc, p, false)
+			for _, w := range []int{0, 1, 4} {
+				cfg := comm.MailboxConfig(p)
+				cfg.Workers = w
+				m := comm.NewMachine(cfg)
+				got := runChurn(m, p, true)
+				for rd := range ref.batches {
+					for r := 0; r < p; r++ {
+						if !slices.Equal(got.batches[rd][r], ref.batches[rd][r]) {
+							t.Errorf("w=%d round %d rank %d: stepper batch %v vs blocking %v",
+								w, rd, r, got.batches[rd][r], ref.batches[rd][r])
+						}
+						if got.ns[rd][r] != ref.ns[rd][r] {
+							t.Errorf("w=%d round %d rank %d: realized n %d vs %d",
+								w, rd, r, got.ns[rd][r], ref.ns[rd][r])
+						}
+					}
+					if got.lens[rd] != ref.lens[rd] {
+						t.Errorf("w=%d round %d: GlobalLen %d vs %d", w, rd, got.lens[rd], ref.lens[rd])
+					}
+				}
+				if got.stats != ref.stats {
+					t.Errorf("w=%d: stats diverge:\n  blocking matrix: %+v\n  stepper mailbox: %+v",
+						w, ref.stats, got.stats)
+				}
+				m.Close()
+			}
+		})
+	}
+}
+
+// DeleteMinStep reports the agreed threshold: every returned key is ≤ it
+// and the batch sizes sum to the reported n on every PE.
+func TestDeleteMinStepThresholdContract(t *testing.T) {
+	const p, perPE = 8, 32
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	qs := make([]*Queue[uint64], p)
+	m.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		qs[r] = New[uint64](pe, 7)
+		keys := make([]uint64, perPE)
+		for i := range keys {
+			keys[i] = uint64(i*p + r)
+		}
+		qs[r].InsertBulk(keys)
+	})
+	k := int64(p * perPE / 3)
+	batches := make([][]uint64, p)
+	vs := make([]uint64, p)
+	ns := make([]int64, p)
+	m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		r := pe.Rank()
+		return qs[r].DeleteMinStep(k, func(batch []uint64, v uint64, n int64) {
+			batches[r], vs[r], ns[r] = batch, v, n
+		})
+	})
+	var got int64
+	for r := 0; r < p; r++ {
+		if vs[r] != vs[0] || ns[r] != k {
+			t.Fatalf("rank %d: (threshold, n) = (%d, %d), want (%d, %d)", r, vs[r], ns[r], vs[0], k)
+		}
+		for _, key := range batches[r] {
+			if key > vs[r] {
+				t.Fatalf("rank %d: batch key %d above threshold %d", r, key, vs[r])
+			}
+		}
+		got += int64(len(batches[r]))
+	}
+	if got != k {
+		t.Fatalf("batch sizes sum to %d, want %d", got, k)
+	}
+}
+
+// PeekMin must not allocate in steady state: the reduction operator is a
+// per-PE singleton, not a fresh funcval per call (which previously cost
+// one heap allocation per PeekMin per PE).
+func TestPeekMinZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool is randomized)")
+	}
+	const p, iters = 8, 50
+	m := comm.NewMachine(comm.MailboxConfig(p))
+	defer m.Close()
+	qs := make([]*Queue[uint64], p)
+	m.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		qs[r] = New[uint64](pe, 13)
+		for i := 0; i < 64; i++ {
+			qs[r].Insert(uint64(i*p + r))
+		}
+	})
+	run := func() {
+		m.MustRun(func(pe *comm.PE) {
+			q := qs[pe.Rank()]
+			for i := 0; i < iters; i++ {
+				if _, ok := q.PeekMin(); !ok {
+					t.Error("PeekMin reported empty on a full queue")
+				}
+			}
+		})
+	}
+	base := testing.AllocsPerRun(5, func() { m.MustRun(func(pe *comm.PE) {}) })
+	for i := 0; i < 3; i++ {
+		run() // warm the pools
+	}
+	peek := testing.AllocsPerRun(5, run)
+	// iters×p funcval allocations before the fix; only run-harness noise now.
+	if peek-base > float64(2*p) {
+		t.Errorf("PeekMin loop allocates %.1f/run over the %.1f harness baseline (budget %d)",
+			peek, base, 2*p)
+	}
+}

@@ -31,6 +31,7 @@ import (
 type Queue[K cmp.Ordered] struct {
 	pe     *comm.PE
 	tree   *treap.Tree[K]
+	seq    sel.Seq[K] // treapSeq over tree, boxed once (the tree pointer is stable)
 	rng    *xrand.RNG // per-PE stream (AMS estimator deviates)
 	shared *xrand.RNG // lockstep stream shared across PEs (exact pivots)
 }
@@ -38,12 +39,14 @@ type Queue[K cmp.Ordered] struct {
 // New creates this PE's handle. seed must be identical on all PEs; the
 // per-PE streams are decorrelated internally.
 func New[K cmp.Ordered](pe *comm.PE, seed int64) *Queue[K] {
-	return &Queue[K]{
+	q := &Queue[K]{
 		pe:     pe,
 		tree:   treap.New[K](seed + int64(pe.Rank())*7919),
 		rng:    xrand.NewPE(seed, pe.Rank()),
 		shared: xrand.New(seed),
 	}
+	q.seq = treapSeq[K]{q.tree}
+	return q
 }
 
 // Insert adds a key to the local queue — no communication, O(log n)
@@ -63,28 +66,14 @@ func (q *Queue[K]) GlobalLen() int64 {
 }
 
 // PeekMin returns the globally smallest key without removing it.
-// Collective; ok is false when the queue is globally empty.
+// Collective; ok is false when the queue is globally empty. The min
+// operator is a per-PE singleton (see pqOps), so steady-state calls do
+// not allocate.
 func (q *Queue[K]) PeekMin() (K, bool) {
-	type tagged struct {
-		Has bool
-		Val K
-	}
-	var c tagged
-	if v, ok := q.tree.Min(); ok {
-		c = tagged{true, v}
-	}
-	res := coll.AllReduceScalar(q.pe, c, func(a, b tagged) tagged {
-		if !a.Has {
-			return b
-		}
-		if !b.Has {
-			return a
-		}
-		if b.Val < a.Val {
-			return b
-		}
-		return a
-	})
+	st := newPeekMinStep(q, nil, false)
+	comm.RunSteps(q.pe, st)
+	res := st.res
+	st.release(q.pe)
 	return res.Val, res.Has
 }
 
@@ -116,18 +105,11 @@ func (s treapSeq[K]) CountLE(v K) int {
 // stored — the owner-computes rule). If fewer than k elements remain, all
 // are removed. Collective.
 func (q *Queue[K]) DeleteMin(k int64) []K {
-	total := q.GlobalLen()
-	if k <= 0 || total == 0 {
-		return nil
-	}
-	if k >= total {
-		out := q.tree.Keys()
-		q.tree = treap.New[K](int64(q.rng.Uint64()))
-		return out
-	}
-	v, _ := sel.MSSelect[K](q.pe, treapSeq[K]{q.tree}, k, q.shared)
-	batch := q.tree.SplitByKey(v)
-	return batch.Keys()
+	st := newDeleteMinStep(q, k, k, false, nil, false)
+	comm.RunSteps(q.pe, st)
+	out := st.resBatch
+	st.release(q.pe)
+	return out
 }
 
 // DeleteMinFlexible removes the k globally smallest elements for some
@@ -135,21 +117,11 @@ func (q *Queue[K]) DeleteMin(k int64) []K {
 // returns this PE's share plus the realized k. If fewer than kmin remain,
 // everything is removed. Collective.
 func (q *Queue[K]) DeleteMinFlexible(kmin, kmax int64) ([]K, int64) {
-	total := q.GlobalLen()
-	if total == 0 || kmax <= 0 {
-		return nil, 0
-	}
-	if kmin >= total || kmax >= total {
-		out := q.tree.Keys()
-		q.tree = treap.New[K](int64(q.rng.Uint64()))
-		return out, total
-	}
-	if kmin < 1 {
-		kmin = 1
-	}
-	res := sel.AMSSelect[K](q.pe, treapSeq[K]{q.tree}, kmin, kmax, q.rng)
-	batch := q.tree.SplitByKey(res.Threshold)
-	return batch.Keys(), res.Count
+	st := newDeleteMinStep(q, kmin, kmax, true, nil, false)
+	comm.RunSteps(q.pe, st)
+	out, n := st.resBatch, st.resN
+	st.release(q.pe)
+	return out, n
 }
 
 // MakeUnique composes a priority quantized to 32 bits with a globally

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bpq
+
+const raceEnabled = false

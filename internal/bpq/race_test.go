@@ -1,0 +1,8 @@
+//go:build race
+
+package bpq
+
+// raceEnabled gates the allocation-count guards: the race runtime
+// deliberately randomizes sync.Pool behavior (dropping items to stress
+// code paths), so per-op allocation counts are meaningless under -race.
+const raceEnabled = true

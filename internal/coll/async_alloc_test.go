@@ -69,6 +69,16 @@ func TestZeroAllocSteppersRunAsync(t *testing.T) {
 		{"ExScanSum", 0, func(pe *comm.PE) comm.Stepper {
 			return ExScanSumStep(pe, int64(pe.Rank()), nil)
 		}},
+		{"InScan", 0, func(pe *comm.PE) comm.Stepper {
+			dst := comm.ScratchSlice[int64](pe, "guard.scan.dst", 3)
+			return InScanStep(pe, dst, guardPayload(pe), sumI64, nil)
+		}},
+		{"ExScan", 0, func(pe *comm.PE) comm.Stepper {
+			dst := comm.ScratchSlice[int64](pe, "guard.scan.dst", 3)
+			id := comm.ScratchSlice[int64](pe, "guard.scan.id", 3)
+			clear(id)
+			return ExScanStep(pe, dst, guardPayload(pe), sumI64, id, nil)
+		}},
 		{"GatherStrided", 0, func(pe *comm.PE) comm.Stepper {
 			return GatherStridedStep(pe, guardPayload(pe), 3, discardVisit)
 		}},

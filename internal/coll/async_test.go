@@ -70,6 +70,28 @@ func asyncPairs() []asyncPair {
 			},
 		},
 		{
+			name: "InScan",
+			block: func(pe *comm.PE, out *any) {
+				x := []int64{int64(pe.Rank()) + 1, int64(pe.Rank() * 2)}
+				*out = InScan(pe, x, sum)
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				x := []int64{int64(pe.Rank()) + 1, int64(pe.Rank() * 2)}
+				return InScanStep(pe, nil, x, sum, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
+			name: "ExScan",
+			block: func(pe *comm.PE, out *any) {
+				x := []int64{int64(pe.Rank()) + 3, 1}
+				*out = ExScan(pe, x, sum, []int64{0, 0})
+			},
+			start: func(pe *comm.PE, out *any) comm.Stepper {
+				x := []int64{int64(pe.Rank()) + 3, 1}
+				return ExScanStep(pe, nil, x, sum, []int64{0, 0}, func(v []int64) { *out = slices.Clone(v) })
+			},
+		},
+		{
 			name: "GatherStrided",
 			block: func(pe *comm.PE, out *any) {
 				block := []int64{int64(pe.Rank()), int64(pe.Rank() * 2)}

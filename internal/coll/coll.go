@@ -264,63 +264,17 @@ func MaxAll[T cmp.Ordered](pe *comm.PE, v T) T {
 // op(x@0, ..., x@j) elementwise (Hillis–Steele dissemination, O(log p)
 // rounds). The result never aliases x.
 func InScan[T any](pe *comm.PE, x []T, op func(a, b T) T) []T {
-	p := pe.P()
-	acc := slices.Clone(x)
-	if p == 1 {
-		return acc
-	}
-	pool := commbuf.For[T]()
-	tag := pe.NextCollTag()
-	rank := pe.Rank()
-	for d := 1; d < p; d <<= 1 {
-		// acc currently covers ranks (rank-d, rank]; post the round's
-		// receive, then send, then fold — receive and send overlap.
-		var h *comm.RecvHandle
-		if rank-d >= 0 {
-			h = pe.IRecv(rank-d, tag)
-		}
-		if rank+d < p {
-			sendCopy(pe, pool, rank+d, tag, acc)
-		}
-		if h != nil {
-			rxAny, _ := h.Wait()
-			rx := rxAny.(*[]T)
-			// acc = op(rx, acc): the earlier-ranks prefix is the left operand.
-			for i, v := range *rx {
-				acc[i] = op(v, acc[i])
-			}
-			pool.Put(rx)
-		}
-	}
-	return acc
+	var res []T
+	comm.RunSteps(pe, InScanStep(pe, nil, x, op, func(v []T) { res = v }))
+	return res
 }
 
 // ExScan returns the exclusive prefix combination of x: PE j receives
 // op(x@0, ..., x@(j-1)), and PE 0 receives identity.
 func ExScan[T any](pe *comm.PE, x []T, op func(a, b T) T, identity []T) []T {
-	p := pe.P()
-	if p == 1 {
-		return slices.Clone(identity)
-	}
-	pool := commbuf.For[T]()
-	incl := InScan(pe, x, op)
-	tag := pe.NextCollTag()
-	rank := pe.Rank()
-	var h *comm.RecvHandle
-	if rank > 0 {
-		h = pe.IRecv(rank-1, tag)
-	}
-	if rank+1 < p {
-		sendCopy(pe, pool, rank+1, tag, incl)
-	}
-	if rank == 0 {
-		return slices.Clone(identity)
-	}
-	rxAny, _ := h.Wait()
-	rx := rxAny.(*[]T)
-	out := slices.Clone(*rx)
-	pool.Put(rx)
-	return out
+	var res []T
+	comm.RunSteps(pe, ExScanStep(pe, nil, x, op, identity, func(v []T) { res = v }))
+	return res
 }
 
 // ExScanSum returns the exclusive prefix sum of a scalar. Allocation-free

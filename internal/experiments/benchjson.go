@@ -189,6 +189,7 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 	}
 	out = append(out, KernelSuite(progress)...)
 	out = append(out, ScalingSuite(ScalingPList(1<<17), ScalingMemBudgetBytes, false, progress)...)
+	out = append(out, BpqSuite(false, progress)...)
 	out = append(out, ServingSuite(false, progress)...)
 	return out
 }

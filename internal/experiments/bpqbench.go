@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"commtopk/internal/bpq"
+	"commtopk/internal/comm"
+	"commtopk/internal/treap"
+)
+
+// The bulk-priority-queue benchmark family (-exp bpq and the Bpq/...
+// entries of the JSON pipeline): monotone-key churn against the
+// distributed queue — every op bulk-inserts one ascending batch of b
+// keys per PE (the treap's build-sorted fast path) and deletes the
+// globally smallest b·p keys — swept over p and b, with the
+// continuation form (bpq.DeleteMinStep under comm.RunAsync) as the
+// mailbox primary and the blocking form as the park-churn A/B twin.
+// Both variants start from identically filled fresh queues, so they
+// churn the same key trajectory. The treap insert/delete entry is the
+// arena's allocation acceptance gate: one ascending insert plus one
+// oldest-key delete per op on a steady-size tree must stay near zero
+// allocs/op (slab growth never happens at steady state; freed nodes
+// come back through the arena free list).
+
+// bpqChurnBatches is the per-PE insert/delete batch size sweep. The
+// large batch is capped at p ≤ 4096 to bound the setup fill (the
+// window times b·p keys) on the biggest machines.
+var bpqChurnBatches = []int{4, 64}
+
+func bpqChurnPList(quick bool) []int {
+	if quick {
+		return []int{256}
+	}
+	return []int{256, 1024, 4096, 16384}
+}
+
+// bpqChurnWindow is how many not-yet-deleted batches the queue holds at
+// steady state: the initial fill is window batches of b keys per PE,
+// and every op inserts one batch and deletes one batch's worth.
+const bpqChurnWindow = 8
+
+// bpqChurnKey maps (cycle, index-in-batch, batch size, rank) to a
+// globally unique key, ascending in (cycle, i) on every PE — each op's
+// insert batch lands entirely above the tree max, which is the
+// InsertBulk ascending fast path.
+func bpqChurnKey(cycle int64, i, b, rank, p int) uint64 {
+	return uint64((cycle*int64(b)+int64(i))*int64(p) + int64(rank))
+}
+
+// bpqChurnState is one measurement's resident queues (per-rank, on a
+// resident machine whose PE objects are stable across runs) plus the
+// monotone cycle counter and reusable per-rank insert buffers.
+type bpqChurnState struct {
+	qs    []*bpq.Queue[uint64]
+	bufs  [][]uint64
+	cycle int64
+}
+
+func newBpqChurn(m *comm.Machine, p, b int) *bpqChurnState {
+	st := &bpqChurnState{
+		qs:   make([]*bpq.Queue[uint64], p),
+		bufs: make([][]uint64, p),
+	}
+	m.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		q := bpq.New[uint64](pe, 42)
+		buf := make([]uint64, b)
+		for c := int64(0); c < bpqChurnWindow; c++ {
+			for i := 0; i < b; i++ {
+				buf[i] = bpqChurnKey(c, i, b, r, p)
+			}
+			q.InsertBulk(buf)
+		}
+		st.qs[r] = q
+		st.bufs[r] = buf
+	})
+	st.cycle = bpqChurnWindow
+	return st
+}
+
+// insert refills rank's buffer with cycle c's ascending batch and bulk-
+// inserts it.
+func (st *bpqChurnState) insert(rank, b, p int, c int64) {
+	buf := st.bufs[rank]
+	for i := 0; i < b; i++ {
+		buf[i] = bpqChurnKey(c, i, b, rank, p)
+	}
+	st.qs[rank].InsertBulk(buf)
+}
+
+// BpqSuite runs the family and returns Bpq/... entries for the JSON
+// pipeline. quick selects the CI tier: p capped at 256, one run per op,
+// no blocking A/B twins.
+func BpqSuite(quick bool, progress func(string)) []BenchResult {
+	var out []BenchResult
+	emit := func(r BenchResult) {
+		out = append(out, r)
+		if progress != nil {
+			progress(fmt.Sprintf("%-44s %14.0f ns/op %10.2f allocs/op %10.0f words/PE %8.0f starts/PE",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.WordsPerPE, r.StartsPerPE))
+		}
+	}
+
+	// Arena acceptance gate: steady-state insert/delete churn on one
+	// treap, allocations per op reported by the benchmark harness.
+	{
+		const n = 1 << 13
+		r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			tr := treap.New[uint64](5)
+			for i := 0; i < n; i++ {
+				tr.Insert(uint64(i))
+			}
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				tr.Insert(uint64(n + i))
+				tr.Delete(uint64(i))
+			}
+		})
+		emit(BenchResult{
+			Name:        "Bpq/TreapChurn/insert-delete/n=2^13",
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			Note:        "one ascending insert + one oldest-key delete per op at steady size 2^13; allocs/op is the arena gate (< 0.1 amortized)",
+		})
+	}
+
+	for _, p := range bpqChurnPList(quick) {
+		cfg := comm.MailboxConfig(p)
+		baseline := runtime.NumGoroutine()
+		m := comm.NewMachine(cfg)
+		workers := comm.SchedWorkers(cfg)
+		for _, b := range bpqChurnBatches {
+			if p > 4096 && b > bpqChurnBatches[0] {
+				continue
+			}
+			k := int64(b) * int64(p)
+			iters := 4
+			if quick {
+				iters = 1
+			}
+			name := fmt.Sprintf("Bpq/Churn/p=%d/b=%d/%s", p, b, comm.BackendMailbox)
+			fill := func(r BenchResult, ns float64, s comm.Stats) BenchResult {
+				r.P = p
+				r.Backend = comm.BackendMailbox.String()
+				r.Workers = workers
+				r.NsPerOp = ns
+				r.WordsPerPE = float64(s.BottleneckWords())
+				r.StartsPerPE = float64(s.MaxSends)
+				r.MaxClock = s.MaxClock
+				r.Goroutines = residentGoroutines(baseline + workers + 2)
+				return r
+			}
+
+			// Continuation primary: InsertBulk at body construction (local,
+			// communication-free), then the pooled DeleteMinStep runs under
+			// RunAsync — mid-run residency stays at w+O(1).
+			st := newBpqChurn(m, p, b)
+			ns, s := measureScalingRuns(m, iters, func() {
+				c := st.cycle
+				st.cycle++
+				m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+					st.insert(pe.Rank(), b, p, c)
+					return st.qs[pe.Rank()].DeleteMinStep(k, nil)
+				})
+			})
+			r := fill(BenchResult{Name: name}, ns, s)
+			r.Note = "continuation-scheduled (comm.RunAsync); op = ascending InsertBulk(b)/PE + DeleteMin(b·p)"
+			emit(r)
+
+			if !quick {
+				// Blocking A/B twin on a fresh, identically filled queue set:
+				// same key trajectory, park-churn execution.
+				st = newBpqChurn(m, p, b)
+				ns, s = measureScalingRuns(m, iters, func() {
+					c := st.cycle
+					st.cycle++
+					m.MustRun(func(pe *comm.PE) {
+						st.insert(pe.Rank(), b, p, c)
+						st.qs[pe.Rank()].DeleteMin(k)
+					})
+				})
+				rb := fill(BenchResult{Name: name + "/blocking"}, ns, s)
+				rb.Note = "park-churn A/B reference (blocking bodies), same trajectory"
+				emit(rb)
+			}
+		}
+		m.Close()
+	}
+	return out
+}
+
+// BpqTable renders the family for `topkbench -exp bpq` (quick selects
+// the CI smoke tier).
+func BpqTable(quick bool) Table {
+	t := Table{
+		Title: "Bulk priority queue: monotone-key churn (ascending InsertBulk + DeleteMin(b·p)), continuation-scheduled with blocking A/B twins",
+		Notes: fmt.Sprintf("op = every PE bulk-inserts b ascending keys (InsertBulk fast path) then the machine deletes the globally smallest b·p\nsteady queue size = %d·b·p keys; mailbox primaries run bpq.DeleteMinStep under comm.RunAsync, /blocking twins drive the same steppers through comm.RunSteps\nTreapChurn entry: one insert + one delete per op on an arena-backed treap — allocs/op near zero is the arena acceptance gate", bpqChurnWindow),
+		Header: []string{"workload", "p", "backend", "ns/op", "allocs/op", "words/PE", "start/PE", "T_model", "w", "goroutines"},
+	}
+	for _, r := range BpqSuite(quick, nil) {
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprint(r.P), r.Backend,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.2f", r.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.WordsPerPE),
+			fmt.Sprintf("%.0f", r.StartsPerPE),
+			modelMs(r.MaxClock),
+			fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Goroutines),
+		})
+	}
+	return t
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"commtopk/internal/bpq"
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/gen"
@@ -61,6 +62,28 @@ func fuzzRouteItems(pe *comm.PE, prm int64) []coll.Routed[int64] {
 		}
 	}
 	return items
+}
+
+// fuzzBpqKeys builds count globally unique ascending keys for this rank
+// in the batch namespace base (namespaces far enough apart that refill
+// batches never collide with the initial fill).
+func fuzzBpqKeys(pe *comm.PE, base, count int) []uint64 {
+	keys := make([]uint64, count)
+	for i := range keys {
+		keys[i] = uint64((base+i)*pe.P() + pe.Rank())
+	}
+	return keys
+}
+
+// fuzzBpqResult is the BpqChurn op's per-PE observable: every batch key
+// this PE received, the flexible batch's realized size, and the final
+// peek/length collective results.
+type fuzzBpqResult struct {
+	batches []uint64
+	n2      int64
+	min     uint64
+	ok      bool
+	total   int64
 }
 
 func flattenParts(parts [][]int64) []int64 {
@@ -294,6 +317,59 @@ func fuzzOps() []fuzzOp {
 						acc = append(acc, b...)
 					}),
 					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = acc; return nil }),
+				)
+			},
+		},
+		{
+			name: "BpqChurn",
+			block: func(pe *comm.PE, prm int64) any {
+				p := int64(pe.P())
+				q := bpq.New[uint64](pe, prm)
+				q.InsertBulk(fuzzBpqKeys(pe, 0, 16+int(prm%16)))
+				var res fuzzBpqResult
+				res.batches = append(res.batches, q.DeleteMin(1+prm%(24*p))...)
+				q.InsertBulk(fuzzBpqKeys(pe, 1000, 8))
+				kmin := 1 + prm%5
+				b2, n := q.DeleteMinFlexible(kmin, kmin+prm%(4*p))
+				res.batches = append(res.batches, b2...)
+				res.n2 = n
+				res.min, res.ok = q.PeekMin()
+				res.total = q.GlobalLen()
+				return res
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				p := int64(pe.P())
+				q := bpq.New[uint64](pe, prm)
+				q.InsertBulk(fuzzBpqKeys(pe, 0, 16+int(prm%16)))
+				kmin := 1 + prm%5
+				var res fuzzBpqResult
+				// The refill and the two collectives that read tree state at
+				// factory time are built lazily, after the preceding stage's
+				// queue mutations have landed.
+				var flex, glen comm.Stepper
+				return comm.Seq(
+					q.DeleteMinStep(1+prm%(24*p), func(batch []uint64, _ uint64, _ int64) {
+						res.batches = append(res.batches, batch...)
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+						if flex == nil {
+							q.InsertBulk(fuzzBpqKeys(pe, 1000, 8))
+							flex = q.DeleteMinFlexibleStep(kmin, kmin+prm%(4*p),
+								func(batch []uint64, _ uint64, n int64) {
+									res.batches = append(res.batches, batch...)
+									res.n2 = n
+								})
+						}
+						return flex.Step(pe)
+					}),
+					q.PeekMinStep(func(mn uint64, ok bool) { res.min, res.ok = mn, ok }),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle {
+						if glen == nil {
+							glen = q.GlobalLenStep(func(v int64) { res.total = v })
+						}
+						return glen.Step(pe)
+					}),
+					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = res; return nil }),
 				)
 			},
 		},

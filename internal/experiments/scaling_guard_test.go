@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"commtopk/internal/bpq"
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/gen"
@@ -63,10 +64,11 @@ func TestScaling65536WithinBudgets(t *testing.T) {
 // *resident* machine (parked bodies retired between runs); this asserts
 // the bound *while p = 16384 collectives are in flight*. The sampled
 // window now covers the scalar collectives op, the strided and chunked
-// gather workloads, and the full stepper-form selection (sel.KthStep) —
-// thousands of PEs are simultaneously waiting mid-collective at any
-// sampled instant, and none of them may hold a goroutine. Skipped under
-// -short; CI runs it explicitly.
+// gather workloads, the full stepper-form selection (sel.KthStep), and
+// the bulk-priority-queue DeleteMinStep against per-rank resident
+// queues — thousands of PEs are simultaneously waiting mid-collective
+// at any sampled instant, and none of them may hold a goroutine.
+// Skipped under -short; CI runs it explicitly.
 func TestMidRunGoroutineResidency16384(t *testing.T) {
 	if testing.Short() {
 		t.Skip("p=16384 mid-run guard skipped in -short mode")
@@ -84,6 +86,19 @@ func TestMidRunGoroutineResidency16384(t *testing.T) {
 	for r := 0; r < p; r++ {
 		locals[r] = gen.SelectionInput(xrand.NewPE(3, r), selPerPE, 12)
 	}
+	// Per-rank resident queues for the DeleteMinStep workload, built
+	// before sampling starts (PE objects are stable on a resident
+	// machine, so the queues stay bound to their PEs across runs).
+	qs := make([]*bpq.Queue[uint64], p)
+	m.MustRun(func(pe *comm.PE) {
+		q := bpq.New[uint64](pe, 99)
+		keys := make([]uint64, selPerPE)
+		for i := range keys {
+			keys[i] = uint64(i*p + pe.Rank())
+		}
+		q.InsertBulk(keys)
+		qs[pe.Rank()] = q
+	})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -95,6 +110,9 @@ func TestMidRunGoroutineResidency16384(t *testing.T) {
 		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
 			return sel.KthStep(pe, locals[pe.Rank()], int64(p*selPerPE/2),
 				xrand.NewPE(17, pe.Rank()), nil)
+		})
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+			return qs[pe.Rank()].DeleteMinStep(int64(p*selPerPE/4), nil)
 		})
 	}()
 	var maxMid, samples int64

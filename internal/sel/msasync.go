@@ -1,0 +1,450 @@
+package sel
+
+import (
+	"cmp"
+	"fmt"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
+)
+
+// Continuation forms of the multisequence selection algorithms (Section
+// 4, Algorithms 9 and 2) over the Seq interface — the engines behind the
+// bulk-parallel priority queue's DeleteMin. The same discipline as
+// kthStep (async.go): pooled per-PE state, every communication round
+// delegated to the collective steppers of internal/coll held in the cur
+// slot, result-delivery closures and generic operator func values cached
+// on the pooled object so steady-state dispatch is allocation-free. The
+// blocking MSSelect/AMSSelect drive these steppers through comm.RunSteps
+// — one implementation, both execution modes, bit-identical results,
+// RNG consumption and metered schedule (pinned by the bpq differential
+// fuzz op and the stepper A/B tests).
+
+// msSelectStep phases.
+const (
+	msphInit       = iota // restrict the window, start the init size sum
+	msphInitSum           // harvest n, validate k
+	msphTotal             // start the per-iteration window sum
+	msphTotalWait         // harvest total; branch base case vs pivot draw
+	msphSingleWait        // total == 1: harvest the owner broadcast
+	msphPrevWait          // harvest the exclusive prefix, publish the pivot
+	msphPivotWait         // harvest the pivot, start the 2-counter reduce
+	msphSumsWait          // harvest (globLess, globLE) and narrow or finish
+	msphDone
+)
+
+type msSelectStep[K cmp.Ordered] struct {
+	pe     *comm.PE
+	s      Seq[K]
+	shared *xrand.RNG
+	out    func(K, int)
+	self   bool
+	k      int64
+	resV   K
+	resN   int
+
+	lo, hi int
+	kRem   int64
+	r      int64 // pivot position among remaining candidates
+	pivot  K
+	jLess  int
+	jLE    int
+
+	// Current collective sub-stepper and its harvested results.
+	cur  comm.Stepper
+	i64  int64
+	tg   tagged[K]
+	sums [2]int64
+
+	// Cached closures and operator func values (see kthStep).
+	onI64   func(int64)
+	onTag   func(tagged[K])
+	onSums  func([]int64)
+	opFirst func(a, b tagged[K]) tagged[K]
+
+	phase int
+}
+
+func newMSSelectStep[K cmp.Ordered](pe *comm.PE, s Seq[K], k int64, shared *xrand.RNG, out func(K, int), self bool) *msSelectStep[K] {
+	st := comm.GetPooled[msSelectStep[K]](pe)
+	st.pe = pe
+	st.s, st.k, st.shared, st.out, st.self = s, k, shared, out, self
+	st.phase = msphInit
+	st.cur = nil
+	if st.onI64 == nil {
+		st.onI64 = func(v int64) { st.i64 = v }
+		st.onTag = func(v tagged[K]) { st.tg = v }
+		st.onSums = func(v []int64) { st.sums[0], st.sums[1] = v[0], v[1] }
+		st.opFirst = firstTagged[K]
+	}
+	return st
+}
+
+// MSSelectStep is the continuation form of MSSelect: out (optional)
+// receives, on every PE, the element of global rank k and this PE's
+// local count of elements ≤ it. Semantics, panics, shared-stream
+// consumption and the metered schedule match MSSelect exactly —
+// MSSelect is this stepper driven with blocking waits.
+func MSSelectStep[K cmp.Ordered](pe *comm.PE, s Seq[K], k int64, shared *xrand.RNG, out func(v K, localLE int)) comm.Stepper {
+	return newMSSelectStep(pe, s, k, shared, out, true)
+}
+
+func (st *msSelectStep[K]) release(pe *comm.PE) {
+	var zero K
+	st.s, st.shared, st.out, st.cur = nil, nil, nil, nil
+	st.resV, st.pivot = zero, zero
+	st.tg = tagged[K]{}
+	comm.PutPooled(pe, st)
+}
+
+func (st *msSelectStep[K]) finish(pe *comm.PE, v K, n int) *comm.RecvHandle {
+	st.resV, st.resN = v, n
+	st.phase = msphDone
+	if st.self {
+		out := st.out
+		st.release(pe)
+		if out != nil {
+			out(v, n)
+		}
+	}
+	return nil
+}
+
+func (st *msSelectStep[K]) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if st.cur != nil {
+			if h := st.cur.Step(pe); h != nil {
+				return h
+			}
+			st.cur = nil
+		}
+		switch st.phase {
+		case msphInit:
+			// Restrict to the first k elements of each local sequence
+			// (Appendix A).
+			st.lo, st.hi = 0, st.s.Len()
+			if int64(st.hi) > st.k {
+				st.hi = int(st.k)
+			}
+			st.cur = coll.AllReduceScalarStep(pe, int64(st.hi-st.lo), addInt64, st.onI64)
+			st.phase = msphInitSum
+		case msphInitSum:
+			if st.k < 1 || st.k > st.i64 {
+				panic(fmt.Sprintf("sel: MSSelect rank %d out of range 1..%d", st.k, st.i64))
+			}
+			st.kRem = st.k
+			st.phase = msphTotal
+		case msphTotal:
+			st.cur = coll.AllReduceScalarStep(pe, int64(st.hi-st.lo), addInt64, st.onI64)
+			st.phase = msphTotalWait
+		case msphTotalWait:
+			total := st.i64
+			if total == 1 {
+				var cand tagged[K]
+				if st.hi-st.lo == 1 {
+					cand = tagged[K]{Has: true, Val: st.s.At(st.lo)}
+				}
+				st.cur = coll.AllReduceScalarStep(pe, cand, st.opFirst, st.onTag)
+				st.phase = msphSingleWait
+				continue
+			}
+			// Same random number on all PEs selects the pivot position
+			// among the remaining candidates; its owner publishes the key.
+			st.r = st.shared.Int63n(total)
+			st.cur = coll.ExScanSumStep(pe, int64(st.hi-st.lo), st.onI64)
+			st.phase = msphPrevWait
+		case msphSingleWait:
+			v := st.tg.Val
+			return st.finish(pe, v, st.s.CountLE(v))
+		case msphPrevWait:
+			prev := st.i64
+			var cand tagged[K]
+			if st.r >= prev && st.r < prev+int64(st.hi-st.lo) {
+				cand = tagged[K]{Has: true, Val: st.s.At(st.lo + int(st.r-prev))}
+			}
+			st.cur = coll.AllReduceScalarStep(pe, cand, st.opFirst, st.onTag)
+			st.phase = msphPivotWait
+		case msphPivotWait:
+			v := st.tg.Val
+			st.pivot = v
+			st.jLess = clampInt(st.s.CountLess(v), st.lo, st.hi) - st.lo
+			st.jLE = clampInt(st.s.CountLE(v), st.lo, st.hi) - st.lo
+			var jv [2]int64
+			jv[0], jv[1] = int64(st.jLess), int64(st.jLE)
+			st.cur = coll.AllReduceIntoStep(pe, comm.ScratchSlice[int64](pe, "sel.ms.sums", 2),
+				jv[:], addInt64, st.onSums)
+			st.phase = msphSumsWait
+		case msphSumsWait:
+			globLess, globLE := st.sums[0], st.sums[1]
+			switch {
+			case st.kRem <= globLess:
+				st.hi = st.lo + st.jLess
+				st.phase = msphTotal
+			case st.kRem <= globLE:
+				// Unique keys: the pivot itself is the answer.
+				return st.finish(pe, st.pivot, st.s.CountLE(st.pivot))
+			default:
+				st.lo += st.jLE
+				st.kRem -= globLE
+				st.phase = msphTotal
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// amsSelectStep phases.
+const (
+	aphInit         = iota // start the global size sum
+	aphInitSum             // harvest n, set up the round state
+	aphRound               // dispatch one estimation round (or the base/fallback)
+	aphAllWait             // k̄ ≥ remaining: harvest the global max
+	aphVsWait              // harvest candidate thresholds, start the rank sums
+	aphKsWait              // harvest ranks; success check or narrow
+	aphFallbackWait        // exact MSSelect fallback completed
+	aphDone
+)
+
+const amsMaxRounds = 60
+
+type amsSelectStep[K cmp.Ordered] struct {
+	pe   *comm.PE
+	s    Seq[K]
+	rng  *xrand.RNG
+	out  func(AMSResult[K])
+	self bool
+	d    int
+	kmin int64
+	kmax int64
+	n    int64 // initial global size (the fallback seed needs it)
+	res  AMSResult[K]
+
+	lo, hi       int
+	accepted     int64
+	kminR, kmaxR int64
+	nR           int64
+	round        int
+	useMin       bool
+
+	// Current collective sub-stepper and its harvested results.
+	cur comm.Stepper
+	i64 int64
+	tg  tagged[K]
+	vs  []tagged[K]
+	ks  []int64
+	ms  *msSelectStep[K]
+
+	// Cached closures and operator func values (see kthStep).
+	onI64 func(int64)
+	onTag func(tagged[K])
+	onVs  func([]tagged[K])
+	onKs  func([]int64)
+	opMin func(a, b tagged[K]) tagged[K]
+	opMax func(a, b tagged[K]) tagged[K]
+
+	phase int
+}
+
+func newAMSSelectStep[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xrand.RNG, d int, out func(AMSResult[K]), self bool) *amsSelectStep[K] {
+	if kmin < 1 || kmax < kmin {
+		panic(fmt.Sprintf("sel: AMSSelect invalid range [%d, %d]", kmin, kmax))
+	}
+	st := comm.GetPooled[amsSelectStep[K]](pe)
+	st.pe = pe
+	st.s, st.kmin, st.kmax, st.rng, st.d, st.out, st.self = s, kmin, kmax, rng, d, out, self
+	st.phase = aphInit
+	st.cur = nil
+	if st.onI64 == nil {
+		st.onI64 = func(v int64) { st.i64 = v }
+		st.onTag = func(v tagged[K]) { st.tg = v }
+		st.onVs = func(v []tagged[K]) { st.vs = v }
+		st.onKs = func(v []int64) { st.ks = v }
+		st.opMin = minTagged[K]
+		st.opMax = maxTagged[K]
+	}
+	return st
+}
+
+// AMSSelectStep is the continuation form of AMSSelect: out (optional)
+// receives the flexible selection result on every PE. Semantics, panics,
+// per-PE RNG consumption and the metered schedule match AMSSelect
+// exactly — AMSSelect is this stepper driven with blocking waits.
+func AMSSelectStep[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xrand.RNG, out func(AMSResult[K])) comm.Stepper {
+	return newAMSSelectStep(pe, s, kmin, kmax, rng, 1, out, true)
+}
+
+func (st *amsSelectStep[K]) release(pe *comm.PE) {
+	st.s, st.rng, st.out, st.cur = nil, nil, nil, nil
+	st.vs, st.ks, st.ms = nil, nil, nil
+	st.res = AMSResult[K]{}
+	st.tg = tagged[K]{}
+	comm.PutPooled(pe, st)
+}
+
+func (st *amsSelectStep[K]) finish(pe *comm.PE, r AMSResult[K]) *comm.RecvHandle {
+	st.res = r
+	st.phase = aphDone
+	if st.self {
+		out := st.out
+		st.release(pe)
+		if out != nil {
+			out(r)
+		}
+	}
+	return nil
+}
+
+func (st *amsSelectStep[K]) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if st.cur != nil {
+			if h := st.cur.Step(pe); h != nil {
+				return h
+			}
+			st.cur = nil
+		}
+		switch st.phase {
+		case aphInit:
+			st.cur = coll.AllReduceScalarStep(pe, int64(st.s.Len()), addInt64, st.onI64)
+			st.phase = aphInitSum
+		case aphInitSum:
+			n := st.i64
+			if st.kmin > n {
+				panic(fmt.Sprintf("sel: AMSSelect k̲=%d exceeds input size %d", st.kmin, n))
+			}
+			st.n = n
+			st.lo, st.hi = 0, st.s.Len()
+			st.accepted = 0
+			st.kminR, st.kmaxR = st.kmin, st.kmax
+			st.nR = n
+			st.round = 1
+			st.phase = aphRound
+		case aphRound:
+			if st.round > amsMaxRounds {
+				// Flexible search failed to converge (degenerate interval);
+				// finish exactly. The shared stream must be identical across
+				// PEs: derive it from quantities all PEs agree on.
+				shared := xrand.New(int64(0x5eed + st.kmin + 31*st.kmax + 977*st.n))
+				sub := subSeq[K]{s: st.s, lo: st.lo, hi: st.hi}
+				st.ms = newMSSelectStep[K](pe, sub, st.kminR, shared, nil, false)
+				st.cur = st.ms
+				st.phase = aphFallbackWait
+				continue
+			}
+			if st.kmaxR >= st.nR {
+				// Everything remaining fits: threshold is the global max.
+				var cand tagged[K]
+				if st.hi-st.lo > 0 {
+					cand = tagged[K]{Has: true, Val: st.s.At(st.hi - 1)}
+				}
+				st.cur = coll.AllReduceScalarStep(pe, cand, st.opMax, st.onTag)
+				st.phase = aphAllWait
+				continue
+			}
+			// Draw d candidate thresholds with the dual estimator (see the
+			// blocking form's rationale in sel.go).
+			st.useMin = st.kmaxR < st.nR-st.kmaxR
+			cands := comm.ScratchSlice[tagged[K]](pe, "sel.ams.cands", st.d)
+			clear(cands) // scratch reuse: absent candidates must read as zero
+			for t := 0; t < st.d; t++ {
+				if st.useMin {
+					rho := amsRho(st.kminR, st.kmaxR)
+					x := st.rng.Geometric(rho)
+					if x <= int64(st.hi-st.lo) {
+						cands[t] = tagged[K]{Has: true, Val: st.s.At(st.lo + int(x) - 1)}
+					}
+				} else {
+					rho := amsRho(st.nR-st.kmaxR+1, st.nR-st.kminR+1)
+					x := st.rng.Geometric(rho)
+					if x <= int64(st.hi-st.lo) {
+						cands[t] = tagged[K]{Has: true, Val: st.s.At(st.hi - int(x))}
+					}
+				}
+			}
+			vsDst := comm.ScratchSlice[tagged[K]](pe, "sel.ams.vs", st.d)
+			if st.useMin {
+				st.cur = coll.AllReduceIntoStep(pe, vsDst, cands, st.opMin, st.onVs)
+			} else {
+				st.cur = coll.AllReduceIntoStep(pe, vsDst, cands, st.opMax, st.onVs)
+			}
+			st.phase = aphVsWait
+		case aphAllWait:
+			return st.finish(pe, AMSResult[K]{
+				Threshold: st.tg.Val,
+				Count:     st.accepted + st.nR,
+				LocalLen:  st.hi,
+				Rounds:    st.round,
+			})
+		case aphVsWait:
+			// Rank all candidates with one vector-valued sum.
+			js := comm.ScratchSlice[int64](pe, "sel.ams.js", st.d)
+			for t := 0; t < st.d; t++ {
+				if st.vs[t].Has {
+					js[t] = int64(clampInt(st.s.CountLE(st.vs[t].Val), st.lo, st.hi) - st.lo)
+				} else {
+					// No PE produced a candidate (all deviates overshot):
+					// treat as "everything ≤ v", forcing the window logic to
+					// keep the full window and retry.
+					js[t] = int64(st.hi - st.lo)
+				}
+			}
+			st.cur = coll.AllReduceIntoStep(pe, comm.ScratchSlice[int64](pe, "sel.ams.ks", st.d),
+				js, addInt64, st.onKs)
+			st.phase = aphKsWait
+		case aphKsWait:
+			// Success check, then narrow to (largest under, smallest over).
+			js := comm.ScratchSlice[int64](pe, "sel.ams.js", st.d)
+			bestUnder := int64(-1)
+			bestUnderJ := 0
+			bestOver := st.nR
+			bestOverJ := st.hi - st.lo
+			for t := 0; t < st.d; t++ {
+				if !st.vs[t].Has {
+					continue
+				}
+				k := st.ks[t]
+				switch {
+				case k >= st.kminR && k <= st.kmaxR:
+					return st.finish(pe, AMSResult[K]{
+						Threshold: st.vs[t].Val,
+						Count:     st.accepted + k,
+						LocalLen:  st.lo + int(js[t]),
+						Rounds:    st.round,
+					})
+				case k < st.kminR && k > bestUnder:
+					bestUnder, bestUnderJ = k, int(js[t])
+				case k > st.kmaxR && k < bestOver:
+					bestOver, bestOverJ = k, int(js[t])
+				}
+			}
+			nROld := st.nR
+			if bestUnder >= 0 {
+				st.accepted += bestUnder
+				st.kminR -= bestUnder
+				st.kmaxR -= bestUnder
+				st.nR -= bestUnder
+				st.lo += bestUnderJ
+				bestOverJ -= bestUnderJ
+			}
+			if bestOver < nROld {
+				st.nR = bestOver - max(bestUnder, 0)
+				st.hi = st.lo + bestOverJ
+			}
+			st.round++
+			st.phase = aphRound
+		case aphFallbackWait:
+			v := st.ms.resV
+			st.ms.release(pe)
+			st.ms = nil
+			return st.finish(pe, AMSResult[K]{
+				Threshold: v,
+				Count:     st.accepted + st.kminR,
+				LocalLen:  st.s.CountLE(v),
+				Rounds:    amsMaxRounds,
+			})
+		default:
+			return nil
+		}
+	}
+}

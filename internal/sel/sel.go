@@ -294,55 +294,18 @@ func (s SliceSeq[K]) CountLE(v K) int {
 // the same seed on every PE and use it only inside lockstep collectives.
 //
 // O((α log p + log min(n/p, k)) · log min(kp, n)) expected — Theorem 16.
+//
+// MSSelect is the continuation state machine of msasync.go (MSSelectStep)
+// driven to completion with blocking waits — one implementation for both
+// execution modes. The pivot-selection discipline (shared-stream pivot
+// position among remaining candidates, owner broadcast, two-counter
+// narrowing) lives with the state machine there.
 func MSSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], k int64, shared *xrand.RNG) (K, int) {
-	// Restrict to the first k elements of each local sequence (Appendix A).
-	lo, hi := 0, s.Len()
-	if int64(hi) > k {
-		hi = int(k)
-	}
-	n := coll.SumAll(pe, int64(hi-lo))
-	if k < 1 || k > n {
-		panic(fmt.Sprintf("sel: MSSelect rank %d out of range 1..%d", k, n))
-	}
-	kRem := k
-	for {
-		total := coll.SumAll(pe, int64(hi-lo))
-		if total == 1 {
-			var cand tagged[K]
-			if hi-lo == 1 {
-				cand = tagged[K]{Has: true, Val: s.At(lo)}
-			}
-			v := coll.AllReduceScalar(pe, cand, firstTagged[K]).Val
-			return v, s.CountLE(v)
-		}
-		// Same random number on all PEs selects the pivot position among
-		// the remaining candidates; its owner publishes the key.
-		r := shared.Int63n(total)
-		prev := coll.ExScanSum(pe, int64(hi-lo))
-		var cand tagged[K]
-		if r >= prev && r < prev+int64(hi-lo) {
-			cand = tagged[K]{Has: true, Val: s.At(lo + int(r-prev))}
-		}
-		v := coll.AllReduceScalar(pe, cand, firstTagged[K]).Val
-
-		jLess := clampInt(s.CountLess(v), lo, hi) - lo
-		jLE := clampInt(s.CountLE(v), lo, hi) - lo
-		var jv [2]int64
-		jv[0], jv[1] = int64(jLess), int64(jLE)
-		sums := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.ms.sums", 2),
-			jv[:], func(a, b int64) int64 { return a + b })
-		globLess, globLE := sums[0], sums[1]
-		switch {
-		case kRem <= globLess:
-			hi = lo + jLess
-		case kRem <= globLE:
-			// Unique keys: the pivot itself is the answer.
-			return v, s.CountLE(v)
-		default:
-			lo += jLE
-			kRem -= globLE
-		}
-	}
+	st := newMSSelectStep(pe, s, k, shared, nil, false)
+	comm.RunSteps(pe, st)
+	v, n := st.resV, st.resN
+	st.release(pe)
+	return v, n
 }
 
 func clampInt(x, lo, hi int) int { return min(max(x, lo), hi) }
@@ -402,126 +365,18 @@ func AMSSelectBatched[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, d 
 	return amsSelect(pe, s, kmin, kmax, rng, d)
 }
 
+// amsSelect is the continuation state machine of msasync.go
+// (AMSSelectStep) driven to completion with blocking waits — one
+// implementation for both execution modes. The estimator rationale (dual
+// min/max geometric sampling, d-wide candidate reductions, narrowing to
+// the tightest under/over bracket, exact fallback) lives with the state
+// machine there.
 func amsSelect[K cmp.Ordered](pe *comm.PE, s Seq[K], kmin, kmax int64, rng *xrand.RNG, d int) AMSResult[K] {
-	if kmin < 1 || kmax < kmin {
-		panic(fmt.Sprintf("sel: AMSSelect invalid range [%d, %d]", kmin, kmax))
-	}
-	n := coll.SumAll(pe, int64(s.Len()))
-	if kmin > n {
-		panic(fmt.Sprintf("sel: AMSSelect k̲=%d exceeds input size %d", kmin, n))
-	}
-
-	lo, hi := 0, s.Len()
-	var accepted int64 // globally accepted elements (all < current window)
-	kminR, kmaxR := kmin, kmax
-	nR := n
-	const maxRounds = 60
-	for round := 1; round <= maxRounds; round++ {
-		if kmaxR >= nR {
-			// Everything remaining fits: threshold is the global max.
-			var cand tagged[K]
-			if hi-lo > 0 {
-				cand = tagged[K]{Has: true, Val: s.At(hi - 1)}
-			}
-			v := coll.AllReduceScalar(pe, cand, maxTagged[K]).Val
-			return AMSResult[K]{Threshold: v, Count: accepted + nR, LocalLen: hi, Rounds: round}
-		}
-
-		// Draw d candidate thresholds. The paper's dual estimator: when the
-		// target is in the lower half use the min-based estimator, else the
-		// max-based one (both shown here; the min variant samples low ranks).
-		useMin := kmaxR < nR-kmaxR
-		cands := comm.ScratchSlice[tagged[K]](pe, "sel.ams.cands", d)
-		clear(cands) // scratch reuse: absent candidates must read as zero
-		for t := 0; t < d; t++ {
-			if useMin {
-				rho := amsRho(kminR, kmaxR)
-				x := rng.Geometric(rho)
-				if x <= int64(hi-lo) {
-					cands[t] = tagged[K]{Has: true, Val: s.At(lo + int(x) - 1)}
-				}
-			} else {
-				rho := amsRho(nR-kmaxR+1, nR-kminR+1)
-				x := rng.Geometric(rho)
-				if x <= int64(hi-lo) {
-					cands[t] = tagged[K]{Has: true, Val: s.At(hi - int(x))}
-				}
-			}
-		}
-		vsDst := comm.ScratchSlice[tagged[K]](pe, "sel.ams.vs", d)
-		var vs []tagged[K]
-		if useMin {
-			vs = coll.AllReduceInto(pe, vsDst, cands, minTagged[K])
-		} else {
-			vs = coll.AllReduceInto(pe, vsDst, cands, maxTagged[K])
-		}
-
-		// Rank all candidates with one vector-valued sum.
-		js := comm.ScratchSlice[int64](pe, "sel.ams.js", d)
-		for t := 0; t < d; t++ {
-			if vs[t].Has {
-				js[t] = int64(clampInt(s.CountLE(vs[t].Val), lo, hi) - lo)
-			} else {
-				// No PE produced a candidate (all deviates overshot): treat
-				// as "everything ≤ v", forcing the window logic below to
-				// keep the full window and retry.
-				js[t] = int64(hi - lo)
-			}
-		}
-		ks := coll.AllReduceInto(pe, comm.ScratchSlice[int64](pe, "sel.ams.ks", d),
-			js, func(a, b int64) int64 { return a + b })
-
-		// Success check, then narrow to (largest under, smallest over).
-		bestUnder := int64(-1)
-		bestUnderJ := 0
-		bestOver := nR
-		bestOverJ := hi - lo
-		for t := 0; t < d; t++ {
-			if !vs[t].Has {
-				continue
-			}
-			k := ks[t]
-			switch {
-			case k >= kminR && k <= kmaxR:
-				return AMSResult[K]{
-					Threshold: vs[t].Val,
-					Count:     accepted + k,
-					LocalLen:  lo + int(js[t]),
-					Rounds:    round,
-				}
-			case k < kminR && k > bestUnder:
-				bestUnder, bestUnderJ = k, int(js[t])
-			case k > kmaxR && k < bestOver:
-				bestOver, bestOverJ = k, int(js[t])
-			}
-		}
-		nROld := nR
-		if bestUnder >= 0 {
-			accepted += bestUnder
-			kminR -= bestUnder
-			kmaxR -= bestUnder
-			nR -= bestUnder
-			lo += bestUnderJ
-			bestOverJ -= bestUnderJ
-		}
-		if bestOver < nROld {
-			nR = bestOver - max(bestUnder, 0)
-			hi = lo + bestOverJ
-		}
-	}
-
-	// Flexible search failed to converge (degenerate interval); finish
-	// exactly. The shared stream must be identical across PEs: derive it
-	// from quantities all PEs agree on.
-	shared := xrand.New(int64(0x5eed + kmin + 31*kmax + 977*n))
-	sub := subSeq[K]{s: s, lo: lo, hi: hi}
-	v, _ := MSSelect[K](pe, sub, kminR, shared)
-	return AMSResult[K]{
-		Threshold: v,
-		Count:     accepted + kminR,
-		LocalLen:  s.CountLE(v),
-		Rounds:    maxRounds,
-	}
+	st := newAMSSelectStep(pe, s, kmin, kmax, rng, d, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 // subSeq restricts a Seq to the window [lo, hi) — the paper's cursor

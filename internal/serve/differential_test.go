@@ -1,15 +1,19 @@
 package serve
 
 import (
+	"slices"
 	"testing"
 
 	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
 )
 
-// queryOutcome is one query's observable: its answer and its attributed
-// meter (words + startups summed over PEs).
+// queryOutcome is one query's observable: its answer, its realized
+// batch size (DeleteMin only), and its attributed meter (words +
+// startups summed over PEs).
 type queryOutcome struct {
 	res   uint64
+	n     int64
 	words int64
 	sends int64
 }
@@ -31,7 +35,7 @@ func runServed(t *testing.T, m *comm.Machine, shards [][]uint64, ranks []int64, 
 			t.Fatalf("query %d: %v", i, err)
 		}
 		w, sd := tk.Meters()
-		out[i] = queryOutcome{res: res, words: w, sends: sd}
+		out[i] = queryOutcome{res: res, n: tk.BatchLen(), words: w, sends: sd}
 	}
 	if concurrent {
 		tickets := make([]*Ticket[uint64], len(ranks))
@@ -70,6 +74,148 @@ func runServed(t *testing.T, m *comm.Machine, shards [][]uint64, ranks []int64, 
 // independent by construction; this test pins that nothing else (tag
 // allocation, scratch, context demux, meter attribution) leaks between
 // tenants either.
+// mixedQuery is one entry of a mixed-kind workload: pq selects the
+// query type submitted with batch/rank size k.
+type mixedQuery struct {
+	pq bool
+	k  int64
+}
+
+// runServedMixed executes a mixed Kth/DeleteMin workload against a
+// fresh server on m, sequentially or fully concurrently, returning
+// per-query outcomes in submission order.
+func runServedMixed(t *testing.T, m *comm.Machine, shards [][]uint64, queries []mixedQuery, cfg Config, concurrent bool) []queryOutcome {
+	t.Helper()
+	s, err := NewServer(m, shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(q mixedQuery) *Ticket[uint64] {
+		var tk *Ticket[uint64]
+		var err error
+		if q.pq {
+			tk, err = s.DeleteMin(q.k)
+		} else {
+			tk, err = s.Kth(q.k)
+		}
+		if err != nil {
+			t.Fatalf("submit %+v: %v", q, err)
+		}
+		return tk
+	}
+	out := make([]queryOutcome, len(queries))
+	collect := func(i int, tk *Ticket[uint64]) {
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		w, sd := tk.Meters()
+		out[i] = queryOutcome{res: res, n: tk.BatchLen(), words: w, sends: sd}
+	}
+	if concurrent {
+		tickets := make([]*Ticket[uint64], len(queries))
+		for i, q := range queries {
+			tickets[i] = submit(q)
+		}
+		for i, tk := range tickets {
+			collect(i, tk)
+		}
+	} else {
+		for i, q := range queries {
+			collect(i, submit(q))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// mkUniqueShards builds p shards of globally unique keys (the DeleteMin
+// query kind's precondition) plus the sorted union oracle.
+func mkUniqueShards(p int, seed int64) (shards [][]uint64, sorted []uint64) {
+	rng := xrand.New(seed)
+	shards = make([][]uint64, p)
+	for r := range shards {
+		n := 40 + r*13%30
+		sh := make([]uint64, n)
+		for j := range sh {
+			// High bits random, low bits a global sequence number: unique
+			// by construction, order dominated by the random bits.
+			sh[j] = rng.Uint64()<<20 | uint64(len(sorted))
+			sorted = append(sorted, sh[j])
+		}
+		shards[r] = sh
+	}
+	slices.Sort(sorted)
+	return shards, sorted
+}
+
+// TestServeMixedKindsConcurrentMatchesSequential extends the serving
+// differential to the second query kind: a workload mixing Kth
+// selections with resident-queue DeleteMin batches must produce
+// bit-identical per-query answers, batch sizes, AND attributed meters
+// whether run strictly one at a time or at full inflight depth, on both
+// backends, with the mailbox scheduler squeezed to w < p. DeleteMin
+// queries mutate shared state, so this additionally pins the mux's FIFO
+// serialization: the resident queue's mutation (and RNG-stream) order
+// must equal dispatch order on every PE regardless of interleaving.
+func TestServeMixedKindsConcurrentMatchesSequential(t *testing.T) {
+	const p = 8
+	shards, sorted := mkUniqueShards(p, 23)
+	n := int64(len(sorted))
+	queries := []mixedQuery{
+		{false, 1}, {true, 5}, {false, n / 2}, {true, 1},
+		{true, 37}, {false, n}, {false, 7}, {true, 64},
+		{true, 11}, {false, n / 3}, {true, 3}, {false, 2},
+	}
+	// Oracle: Kth answers come from the immutable union; DeleteMin pops
+	// the globally smallest remaining keys in submission order.
+	remaining := append([]uint64(nil), sorted...)
+	want := make([]queryOutcome, len(queries))
+	for i, q := range queries {
+		if !q.pq {
+			want[i].res = sorted[q.k-1]
+			continue
+		}
+		take := q.k
+		if take > int64(len(remaining)) {
+			take = int64(len(remaining))
+		}
+		want[i].n = take
+		if take == q.k && take > 0 {
+			want[i].res = remaining[take-1] // exact path: threshold = batch max
+		}
+		remaining = remaining[take:]
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  comm.Config
+	}{
+		{"mailbox-wltp", func() comm.Config { c := comm.MailboxConfig(p); c.Workers = 3; return c }()},
+		{"matrix", comm.MatrixConfig(p)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqM := comm.NewMachine(tc.cfg)
+			defer seqM.Close()
+			seq := runServedMixed(t, seqM, shards, queries, Config{MaxInflight: 1, BatchMax: 1, Seed: 31}, false)
+			conM := comm.NewMachine(tc.cfg)
+			defer conM.Close()
+			con := runServedMixed(t, conM, shards, queries, Config{MaxInflight: 6, BatchMax: 4, Seed: 31}, true)
+			for i, q := range queries {
+				if seq[i].res != want[i].res || seq[i].n != want[i].n {
+					t.Errorf("query %d (%+v): sequential got (res %d, n %d) want (res %d, n %d)",
+						i, q, seq[i].res, seq[i].n, want[i].res, want[i].n)
+				}
+				if seq[i] != con[i] {
+					t.Errorf("query %d (%+v): outcomes diverge\n  sequential: %+v\n  concurrent: %+v",
+						i, q, seq[i], con[i])
+				}
+			}
+		})
+	}
+}
+
 func TestServeConcurrentMatchesSequential(t *testing.T) {
 	const p = 8
 	shards, sorted := mkShards(p, 17)

@@ -3,6 +3,7 @@ package serve
 import (
 	"cmp"
 
+	"commtopk/internal/bpq"
 	"commtopk/internal/comm"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
@@ -22,6 +23,7 @@ type slot[K cmp.Ordered] struct {
 	step    comm.Stepper
 	pending *comm.RecvHandle
 	res     K
+	resN    int64 // realized batch size (DeleteMin slots only)
 }
 
 // mux is the per-PE tenant multiplexer: one long-lived stepper that
@@ -38,10 +40,20 @@ type slot[K cmp.Ordered] struct {
 // cannot starve another: each sweep revisits every slot, and a slot
 // only consumes worker time when one of its messages has arrived.
 type mux[K cmp.Ordered] struct {
-	srv     *Server[K]
-	shard   []K
-	db      *comm.RecvHandle // posted doorbell receive (ctx 0)
-	slots   []*slot[K]
+	srv   *Server[K]
+	shard []K
+	db    *comm.RecvHandle // posted doorbell receive (ctx 0)
+	slots []*slot[K]
+	// Bulk-PQ state: the resident queue (lazily built from the shard at
+	// the first DeleteMin dispatch) and the FIFO of its in-flight slots.
+	// The queue is shared mutable state across DeleteMin queries, so
+	// only the FIFO head runs; dispatch order is identical on every PE
+	// (one dispatcher goroutine, per-(src,ctx) FIFO doorbell streams),
+	// which keeps the queue's mutation order — and with it every
+	// query's result and meters — independent of backend, worker count,
+	// and inflight depth. Kth slots interleave freely around the FIFO.
+	pq      *bpq.Queue[K]
+	pqQ     []*slot[K]
 	closing bool
 }
 
@@ -59,6 +71,10 @@ func (x *mux[K]) PendingHandles(buf []*comm.RecvHandle) []*comm.RecvHandle {
 		if sl.pending != nil {
 			buf = append(buf, sl.pending)
 		}
+	}
+	// Only the FIFO head of the bulk-PQ queue can be suspended.
+	if len(x.pqQ) > 0 && x.pqQ[0].pending != nil {
+		buf = append(buf, x.pqQ[0].pending)
 	}
 	return buf
 }
@@ -103,8 +119,23 @@ func (x *mux[K]) Step(pe *comm.PE) *comm.RecvHandle {
 			}
 			i++
 		}
+		// Bulk-PQ FIFO: step only the head; the next query starts after
+		// the head retires, so the resident queue mutates in dispatch
+		// order on every PE.
+		if len(x.pqQ) > 0 {
+			sl := x.pqQ[0]
+			if sl.pending == nil || sl.pending.Test() {
+				sl.pending = nil
+				progress = true
+				if x.stepSlot(pe, sl) {
+					copy(x.pqQ, x.pqQ[1:])
+					x.pqQ[len(x.pqQ)-1] = nil
+					x.pqQ = x.pqQ[:len(x.pqQ)-1]
+				}
+			}
+		}
 		if !progress {
-			if x.closing && len(x.slots) == 0 {
+			if x.closing && len(x.slots) == 0 && len(x.pqQ) == 0 {
 				return nil // retired: poison consumed, tenants drained
 			}
 			// Suspend. The returned handle is what single-waiter drivers
@@ -113,19 +144,37 @@ func (x *mux[K]) Step(pe *comm.PE) *comm.RecvHandle {
 			if x.db != nil {
 				return x.db
 			}
-			return x.slots[0].pending
+			if len(x.slots) > 0 {
+				return x.slots[0].pending
+			}
+			return x.pqQ[0].pending
 		}
 	}
 }
 
-// addSlot starts a dispatched query on this PE. The per-query RNG seed
-// makes the pivot walk (and so the meter) independent of interleaving.
+// addSlot starts a dispatched query on this PE. For Kth the per-query
+// RNG seed makes the pivot walk (and so the meter) independent of
+// interleaving; DeleteMin draws from the resident queue's own streams,
+// which the FIFO consumes in dispatch order.
 func (x *mux[K]) addSlot(pe *comm.PE, q *query[K]) {
 	sl := &slot[K]{q: q}
 	pe.SetCtx(q.ctx)
-	sl.step = sel.KthStep(pe, x.shard, q.k, xrand.NewPE(q.seed, pe.Rank()), func(v K) { sl.res = v })
+	switch q.kind {
+	case kindPQ:
+		if x.pq == nil {
+			// Materialize the resident queue from the shard. Local-only
+			// (insert is communication-free), seeded identically across
+			// servers, so the trajectory matches any dispatch schedule.
+			x.pq = bpq.New[K](pe, x.srv.cfg.Seed)
+			x.pq.InsertBulk(x.shard)
+		}
+		sl.step = x.pq.DeleteMinStep(q.k, func(_ []K, v K, n int64) { sl.res, sl.resN = v, n })
+		x.pqQ = append(x.pqQ, sl)
+	default:
+		sl.step = sel.KthStep(pe, x.shard, q.k, xrand.NewPE(q.seed, pe.Rank()), func(v K) { sl.res = v })
+		x.slots = append(x.slots, sl)
+	}
 	pe.SetCtx(0)
-	x.slots = append(x.slots, sl)
 }
 
 // stepSlot runs one tenant burst under its context, attributing the
@@ -146,9 +195,10 @@ func (x *mux[K]) stepSlot(pe *comm.PE, sl *slot[K]) (done bool) {
 		sl.pending = h
 		return false
 	}
-	// KthStep delivered on every PE; rank 0's copy is the ticket's.
+	// The stepper delivered on every PE; rank 0's copy is the ticket's.
 	if pe.Rank() == 0 {
 		sl.q.t.res = sl.res
+		sl.q.t.n = sl.resN
 	}
 	if sl.q.peLeft.Add(-1) == 0 {
 		x.srv.finishQuery(sl.q)

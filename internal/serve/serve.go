@@ -89,8 +89,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Query kinds. Kth selections run against the immutable shards and may
+// interleave freely; bulk-PQ operations mutate the resident queue and
+// are serialized per mux in dispatch order (see mux.pqQ).
+const (
+	kindKth = iota
+	kindPQ
+)
+
 // query is the shared per-query record all p mux slots work on.
 type query[K cmp.Ordered] struct {
+	kind int
 	k    int64
 	seed int64
 	ctx  comm.Ctx
@@ -109,13 +118,16 @@ type Ticket[K cmp.Ordered] struct {
 	srv      *Server[K]
 	q        *query[K]
 	res      K
+	n        int64
 	err      error
 	done     chan struct{}
 	canceled atomic.Bool
 }
 
 // Wait blocks until the query completes (or the machine dies) and
-// returns the element of global rank k.
+// returns the query's scalar result: the element of global rank k for
+// Kth, the agreed selection threshold for DeleteMin (zero K when the
+// queue drained or was empty).
 func (t *Ticket[K]) Wait() (K, error) {
 	select {
 	case <-t.done:
@@ -145,6 +157,11 @@ func (t *Ticket[K]) Cancel() bool {
 	t.canceled.Store(true)
 	return !t.q.dispatched.Load()
 }
+
+// BatchLen returns the realized global batch size of a DeleteMin query
+// (min(k, queue size) — every PE agreed on it). Zero for Kth queries.
+// Valid after Wait returns nil error.
+func (t *Ticket[K]) BatchLen() int64 { return t.n }
 
 // Meters returns the query's attributed communication: words sent and
 // messages sent, summed over all PEs, exactly the traffic its stepper
@@ -219,8 +236,30 @@ func (s *Server[K]) Kth(k int64) (*Ticket[K], error) {
 	if k < 1 || k > s.n {
 		return nil, fmt.Errorf("serve: rank %d out of range [1, %d]", k, s.n)
 	}
+	return s.submit(kindKth, k)
+}
+
+// DeleteMin submits a bulk delete-min of global batch size min(k, queue
+// size) against the server's resident priority queue — the second query
+// kind. Every PE lazily materializes the queue from its shard at the
+// first DeleteMin dispatch (shard keys must be globally unique for this
+// query kind); the queue then mutates across DeleteMin queries, so the
+// muxes execute them serialized in dispatch order while Kth queries —
+// which keep serving the immutable shards — interleave freely around
+// them. The popped elements stay resident on their PEs (owner-computes);
+// the ticket surfaces the agreed threshold via Wait and the realized
+// batch size via BatchLen. Non-blocking admission, like Kth.
+func (s *Server[K]) DeleteMin(k int64) (*Ticket[K], error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: batch size %d must be at least 1", k)
+	}
+	return s.submit(kindPQ, k)
+}
+
+// submit builds the ticket and runs non-blocking admission.
+func (s *Server[K]) submit(kind int, k int64) (*Ticket[K], error) {
 	t := &Ticket[K]{done: make(chan struct{}), srv: s}
-	t.q = &query[K]{k: k, seed: s.cfg.Seed + s.nextID.Add(1), t: t}
+	t.q = &query[K]{kind: kind, k: k, seed: s.cfg.Seed + s.nextID.Add(1), t: t}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed.Load() {

@@ -15,6 +15,21 @@
 // stack in a fixed array. The bulk-parallel priority queue calls these on
 // every DeleteMin, so recursion frames and closure allocations on this
 // path were pure overhead.
+//
+// # Node arena
+//
+// Nodes live in slab-allocated blocks owned by a per-tree arena that is
+// shared with every tree split off from it (SplitByKey/SplitByRank), with
+// a free list threaded through recycled nodes' right pointers. Insert
+// takes a node from the free list when one is available and bump-allocates
+// from the current slab otherwise, so the only heap allocation on the
+// insert path is one slab per slabSize nodes — amortized ~0 allocs/op
+// instead of the former one node per Insert. Delete recycles the spliced
+// node immediately; an extracted batch tree recycles all of its nodes at
+// once via Recycle after the caller has read the keys out (the
+// bulk-parallel priority queue's DeleteMin path). Slabs are never freed:
+// a tree's high-water node count stays resident until the tree itself is
+// garbage, which is exactly the churn profile the priority queue wants.
 package treap
 
 import (
@@ -37,6 +52,75 @@ func size[K cmp.Ordered](n *node[K]) int {
 	return n.size
 }
 
+// slab sizing: the first slab is small so tiny trees stay cheap, then
+// slabs double up to a cap so big trees pay O(log n) slab allocations on
+// the way up and one allocation per slabMax nodes in steady state.
+const (
+	slabMin = 64
+	slabMax = 8192
+)
+
+// arena is the slab allocator behind a tree and all trees split off from
+// it. Not safe for concurrent use — like the trees it backs, an arena
+// belongs to one goroutine (one PE) at a time. The counters are plain
+// ints for the same reason; ArenaStats exposes them so tests can assert
+// the allocator paths are actually taken (the bucket-dispatch guard
+// idiom) without timing or AllocsPerRun heuristics.
+type arena[K cmp.Ordered] struct {
+	slabs [][]node[K]
+	used  int      // bump cursor into the last slab
+	free  *node[K] // recycled nodes, threaded through right pointers
+
+	reused   int64 // nodes handed out from the free list
+	recycled int64 // nodes returned to the free list
+	slabbed  int64 // slabs allocated
+}
+
+// newNode hands out a fully initialized node: free list first, bump
+// allocation from the current slab otherwise.
+func (a *arena[K]) newNode(key K, prio uint64) *node[K] {
+	if n := a.free; n != nil {
+		a.free = n.right
+		a.reused++
+		n.key, n.prio, n.size, n.left, n.right = key, prio, 1, nil, nil
+		return n
+	}
+	if len(a.slabs) == 0 || a.used == len(a.slabs[len(a.slabs)-1]) {
+		sz := slabMin
+		if len(a.slabs) > 0 {
+			sz = min(2*len(a.slabs[len(a.slabs)-1]), slabMax)
+		}
+		a.slabs = append(a.slabs, make([]node[K], sz))
+		a.used = 0
+		a.slabbed++
+	}
+	n := &a.slabs[len(a.slabs)-1][a.used]
+	a.used++
+	n.key, n.prio, n.size = key, prio, 1
+	return n
+}
+
+// freeNode pushes a detached node onto the free list. The node must not
+// be reachable from any tree.
+func (a *arena[K]) freeNode(n *node[K]) {
+	var zero K
+	n.key = zero // drop pointer-carrying keys for the GC
+	n.left = nil
+	n.right = a.free
+	a.free = n
+	a.recycled++
+}
+
+// ArenaStats are the allocator's path counters; see Tree.ArenaStats.
+type ArenaStats struct {
+	// Slabs is the number of node blocks allocated from the heap.
+	Slabs int64
+	// Reused counts nodes handed out from the free list.
+	Reused int64
+	// Recycled counts nodes returned to the free list (Delete, Recycle).
+	Recycled int64
+}
+
 // Tree is a treap over unique keys. The zero value is not usable; create
 // trees with New so that priorities come from a deterministic stream.
 //
@@ -47,6 +131,7 @@ func size[K cmp.Ordered](n *node[K]) int {
 type Tree[K cmp.Ordered] struct {
 	root *node[K]
 	rng  *xrand.RNG
+	ar   *arena[K] // shared with trees split off this one; lazily created
 
 	minK, maxK K
 	extOK      bool // caches valid (tree non-empty and minK/maxK current)
@@ -55,7 +140,34 @@ type Tree[K cmp.Ordered] struct {
 // New returns an empty tree whose rotation priorities are drawn from a
 // deterministic stream seeded with seed.
 func New[K cmp.Ordered](seed int64) *Tree[K] {
-	return &Tree[K]{rng: xrand.New(seed)}
+	return &Tree[K]{rng: xrand.New(seed), ar: &arena[K]{}}
+}
+
+// arena returns the tree's allocator, creating it on first use (covers
+// trees reconstructed by struct copy from a zero value).
+func (t *Tree[K]) arena() *arena[K] {
+	if t.ar == nil {
+		t.ar = &arena[K]{}
+	}
+	return t.ar
+}
+
+// ArenaStats reports the node allocator's path counters: slabs taken
+// from the heap, nodes reused from the free list, and nodes recycled
+// onto it. The counters cover this tree AND every tree split off from it
+// (they share one arena). Tests use this to assert the arena paths are
+// taken, mirroring the counter-guarded dispatch tests of package qsel.
+func (t *Tree[K]) ArenaStats() ArenaStats {
+	a := t.arena()
+	return ArenaStats{Slabs: a.slabbed, Reused: a.reused, Recycled: a.recycled}
+}
+
+// Reseed restarts the priority stream from seed. The bulk-parallel
+// priority queue's drain path uses this to keep its RNG consumption
+// identical to discarding the tree and creating a fresh one, while the
+// arena (and its recycled nodes) stays.
+func (t *Tree[K]) Reseed(seed int64) {
+	t.rng = xrand.New(seed)
 }
 
 // Len returns the number of keys stored.
@@ -154,7 +266,7 @@ func (t *Tree[K]) Insert(key K) bool {
 	if t.Contains(key) {
 		return false
 	}
-	nn := &node[K]{key: key, prio: t.rng.Uint64(), size: 1}
+	nn := t.arena().newNode(key, t.rng.Uint64())
 	wasEmpty := t.root == nil
 	l, r := split(t.root, key)
 	t.root = merge(merge(l, nn), r)
@@ -195,6 +307,7 @@ func (t *Tree[K]) Delete(key K) bool {
 			if t.extOK && (key == t.minK || key == t.maxK) {
 				t.extOK = false // extreme removed; recompute lazily
 			}
+			t.arena().freeNode(n)
 			return true
 		}
 	}
@@ -299,17 +412,17 @@ func (t *Tree[K]) SplitByKey(key K) *Tree[K] {
 	le, gt := splitLE(t.root, key)
 	t.root = gt
 	t.extOK = false
-	return &Tree[K]{root: le, rng: xrand.New(int64(t.rng.Uint64()))}
+	return &Tree[K]{root: le, rng: xrand.New(int64(t.rng.Uint64())), ar: t.arena()}
 }
 
 // SplitByRank removes and returns a new tree holding the i smallest keys;
 // the receiver keeps the rest.
 func (t *Tree[K]) SplitByRank(i int) *Tree[K] {
 	if i <= 0 {
-		return &Tree[K]{rng: xrand.New(int64(t.rng.Uint64()))}
+		return &Tree[K]{rng: xrand.New(int64(t.rng.Uint64())), ar: t.arena()}
 	}
 	if i >= t.Len() {
-		out := &Tree[K]{root: t.root, rng: xrand.New(int64(t.rng.Uint64()))}
+		out := &Tree[K]{root: t.root, rng: xrand.New(int64(t.rng.Uint64())), ar: t.arena()}
 		t.root = nil
 		return out
 	}
@@ -338,7 +451,34 @@ func (t *Tree[K]) SplitByRank(i int) *Tree[K] {
 	*rhook = nil
 	t.root = r
 	t.extOK = false
-	return &Tree[K]{root: l, rng: xrand.New(int64(t.rng.Uint64()))}
+	return &Tree[K]{root: l, rng: xrand.New(int64(t.rng.Uint64())), ar: t.arena()}
+}
+
+// Recycle empties the tree and returns every node to the arena free
+// list, where the next inserts into this tree — or into any tree sharing
+// the arena, in particular the tree this one was split off from — will
+// reuse them. This is how an extracted DeleteMin batch is disposed of
+// after its keys are read out: the former behaviour of dropping the
+// subtree on the floor fed every churn cycle's node count to the GC.
+// O(n) with no allocation (iterative right-rotation teardown).
+func (t *Tree[K]) Recycle() {
+	a := t.arena()
+	n := t.root
+	for n != nil {
+		if l := n.left; l != nil {
+			// Rotate the left child up so the spine stays reachable
+			// without a stack.
+			n.left = l.right
+			l.right = n
+			n = l
+			continue
+		}
+		next := n.right
+		a.freeNode(n)
+		n = next
+	}
+	t.root = nil
+	t.extOK = false
 }
 
 // Concat appends other (all of whose keys must be greater than every key of
@@ -392,8 +532,27 @@ func (t *Tree[K]) Keys() []K {
 }
 
 // InsertBulk inserts all keys, skipping duplicates, and returns how many
-// were inserted.
+// were inserted. A strictly ascending batch whose first key exceeds the
+// current maximum (the monotone re-insertion pattern of the bulk priority
+// queue) is built in O(len(keys)) by buildAscending and joined on with
+// one merge, skipping the per-key descent; any other batch falls back to
+// per-key Insert. Both paths draw one priority per inserted key in key
+// order and a treap's shape is a function of its (key, priority) set
+// alone, so the fast path produces the bit-identical tree.
 func (t *Tree[K]) InsertBulk(keys []K) int {
+	if len(keys) > 1 && ascending(keys) {
+		if mx, ok := t.Max(); !ok || keys[0] > mx {
+			sub := t.buildAscending(keys)
+			t.root = merge(t.root, sub)
+			if !ok {
+				t.minK, t.extOK = keys[0], true
+			}
+			if t.extOK {
+				t.maxK = keys[len(keys)-1]
+			}
+			return len(keys)
+		}
+	}
 	n := 0
 	for _, k := range keys {
 		if t.Insert(k) {
@@ -401,4 +560,72 @@ func (t *Tree[K]) InsertBulk(keys []K) int {
 		}
 	}
 	return n
+}
+
+// ascending reports whether keys is strictly ascending.
+func ascending[K cmp.Ordered](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildSorted fills an empty tree from a strictly ascending batch in
+// O(len(keys)) — the DeleteMin extraction inverse: a batch read out with
+// Keys can be rebuilt without len·log(len) per-key descents. Draws one
+// priority per key in key order (exactly the stream per-key Insert would
+// consume), so the result is bit-identical to inserting the keys one by
+// one. Panics if the tree is not empty or keys are not strictly
+// ascending.
+func (t *Tree[K]) BuildSorted(keys []K) {
+	if t.root != nil {
+		panic("treap: BuildSorted on a non-empty tree")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	t.root = t.buildAscending(keys)
+	t.minK, t.maxK, t.extOK = keys[0], keys[len(keys)-1], true
+}
+
+// buildAscending builds a treap over the strictly ascending keys with
+// one left-to-right pass over the right spine (the Cartesian-tree
+// construction): each new node pops the spine suffix of lower priority
+// as its left subtree. A popped node's subtree is final, so its size is
+// written then; nodes still on the spine at the end extend to the last
+// key. The size field doubles as the node's leftmost key index while the
+// node is open (every open node sits on the spine with its final size
+// not yet known). Panics on a non-ascending pair. O(len(keys)) time, no
+// allocation beyond the arena slabs.
+func (t *Tree[K]) buildAscending(keys []K) *node[K] {
+	a := t.arena()
+	var arr [96]*node[K]
+	spine := arr[:0] // right spine, root first, priorities non-increasing
+	for i, k := range keys {
+		if i > 0 && k <= keys[i-1] {
+			panic("treap: bulk build needs strictly ascending keys")
+		}
+		nn := a.newNode(k, t.rng.Uint64())
+		nn.size = i // leftmost index while open
+		var popped *node[K]
+		for len(spine) > 0 && spine[len(spine)-1].prio < nn.prio {
+			popped = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+			lo := popped.size
+			popped.size = i - lo // subtree is [lo, i-1], now final
+			nn.size = lo         // nn inherits the popped chain's leftmost index
+		}
+		nn.left = popped
+		if len(spine) > 0 {
+			spine[len(spine)-1].right = nn
+		}
+		spine = append(spine, nn)
+	}
+	n := len(keys)
+	for _, m := range spine {
+		m.size = n - m.size // open subtrees extend to the last key
+	}
+	return spine[0]
 }
