@@ -51,11 +51,18 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"commtopk/internal/comm"
 	"commtopk/internal/experiments"
+	"commtopk/internal/wire"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, bpq, serve, all)")
+	// A wire cluster re-execs this binary as its workers (rendezvous
+	// address in the environment); a worker process never parses flags.
+	wire.MaybeWorker()
+
+	exp := flag.String("exp", "all", "experiment id (fig6, fig7a, fig7b, fig8, fig5, table1, amsbatch, pqflex, dht, redist, coll, scaling, kernels, bpq, serve, wire, all)")
+	backendFlag := flag.String("backend", "mailbox", "machine backend for the experiment families: mailbox, chanmatrix, or wire (wire is valid only with -exp wire — the other families run closures, which cannot cross process boundaries)")
 	quick := flag.Bool("quick", false, "CI tier: with -exp scaling p capped at 4096, one run per op, no blocking A/B twins; with -exp kernels n capped at 2^18, one run per op; with -exp bpq p=256 only, one run per op, no twins; with -exp serve a reduced query count")
 	pmax := flag.Int("pmax", 64, "maximum PE count for weak-scaling sweeps (powers of two from 1)")
 	perPE := flag.Int("perpe", 1<<17, "elements per PE (the paper's n/p; 2^28 in the paper)")
@@ -69,6 +76,20 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	flag.Parse()
+
+	switch *backendFlag {
+	case "mailbox":
+	case "chanmatrix":
+		experiments.SetBackend(comm.BackendChannelMatrix)
+	case "wire":
+		if *exp != "wire" {
+			fmt.Fprintln(os.Stderr, "topkbench: -backend wire requires -exp wire (the other experiment families run SPMD closures, which cannot cross process boundaries; the wire family runs registered programs)")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "topkbench: unknown -backend %q (want mailbox, chanmatrix, or wire)\n", *backendFlag)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -103,17 +124,30 @@ func main() {
 	if *jsonMode {
 		// The pipeline suite runs fixed configurations (so reports stay
 		// comparable PR-over-PR); the experiment sweep flags do not apply.
+		// Exception: -exp wire selects the wire measured-vs-modeled family
+		// as the report's suite.
+		wireReport := *exp == "wire"
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "pmax", "perpe", "k", "seed", "quick":
+			case "pmax", "perpe", "k", "seed":
 				fmt.Fprintf(os.Stderr, "topkbench: -%s is ignored in -json mode (the pipeline suite is fixed; see EXPERIMENTS.md)\n", f.Name)
+			case "exp", "quick":
+				if !wireReport {
+					fmt.Fprintf(os.Stderr, "topkbench: -%s is ignored in -json mode (the pipeline suite is fixed; see EXPERIMENTS.md)\n", f.Name)
+				}
 			}
 		})
 		path := *out
 		if path == "" {
 			path = fmt.Sprintf("BENCH_PR%d.json", *pr)
 		}
-		rep, err := experiments.WriteBenchReport(path, *pr, *note, *baseline,
+		suite := experiments.RunBenchSuite
+		if wireReport {
+			suite = func(progress func(string)) []experiments.BenchResult {
+				return experiments.WireSuite(*quick, progress)
+			}
+		}
+		rep, err := experiments.WriteBenchReportSuite(path, *pr, *note, *baseline, suite,
 			func(line string) { fmt.Fprintln(os.Stderr, line) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "topkbench: %v\n", err)
@@ -203,6 +237,13 @@ func main() {
 		// p = 16384. -quick is the CI smoke tier: p = 256, one run per op,
 		// no blocking A/B twins.
 		tables = append(tables, experiments.BpqTable(*quick))
+	}
+	if *exp == "wire" {
+		// Not part of -exp all: spawns real worker processes. Measures
+		// wall-clock vs the modeled α/β clock for the registered programs
+		// on multi-process clusters, twin-checked against the in-process
+		// mailbox machine. -quick is the CI tier (p=16, 2 processes).
+		tables = append(tables, experiments.WireTable(*quick))
 	}
 	if *exp == "serve" {
 		// Not part of -exp all: wall-clock serving measurements (open-loop

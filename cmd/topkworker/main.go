@@ -1,0 +1,35 @@
+// topkworker is a standalone wire-backend worker: it dials the leader's
+// rendezvous socket, runs its PE group, and exits when the leader shuts
+// the cluster down. Leaders that re-exec themselves (the default
+// wire.Config.WorkerCommand) don't need it; it exists for explicitly
+// heterogeneous launches (wire.Config{WorkerCommand: []string{"topkworker"}})
+// and as the reference for what a worker binary must do: register the
+// shared programs and codecs (import wireprogs), then hand the process to
+// the wire worker loop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commtopk/internal/wire"
+	_ "commtopk/internal/wire/wireprogs"
+)
+
+func main() {
+	wire.MaybeWorker() // env-based launch: does not return if COMMTOPK_WIRE_ADDR is set
+
+	var (
+		network = flag.String("network", "unix", "rendezvous network (unix or tcp)")
+		addr    = flag.String("addr", "", "leader rendezvous address (required)")
+		index   = flag.Int("index", -1, "worker group index (required, >= 1)")
+	)
+	flag.Parse()
+	if *addr == "" || *index < 1 {
+		fmt.Fprintln(os.Stderr, "topkworker: -addr and -index are required (or launch via the COMMTOPK_WIRE_* environment)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(wire.WorkerMain(*network, *addr, *index))
+}

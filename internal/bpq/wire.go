@@ -1,0 +1,19 @@
+package bpq
+
+import (
+	"cmp"
+
+	"commtopk/internal/sel"
+	"commtopk/internal/wire"
+)
+
+// RegisterWireCodecs registers the payload codecs the bulk priority queue
+// over key type K puts on a cross-process frame: the selection and
+// collective set for K plus the queue's own tagged optional-value carrier
+// (PeekMin and the flexible-batch reductions). Call it from the shared
+// registration package (see internal/wire/wireprogs); elemName is the
+// on-wire identity of K and must match across processes.
+func RegisterWireCodecs[K cmp.Ordered](elemName string) {
+	sel.RegisterWireCodecs[K](elemName)
+	wire.RegisterPOD[tagged[K]]("bpq.tagged[" + elemName + "]")
+}

@@ -431,7 +431,7 @@ func (pe *PE) takeTry(src int, ctx uint32) (message, bool) {
 // so queued PE bodies keep starting while this one parks.
 func (pe *PE) takeBlocking(src int, ctx uint32) message {
 	if pe.box != nil {
-		pe.sched.WillPark(pe.rank)
+		pe.sched.WillPark(pe.sidx)
 		t0 := time.Now()
 		mm, ok := pe.box.TakeKey(mailbox.Key(src, ctx))
 		pe.waitNs += time.Since(t0).Nanoseconds()
@@ -678,7 +678,7 @@ func (pe *PE) waitAnyBound(hs []*RecvHandle) {
 			keys = append(keys, mailbox.Key(h.src, h.ctx))
 		}
 		pe.keyBuf = keys
-		pe.sched.WillPark(pe.rank)
+		pe.sched.WillPark(pe.sidx)
 		t0 := time.Now()
 		mm, ok := pe.box.WaitAnyKeys(keys)
 		pe.waitNs += time.Since(t0).Nanoseconds()
@@ -740,7 +740,7 @@ func (pe *PE) waitAnyBound(hs []*RecvHandle) {
 // the equivalent blocking Run on either backend. Error semantics and
 // machine reuse match Run.
 func (m *Machine) RunAsync(start func(pe *PE) Stepper) error {
-	if m.cfg.Backend != BackendMailbox {
+	if m.sched == nil {
 		return m.Run(func(pe *PE) {
 			if st := start(pe); st != nil {
 				RunSteps(pe, st)

@@ -72,6 +72,17 @@ const (
 	// choice): per-receiver MPSC mailboxes, the sharded worker scheduler,
 	// and O(1) aggregate Stats.
 	BackendMailbox
+	// BackendWire is the multi-process engine: this machine owns only the
+	// contiguous local rank window Config.Remote [Lo, Hi) of the full
+	// p-PE machine, runs it on the mailbox scheduler exactly like
+	// BackendMailbox, and hands every message addressed outside the
+	// window to Config.Remote.Forward — the seam internal/wire plugs its
+	// socket transport into. Incoming cross-process messages are injected
+	// with Machine.Deliver. Metering is unchanged: the sender stamps
+	// depart before the frame leaves, the frame carries the stamp, and
+	// the receiver folds the α/β receive rule against it, so results and
+	// per-PE meters are bit-identical to an in-process machine.
+	BackendWire
 )
 
 // String names the backend as used in benchmark reports and CLI flags.
@@ -79,6 +90,8 @@ func (b Backend) String() string {
 	switch b {
 	case BackendMailbox:
 		return "mailbox"
+	case BackendWire:
+		return "wire"
 	default:
 		return "chanmatrix"
 	}
@@ -136,6 +149,30 @@ type Config struct {
 	// of deadlocking) while results and statistics stay bit-identical.
 	// Mailbox sends never block, so the knob is meaningless there.
 	AsyncSendBuffer bool
+	// PopBatch is the mailbox scheduler's cursor-claim batch size: how
+	// many ranks a shard driver claims per atomic (0 selects the default,
+	// 8). A host-side scheduling constant only — results and metering are
+	// independent of it (see mailbox.Sched.SetPopBatch); the serving
+	// suite exposes it for the adaptive-popBatch measurement hook.
+	PopBatch int
+	// Remote windows a BackendWire machine to its process-local
+	// contiguous rank range (required for BackendWire, ignored
+	// otherwise). See BackendWire.
+	Remote *Remote
+}
+
+// Remote describes the local rank window of one process of a
+// BackendWire machine and the transport hook for everything outside it.
+type Remote struct {
+	// Lo, Hi bound the local window [Lo, Hi): this process constructs
+	// boxes, PEs and scheduler state for exactly these ranks.
+	Lo, Hi int
+	// Forward ships a message addressed to a non-local rank (or an
+	// external Post to one) across the transport. Called synchronously
+	// from the sending PE's goroutine — it must not block indefinitely
+	// (the wire transport enqueues to a per-connection writer). The
+	// message arrives at the owning process via Machine.Deliver.
+	Forward func(dst int, msg mailbox.Msg)
 }
 
 // DefaultConfig returns a machine configuration with p PEs on the mailbox
@@ -170,14 +207,23 @@ func MatrixConfig(p int) Config {
 // unset. Returns 0 for the channel matrix (which binds one goroutine per
 // PE for the duration of each Run).
 func SchedWorkers(cfg Config) int {
-	if cfg.Backend != BackendMailbox {
+	if cfg.Backend == BackendChannelMatrix {
 		return 0
 	}
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0) * 8
 	}
-	return max(1, min(w, cfg.P))
+	return max(1, min(w, localP(cfg)))
+}
+
+// localP is the number of PEs this process hosts: the Remote window for
+// a wire machine, all of cfg.P otherwise.
+func localP(cfg Config) int {
+	if cfg.Backend == BackendWire && cfg.Remote != nil {
+		return cfg.Remote.Hi - cfg.Remote.Lo
+	}
+	return cfg.P
 }
 
 // QueueBytes estimates the message-queue memory NewMachine allocates up
@@ -188,9 +234,9 @@ func SchedWorkers(cfg Config) int {
 func QueueBytes(cfg Config) int64 {
 	p := int64(cfg.P)
 	switch cfg.Backend {
-	case BackendMailbox:
+	case BackendMailbox, BackendWire:
 		const boxBytes = int64(unsafe.Sizeof(mailbox.Box{})) + 16 // box + slice slot + pointer
-		return p * boxBytes
+		return int64(localP(cfg)) * boxBytes
 	default:
 		chanCap := int64(cfg.ChanCap)
 		if chanCap <= 0 {
@@ -214,11 +260,11 @@ func QueueBytes(cfg Config) int64 {
 // test pins it against the measured live heap. Transient run state —
 // bodies parked mid-collective — is workload-dependent and not included.
 func MachineBytes(cfg Config) int64 {
-	p := int64(cfg.P)
+	p := int64(localP(cfg))
 	peBytes := int64(unsafe.Sizeof(PE{})) + 8 // handle + slice slot
 	b := QueueBytes(cfg) + p*peBytes
-	if cfg.Backend == BackendMailbox {
-		return b + mailbox.StateBytes(cfg.P, SchedWorkers(cfg))
+	if cfg.Backend != BackendChannelMatrix {
+		return b + mailbox.StateBytes(localP(cfg), SchedWorkers(cfg))
 	}
 	const stackBytes = 8 << 10
 	return b + p*stackBytes
@@ -250,6 +296,10 @@ type Machine struct {
 	// destination box under the ExternalSrc rank.
 	ext []chan message
 	pes []*PE
+	// lo is the first local rank (0 except on BackendWire, where the
+	// machine owns only the Remote window and pes/boxes are indexed by
+	// rank−lo).
+	lo int
 
 	// Pooled communication-context allocator (NewContext/ReleaseContext):
 	// ids are never 0 (the default context) and are recycled so long
@@ -291,15 +341,39 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.ChanCap <= 0 {
 		cfg.ChanCap = 64
 	}
+	lo := 0
+	if cfg.Backend == BackendWire {
+		r := cfg.Remote
+		if r == nil || r.Forward == nil || r.Lo < 0 || r.Hi <= r.Lo || r.Hi > cfg.P {
+			panic("comm: BackendWire requires Config.Remote with a valid [Lo, Hi) window and Forward hook")
+		}
+		lo = r.Lo
+	}
+	nLocal := localP(cfg)
 	m := &Machine{
 		cfg:   cfg,
-		pes:   make([]*PE, cfg.P),
+		lo:    lo,
+		pes:   make([]*PE, nLocal),
 		abort: make(chan struct{}),
 	}
-	if cfg.Backend == BackendMailbox {
-		m.boxes = make([]*mailbox.Box, cfg.P)
+	var sendBoxes []*mailbox.Box
+	if cfg.Backend != BackendChannelMatrix {
+		m.boxes = make([]*mailbox.Box, nLocal)
 		for i := range m.boxes {
 			m.boxes[i] = mailbox.New()
+		}
+		m.sched = mailbox.NewSchedReady(nLocal, SchedWorkers(cfg), !cfg.GlobalReadyQueue)
+		if cfg.PopBatch > 0 {
+			m.sched.SetPopBatch(cfg.PopBatch)
+		}
+		// Send indexes sendBoxes by global destination rank; on the wire
+		// backend the non-local entries stay nil and Send falls through to
+		// the Remote.Forward transport hook.
+		if lo == 0 && nLocal == cfg.P {
+			sendBoxes = m.boxes
+		} else {
+			sendBoxes = make([]*mailbox.Box, cfg.P)
+			copy(sendBoxes[lo:], m.boxes)
 		}
 	} else {
 		m.chans = make([][]chan message, cfg.P)
@@ -314,21 +388,18 @@ func NewMachine(cfg Config) *Machine {
 			m.ext[i] = make(chan message, cfg.ChanCap)
 		}
 	}
-	if cfg.Backend == BackendMailbox {
-		m.sched = mailbox.NewSchedReady(cfg.P, SchedWorkers(cfg), !cfg.GlobalReadyQueue)
-	}
-	for i := 0; i < cfg.P; i++ {
-		pe := &PE{m: m, rank: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
+	for i := 0; i < nLocal; i++ {
+		pe := &PE{m: m, rank: lo + i, sidx: i, p: cfg.P, alpha: cfg.Alpha, beta: cfg.Beta}
 		if m.boxes != nil {
 			pe.box = m.boxes[i]
-			pe.sendBoxes = m.boxes
+			pe.sendBoxes = sendBoxes
 			pe.sched = m.sched
 		} else {
 			pe.asyncBuf = cfg.AsyncSendBuffer
 		}
 		m.pes[i] = pe
 	}
-	if cfg.Backend == BackendMailbox {
+	if m.sched != nil {
 		m.exec = m.execRank
 		m.execAsync = m.execAsyncRank
 		// Suspended continuation bodies (RunAsync) are resumed through the
@@ -413,7 +484,7 @@ func (abortedError) Error() string { return "comm: aborted because another PE fa
 // bodies that block in Recv park on their mailbox and transiently occupy
 // a goroutine each until the run completes.
 func (m *Machine) Run(body func(pe *PE)) error {
-	if m.cfg.Backend == BackendMailbox {
+	if m.sched != nil {
 		m.runBody = body
 		m.sched.Run(m.exec)
 		m.runBody = nil
@@ -578,9 +649,14 @@ func (m *Machine) ExternalSrc() int { return m.cfg.P }
 // the abort).
 func (m *Machine) Post(dst int, ctx Ctx, tag Tag, data any, words int64) {
 	if m.boxes != nil {
-		m.boxes[dst].Put(mailbox.Msg{
+		msg := mailbox.Msg{
 			Src: m.cfg.P, Ctx: uint32(ctx), Tag: uint64(tag), Words: words, Data: data,
-		})
+		}
+		if dst < m.lo || dst >= m.lo+len(m.pes) {
+			m.cfg.Remote.Forward(dst, msg)
+			return
+		}
+		m.boxes[dst-m.lo].Put(msg)
 		return
 	}
 	select {
@@ -588,6 +664,30 @@ func (m *Machine) Post(dst int, ctx Ctx, tag Tag, data any, words int64) {
 	case <-m.abort:
 	}
 }
+
+// Deliver injects a transport-delivered message for local rank dst — the
+// receive half of the BackendWire seam: the wire reader decodes a frame
+// and hands its envelope here, after which keyed demux, IRecv binding and
+// the metered receive rule proceed exactly as for an in-process send (the
+// message carries the sender's depart stamp across the process boundary).
+// dst must be a local rank. Safe from any goroutine.
+func (m *Machine) Deliver(dst int, msg mailbox.Msg) {
+	if m.boxes == nil || dst < m.lo || dst >= m.lo+len(m.pes) {
+		panic(fmt.Sprintf("comm: Deliver to non-local rank %d (local window [%d, %d))", dst, m.lo, m.lo+len(m.pes)))
+	}
+	m.boxes[dst-m.lo].Put(msg)
+}
+
+// AbortExternal records err as the machine's failure and releases every
+// blocked or suspended local PE, exactly as a local PE panic would — the
+// wire transport's hook for propagating a remote process's death into a
+// run in progress. The current (or next) Run returns err; finishRun then
+// restores the machine to a clean state.
+func (m *Machine) AbortExternal(err error) { m.abortErr(err) }
+
+// LocalRanks returns the machine's local rank window [lo, hi): the full
+// [0, P) except on BackendWire, where it is the Config.Remote window.
+func (m *Machine) LocalRanks() (lo, hi int) { return m.lo, m.lo + len(m.pes) }
 
 // MustRun is Run but panics on error. Intended for examples and benches.
 func (m *Machine) MustRun(body func(pe *PE)) {
@@ -638,7 +738,7 @@ func (s Stats) BottleneckWords() int64 {
 // mailbox backend this reads the incrementally folded aggregate in O(1);
 // the channel matrix scans its p PEs.
 func (m *Machine) Stats() Stats {
-	if m.cfg.Backend == BackendMailbox {
+	if m.sched != nil {
 		m.aggMu.Lock()
 		s := m.agg
 		m.aggMu.Unlock()
@@ -664,6 +764,10 @@ func (m *Machine) Stats() Stats {
 type PE struct {
 	m    *Machine
 	rank int
+	// sidx is the scheduler-local index (rank − machine window lo): what
+	// the mailbox scheduler and box-notify path know this PE as. Equal to
+	// rank everywhere except BackendWire.
+	sidx int
 	p    int
 
 	// alpha/beta are copied from the machine config so the Send/Recv hot
@@ -880,10 +984,18 @@ func (pe *PE) Send(dst int, tag Tag, data any, words int64) {
 	pe.sends++
 	if pe.sendBoxes != nil {
 		// Mailbox backend: intake is unbounded, so sends never block and
-		// need no abort watch.
-		pe.sendBoxes[dst].Put(mailbox.Msg{
+		// need no abort watch. A nil box entry (wire backend, non-local
+		// destination) routes through the transport hook instead; the
+		// frame carries the depart stamp so the receiver's meter folds
+		// identically to a local delivery.
+		msg := mailbox.Msg{
 			Src: pe.rank, Ctx: pe.ctx, Tag: uint64(tag), Words: words, Depart: pe.clock, Data: data,
-		})
+		}
+		if b := pe.sendBoxes[dst]; b != nil {
+			b.Put(msg)
+		} else {
+			pe.m.cfg.Remote.Forward(dst, msg)
+		}
 		return
 	}
 	msg := message{tag: tag, ctx: pe.ctx, words: words, depart: pe.clock, data: data}

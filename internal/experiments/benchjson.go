@@ -194,10 +194,18 @@ func RunBenchSuite(progress func(string)) []BenchResult {
 	return out
 }
 
-// WriteBenchReport runs the suite and writes BENCH_PR<pr>.json to path.
-// baselinePath (optional) names an earlier report whose results are
-// embedded as the baseline for before/after comparison.
+// WriteBenchReport runs the full pipeline suite and writes
+// BENCH_PR<pr>.json to path. baselinePath (optional) names an earlier
+// report whose results are embedded as the baseline for before/after
+// comparison.
 func WriteBenchReport(path string, pr int, note, baselinePath string, progress func(string)) (*BenchReport, error) {
+	return WriteBenchReportSuite(path, pr, note, baselinePath, RunBenchSuite, progress)
+}
+
+// WriteBenchReportSuite is WriteBenchReport over an arbitrary result
+// producer — the wire measured-vs-modeled family (topkbench -exp wire
+// -json) emits its entries through the same report schema.
+func WriteBenchReportSuite(path string, pr int, note, baselinePath string, suite func(func(string)) []BenchResult, progress func(string)) (*BenchReport, error) {
 	// Validate the baseline before the (minutes-long) suite runs, so a
 	// typo'd path fails in milliseconds, not after the benchmarks.
 	var base BenchReport
@@ -214,7 +222,7 @@ func WriteBenchReport(path string, pr int, note, baselinePath string, progress f
 		PR:        pr,
 		GoVersion: runtime.Version(),
 		Note:      note,
-		Results:   RunBenchSuite(progress),
+		Results:   suite(progress),
 	}
 	if baselinePath != "" {
 		rep.Baseline = base.Results

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/wire"
+	_ "commtopk/internal/wire/wireprogs" // programs + codecs for every participating binary
+)
+
+// The wire experiment family: the same registered programs on a real
+// multi-process cluster and on the in-process mailbox twin, recording
+// measured wall-clock next to the modeled α/β clock. The simulator's
+// claim is that T_model = α·z + β·y describes the communication critical
+// path; the wire backend is the one configuration with a real transport
+// under it, so this axis is where model and measurement can be compared.
+// Results are also twin-checked: wire and mailbox runs must agree
+// bit-for-bit on both result words and meters (the differential suite in
+// internal/wire pins the same property as a test).
+
+// wireRun is one measured configuration of the wire family.
+type wireRun struct {
+	Prog      string
+	P, Procs  int
+	WallNs    float64 // measured wall per run, wire cluster
+	TwinNs    float64 // measured wall per run, in-process mailbox twin
+	Model     float64 // modeled α/β critical-path clock (identical on both)
+	WordsPE   int64   // bottleneck words per PE
+	StartsPE  int64   // bottleneck startups per PE
+	Identical bool    // results AND meters bit-identical to the twin
+	Err       string
+}
+
+func wireCases(p int) []struct {
+	prog string
+	args []uint64
+} {
+	return []struct {
+		prog string
+		args []uint64
+	}{
+		{"collectives", []uint64{42, 16}},
+		{"kth", []uint64{7, 1 << 12, uint64(p) * (1 << 12) / 2}},
+		{"deletemin", []uint64{11, 1 << 10, uint64(64 * p), 4}},
+	}
+}
+
+func wireShapes(quick bool) [][2]int {
+	if quick {
+		return [][2]int{{16, 2}}
+	}
+	return [][2]int{{16, 1}, {16, 2}, {16, 4}, {64, 2}, {64, 4}}
+}
+
+const wireIters = 3
+
+// runWireFamily measures every (shape, program) configuration: spawn one
+// cluster per shape, run each program wireIters times on it and on the
+// in-process twin, keep the average wall time of each and the (per-run,
+// deterministic) modeled meters.
+func runWireFamily(quick bool, progress func(string)) []wireRun {
+	var out []wireRun
+	for _, shape := range wireShapes(quick) {
+		p, procs := shape[0], shape[1]
+		cfg := wire.Config{P: p, Procs: procs, Seed: 5}
+		c, err := wire.Spawn(cfg)
+		if err != nil {
+			for _, tc := range wireCases(p) {
+				out = append(out, wireRun{Prog: tc.prog, P: p, Procs: procs, Err: fmt.Sprintf("spawn: %v", err)})
+			}
+			continue
+		}
+		for _, tc := range wireCases(p) {
+			r := wireRun{Prog: tc.prog, P: p, Procs: procs}
+			var wres []uint64
+			var wst comm.Stats
+			start := time.Now()
+			for it := 0; it < wireIters && r.Err == ""; it++ {
+				if wres, wst, err = c.Run(tc.prog, tc.args); err != nil {
+					r.Err = err.Error()
+				}
+			}
+			r.WallNs = float64(time.Since(start).Nanoseconds()) / wireIters
+			if r.Err == "" {
+				start = time.Now()
+				var lres []uint64
+				var lst comm.Stats
+				for it := 0; it < wireIters && r.Err == ""; it++ {
+					if lres, lst, err = wire.RunLocal(cfg, tc.prog, tc.args); err != nil {
+						r.Err = err.Error()
+					}
+				}
+				r.TwinNs = float64(time.Since(start).Nanoseconds()) / wireIters
+				if r.Err == "" {
+					r.Model = wst.MaxClock
+					r.WordsPE = wst.BottleneckWords()
+					r.StartsPE = wst.MaxSends
+					r.Identical = wst == lst && len(wres) == len(lres)
+					for i := range wres {
+						if wres[i] != lres[i] {
+							r.Identical = false
+						}
+					}
+				}
+			}
+			out = append(out, r)
+			if progress != nil {
+				progress(fmt.Sprintf("Wire/%s/p%d/procs%d %12.0f ns/run (twin %.0f, model %.0f)",
+					r.Prog, p, procs, r.WallNs, r.TwinNs, r.Model))
+			}
+		}
+		c.Close()
+	}
+	return out
+}
+
+// WireSuite runs the wire family and returns benchmark-pipeline entries
+// (topkbench -exp wire -json): measured wall time in NsPerOp, the
+// modeled clock in MaxClock, twin wall time and the bit-identity verdict
+// in Note.
+func WireSuite(quick bool, progress func(string)) []BenchResult {
+	var out []BenchResult
+	for _, r := range runWireFamily(quick, progress) {
+		res := BenchResult{
+			Name:        fmt.Sprintf("Wire/%s/p%d/procs%d", r.Prog, r.P, r.Procs),
+			NsPerOp:     r.WallNs,
+			WordsPerPE:  float64(r.WordsPE),
+			StartsPerPE: float64(r.StartsPE),
+			MaxClock:    r.Model,
+			P:           r.P,
+			Backend:     "wire",
+		}
+		switch {
+		case r.Err != "":
+			res.Skipped = r.Err
+		case r.Identical:
+			res.Note = fmt.Sprintf("mailbox twin %.0f ns/run; results and meters bit-identical", r.TwinNs)
+		default:
+			res.Note = fmt.Sprintf("mailbox twin %.0f ns/run; DIVERGED from twin", r.TwinNs)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// WireTable renders the wire family for the human-readable experiment
+// output (topkbench -exp wire).
+func WireTable(quick bool) Table {
+	t := Table{
+		Title: "Wire backend: measured wall-clock vs modeled α/β clock",
+		Notes: "one OS process per PE group over unix-socket frames; procs=1 is the in-process degenerate case\n" +
+			"wall(ms) is real elapsed time per run (host-dependent); T_model is the simulated α·z+β·y critical path\n" +
+			"identical = results AND words/startups meters bit-equal to the single-process mailbox twin",
+		Header: []string{"prog", "p", "procs", "wall(ms)", "twin(ms)", "T_model", "words/PE", "start/PE", "identical"},
+	}
+	for _, r := range runWireFamily(quick, nil) {
+		if r.Err != "" {
+			t.Rows = append(t.Rows, []string{r.Prog, fmt.Sprint(r.P), fmt.Sprint(r.Procs), "-", "-", "-", "-", "-", "ERR: " + r.Err})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Prog, fmt.Sprint(r.P), fmt.Sprint(r.Procs),
+			fmt.Sprintf("%.2f", r.WallNs/1e6),
+			fmt.Sprintf("%.2f", r.TwinNs/1e6),
+			fmt.Sprintf("%.0f", r.Model),
+			fmt.Sprint(r.WordsPE),
+			fmt.Sprint(r.StartsPE),
+			fmt.Sprint(r.Identical),
+		})
+	}
+	return t
+}

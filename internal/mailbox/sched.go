@@ -99,14 +99,18 @@ type Sched struct {
 	wg      sync.WaitGroup
 	exec    func(rank int) bool
 	started bool
+	// popBatch is the batch size of cursor claims (SetPopBatch; default
+	// defaultPopBatch). Read-only once the first Run has started.
+	popBatch int32
 
 	closeOnce sync.Once
 }
 
-// popBatch is the number of ranks a driver claims per cursor atomic: the
-// hand-off churn constant. A parked driver's unrun remainder is spilled
-// (see WillPark), so batching never strands ranks behind a sleeping body.
-const popBatch = 8
+// defaultPopBatch is the number of ranks a driver claims per cursor
+// atomic: the hand-off churn constant. A parked driver's unrun remainder
+// is spilled (see WillPark), so batching never strands ranks behind a
+// sleeping body. Configurable per scheduler via SetPopBatch.
+const defaultPopBatch = 8
 
 // shard is one run queue: the contiguous rank range [lo, hi), the cursor
 // of the next rank to claim, and the spill list of batch remainders
@@ -184,6 +188,7 @@ func NewSchedReady(p, w int, sharded bool) *Sched {
 		kick:      make([]chan struct{}, w),
 		work:      make(chan int32),
 		readyCh:   make(chan struct{}, w),
+		popBatch:  defaultPopBatch,
 	}
 	for i := range sc.shards {
 		sc.shards[i].lo = i * p / w
@@ -209,6 +214,18 @@ func NewSchedReady(p, w int, sharded bool) *Sched {
 
 // Workers returns the shard count w.
 func (sc *Sched) Workers() int { return len(sc.shards) }
+
+// SetPopBatch sets the number of ranks a driver claims per cursor atomic
+// (clamped to ≥ 1; the default is 8). Larger batches amortize the cursor
+// atomic but lengthen the remainder a parking body must spill; results
+// and metering are independent of the value — it is a host-side
+// scheduling constant only. Must be called before the first Run.
+func (sc *Sched) SetPopBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sc.popBatch = int32(n)
+}
 
 // Run executes exec(rank) for every rank and blocks until every rank is
 // done. exec reports whether the rank completed: false means the body
@@ -414,11 +431,12 @@ func (sc *Sched) drive(s int32) {
 				continue
 			}
 		}
-		lo := int(sh.next.Add(popBatch)) - popBatch
+		pb := sc.popBatch
+		lo := int(sh.next.Add(pb)-pb)
 		if lo >= sh.hi {
 			return
 		}
-		hi := min(lo+popBatch, sh.hi)
+		hi := min(lo+int(pb), sh.hi)
 		if !sc.runSpan(s, span{int32(lo), int32(hi)}) {
 			return
 		}

@@ -1,0 +1,20 @@
+package sel
+
+import (
+	"cmp"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/wire"
+)
+
+// RegisterWireCodecs registers the payload codecs the selection
+// algorithms over key type K put on a cross-process frame: the full
+// collective set for K plus the tagged optional-value carrier the min/max
+// reductions use. Call it from the shared registration package (see
+// internal/wire/wireprogs) of every binary that runs sel or bpq programs
+// on comm.BackendWire; elemName is the on-wire identity of K and must
+// match across processes.
+func RegisterWireCodecs[K cmp.Ordered](elemName string) {
+	coll.RegisterWireCodecs[K](elemName)
+	wire.RegisterPOD[tagged[K]]("sel.tagged[" + elemName + "]")
+}

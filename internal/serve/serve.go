@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"commtopk/internal/comm"
 )
@@ -49,6 +50,12 @@ var (
 	// ErrCanceled is returned by Ticket.Wait for queries canceled while
 	// still queued.
 	ErrCanceled = errors.New("serve: query canceled")
+	// ErrDeadlineExpired is returned — by KthDeadline/DeleteMinDeadline at
+	// submission, or by Ticket.Wait for queries that aged out while queued
+	// — when a query's admission deadline passes before the query occupies
+	// a context lease. Distinct from ErrOverloaded: the queue had room,
+	// but the answer would have arrived too late to matter.
+	ErrDeadlineExpired = errors.New("serve: admission deadline expired")
 )
 
 // doorbellTag marks doorbell messages. The (ExternalSrc, ctx 0) stream
@@ -99,11 +106,12 @@ const (
 
 // query is the shared per-query record all p mux slots work on.
 type query[K cmp.Ordered] struct {
-	kind int
-	k    int64
-	seed int64
-	ctx  comm.Ctx
-	t    *Ticket[K]
+	kind     int
+	k        int64
+	seed     int64
+	deadline time.Time // zero: no admission deadline
+	ctx      comm.Ctx
+	t        *Ticket[K]
 	// peLeft counts PEs still running this query's stepper; the PE that
 	// takes it to zero releases the context lease and completes the
 	// ticket.
@@ -236,7 +244,21 @@ func (s *Server[K]) Kth(k int64) (*Ticket[K], error) {
 	if k < 1 || k > s.n {
 		return nil, fmt.Errorf("serve: rank %d out of range [1, %d]", k, s.n)
 	}
-	return s.submit(kindKth, k)
+	return s.submit(kindKth, k, time.Time{})
+}
+
+// KthDeadline is Kth with an admission deadline: a query that has not
+// occupied a context lease by then — already late at submission, or aged
+// out while queued behind the MaxInflight window — is shed with
+// ErrDeadlineExpired (at submission when possible, else via Wait) instead
+// of wasting a lease on an answer nobody is waiting for. A query
+// dispatched before the deadline runs to completion regardless of how
+// long that takes; the deadline bounds queueing, not execution.
+func (s *Server[K]) KthDeadline(k int64, deadline time.Time) (*Ticket[K], error) {
+	if k < 1 || k > s.n {
+		return nil, fmt.Errorf("serve: rank %d out of range [1, %d]", k, s.n)
+	}
+	return s.submit(kindKth, k, deadline)
 }
 
 // DeleteMin submits a bulk delete-min of global batch size min(k, queue
@@ -253,13 +275,25 @@ func (s *Server[K]) DeleteMin(k int64) (*Ticket[K], error) {
 	if k < 1 {
 		return nil, fmt.Errorf("serve: batch size %d must be at least 1", k)
 	}
-	return s.submit(kindPQ, k)
+	return s.submit(kindPQ, k, time.Time{})
+}
+
+// DeleteMinDeadline is DeleteMin with an admission deadline — the same
+// shedding contract as KthDeadline.
+func (s *Server[K]) DeleteMinDeadline(k int64, deadline time.Time) (*Ticket[K], error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: batch size %d must be at least 1", k)
+	}
+	return s.submit(kindPQ, k, deadline)
 }
 
 // submit builds the ticket and runs non-blocking admission.
-func (s *Server[K]) submit(kind int, k int64) (*Ticket[K], error) {
+func (s *Server[K]) submit(kind int, k int64, deadline time.Time) (*Ticket[K], error) {
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return nil, ErrDeadlineExpired
+	}
 	t := &Ticket[K]{done: make(chan struct{}), srv: s}
-	t.q = &query[K]{kind: kind, k: k, seed: s.cfg.Seed + s.nextID.Add(1), t: t}
+	t.q = &query[K]{kind: kind, k: k, seed: s.cfg.Seed + s.nextID.Add(1), deadline: deadline, t: t}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed.Load() {
@@ -321,6 +355,10 @@ func (s *Server[K]) dispatch() {
 		// tokens).
 		pending := s.batch
 		for len(pending) > 0 {
+			if s.shedExpired(pending[0]) {
+				pending = pending[1:]
+				continue
+			}
 			s.sem <- struct{}{}
 			k := 1
 			for k < len(pending) {
@@ -332,16 +370,32 @@ func (s *Server[K]) dispatch() {
 				}
 				break
 			}
-			for _, q := range pending[:k] {
+			grant := pending[:k]
+			pending = pending[k:]
+			// The blocking lease acquisition above is where a queued query
+			// spends its life under load — re-check deadlines on the way
+			// out, returning the token of anything that aged out rather
+			// than burning a lease on it.
+			live := grant[:0]
+			for _, q := range grant {
+				if s.shedExpired(q) {
+					<-s.sem
+					continue
+				}
+				live = append(live, q)
+			}
+			if len(live) == 0 {
+				continue
+			}
+			for _, q := range live {
 				q.ctx = s.m.NewContext()
 				q.peLeft.Store(int32(p))
 				q.dispatched.Store(true)
 			}
-			o := &op[K]{queries: append([]*query[K](nil), pending[:k]...)}
+			o := &op[K]{queries: append([]*query[K](nil), live...)}
 			for dst := 0; dst < p; dst++ {
 				s.m.Post(dst, 0, doorbellTag, o, 1)
 			}
-			pending = pending[k:]
 		}
 	}
 	// Admission closed and every batch dispatched: poison the muxes.
@@ -353,14 +407,29 @@ func (s *Server[K]) dispatch() {
 }
 
 // admit moves a dequeued query into the current batch, resolving queued
-// cancellations.
+// cancellations and expired deadlines.
 func (s *Server[K]) admit(q *query[K]) {
 	if q.t.canceled.Load() {
 		q.t.err = ErrCanceled
 		close(q.t.done)
 		return
 	}
+	if s.shedExpired(q) {
+		return
+	}
 	s.batch = append(s.batch, q)
+}
+
+// shedExpired completes an aged-out query with ErrDeadlineExpired. Only
+// the dispatcher calls it, and only before the query is dispatched, so
+// the ticket's done channel cannot be closed twice.
+func (s *Server[K]) shedExpired(q *query[K]) bool {
+	if q.deadline.IsZero() || time.Now().Before(q.deadline) {
+		return false
+	}
+	q.t.err = ErrDeadlineExpired
+	close(q.t.done)
+	return true
 }
 
 // finishQuery runs on whichever PE decrements peLeft to zero: all p

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// link is one framed connection endpoint with an unbounded outbound
+// queue drained by a dedicated writer goroutine. Senders never block on
+// the socket: a PE goroutine (or the leader's relay path) enqueues the
+// frame and moves on. The unbounded queue is what makes the leader's hub
+// relay deadlock-free — a reader that forwarded frames synchronously
+// into a full peer socket while that peer's frames sat unread would
+// complete the classic relay cycle.
+type link struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]byte
+	closed bool // no further sends accepted; writer drains then closes conn
+	dead   bool // write error: queue is discarded
+	done   chan struct{}
+}
+
+func newLink(conn net.Conn) *link {
+	l := &link{conn: conn, bw: bufio.NewWriter(conn), done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.writer()
+	return l
+}
+
+// send enqueues one frame body. Never blocks; silently drops on a closed
+// or dead link (the cluster is already unwinding then).
+func (l *link) send(body []byte) {
+	l.mu.Lock()
+	if l.closed || l.dead {
+		l.mu.Unlock()
+		return
+	}
+	l.q = append(l.q, body)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// close stops accepting sends, lets the writer flush what is queued, and
+// closes the connection. Idempotent. Does not wait; use wait for that.
+func (l *link) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		l.cond.Signal()
+	}
+	l.mu.Unlock()
+}
+
+// abort drops the queue and closes the connection immediately.
+func (l *link) abort() {
+	l.mu.Lock()
+	l.dead, l.closed = true, true
+	l.q = nil
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.conn.Close()
+}
+
+// wait blocks until the writer goroutine has exited (queue flushed or
+// connection dead).
+func (l *link) wait() { <-l.done }
+
+func (l *link) writer() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.closed && !l.dead {
+			l.cond.Wait()
+		}
+		if l.dead || (l.closed && len(l.q) == 0) {
+			dead := l.dead
+			l.mu.Unlock()
+			if !dead {
+				l.bw.Flush()
+			}
+			l.conn.Close()
+			return
+		}
+		batch := l.q
+		l.q = nil
+		l.mu.Unlock()
+		for _, body := range batch {
+			if err := writeFrame(l.bw, body); err != nil {
+				l.fail()
+				return
+			}
+		}
+		// Flush once per drained batch: frames coalesce under load, and an
+		// idle queue means the peer has everything.
+		if err := l.bw.Flush(); err != nil {
+			l.fail()
+			return
+		}
+	}
+}
+
+func (l *link) fail() {
+	l.mu.Lock()
+	l.dead, l.closed = true, true
+	l.q = nil
+	l.mu.Unlock()
+	l.conn.Close()
+}
