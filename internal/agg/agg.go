@@ -13,13 +13,9 @@ package agg
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
-	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/dht"
-	"commtopk/internal/stats"
 	"commtopk/internal/xrand"
 )
 
@@ -112,90 +108,27 @@ func sampleAggregated(local *dht.SumTable, vavg float64, rng *xrand.RNG) ([]dht.
 }
 
 // PAC computes an (ε, δ)-approximation of the top-k highest-summing keys
-// (Theorem 15). Collective.
+// (Theorem 15). Collective. Blocking driver over the same state machine
+// PACStep exposes for comm.RunAsync.
 func PAC(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
-	p.validate()
-	local := LocalAggregate(keys, values)
-	defer local.Release()
-	n := coll.SumAll(pe, int64(len(keys)))
-	mTotal := sumAllFloat(pe, local.Total())
-	if mTotal <= 0 {
-		return Result{}
-	}
-	s := stats.SumAggSampleSize(n, pe.P(), p.Eps, p.Delta)
-	vavg := mTotal / s
-
-	agg, localSize := sampleAggregated(local, vavg, rng)
-	sampleSize := coll.SumAll(pe, localSize)
-	shard := dht.CountKV(pe, agg, p.Route)
-	top := dht.SelectTopKTable(pe, shard, p.K, rng)
-	shard.Release()
-	items := make([]ItemSum, len(top))
-	for i, kv := range top {
-		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) * vavg}
-	}
-	return Result{Items: items, SampleSize: sampleSize, VAvg: vavg}
+	st := newAggStep(pe, keys, values, p, false, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 // ECSum is the exact-summation variant (end of Section 8.2): like PAC,
 // but the k* highest-sampled candidates are summed exactly — and unlike
 // the frequent-objects case, no second input scan is needed: "a lookup in
-// the local aggregation result now suffices". Collective.
+// the local aggregation result now suffices". Collective. Blocking
+// driver over the ECSumStep state machine.
 func ECSum(pe *comm.PE, keys []uint64, values []float64, p Params, rng *xrand.RNG) Result {
-	p.validate()
-	local := LocalAggregate(keys, values)
-	defer local.Release()
-	n := coll.SumAll(pe, int64(len(keys)))
-	mTotal := sumAllFloat(pe, local.Total())
-	if mTotal <= 0 {
-		return Result{}
-	}
-	kStar := p.KStarOverride
-	if kStar <= 0 {
-		kStar = stats.OptimalKStar(n, p.K, pe.P(), p.Eps, p.Delta)
-	}
-	// The exact-counting pass lets the sample shrink by the factor k*
-	// exactly as in Lemma 10; reuse the frequent-objects rate.
-	s := stats.SumAggSampleSize(n, pe.P(), p.Eps, p.Delta) / math.Sqrt(float64(kStar))
-	if s < float64(4*p.K) {
-		s = float64(4 * p.K)
-	}
-	vavg := mTotal / s
-
-	agg, localSize := sampleAggregated(local, vavg, rng)
-	sampleSize := coll.SumAll(pe, localSize)
-	shard := dht.CountKV(pe, agg, p.Route)
-	candidates := dht.SelectTopKTable(pe, shard, kStar, rng)
-	shard.Release()
-
-	// Exact sums by local lookup + vector reduction.
-	ids := make([]uint64, len(candidates))
-	for i, kv := range candidates {
-		ids[i] = kv.Key
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	sums := make([]float64, len(ids))
-	for i, id := range ids {
-		sums[i], _ = local.Get(id)
-	}
-	var items []ItemSum
-	if len(ids) > 0 {
-		global := coll.AllReduce(pe, sums, func(a, b float64) float64 { return a + b })
-		items = make([]ItemSum, len(ids))
-		for i, id := range ids {
-			items[i] = ItemSum{Key: id, Sum: global[i]}
-		}
-		sort.Slice(items, func(i, j int) bool {
-			if items[i].Sum != items[j].Sum {
-				return items[i].Sum > items[j].Sum
-			}
-			return items[i].Key < items[j].Key
-		})
-		if len(items) > p.K {
-			items = items[:p.K]
-		}
-	}
-	return Result{Items: items, SampleSize: sampleSize, VAvg: vavg, Exact: true, KStar: kStar}
+	st := newAggStep(pe, keys, values, p, true, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 // ExactTopSums computes the exact answer through the DHT (ground truth
@@ -220,8 +153,4 @@ func ExactTopSums(pe *comm.PE, keys []uint64, values []float64, k int, route dht
 		items[i] = ItemSum{Key: kv.Key, Sum: float64(kv.Count) / scale}
 	}
 	return items
-}
-
-func sumAllFloat(pe *comm.PE, v float64) float64 {
-	return coll.AllReduceScalar(pe, v, func(a, b float64) float64 { return a + b })
 }

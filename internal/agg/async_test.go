@@ -1,0 +1,53 @@
+package agg
+
+import (
+	"reflect"
+	"testing"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
+)
+
+// TestAggSteppersMatchBlocking pins the tentpole contract for agg:
+// PACStep/ECSumStep under RunAsync produce bit-identical results and
+// meters to the blocking PAC/ECSum (which drive the same machines
+// through RunSteps).
+func TestAggSteppersMatchBlocking(t *testing.T) {
+	const p = 5
+	keys, vals, _ := workload(19, p, 2000, 1<<10)
+	params := Params{K: 8, Eps: 0.02, Delta: 0.01}
+
+	type obs struct {
+		pac, ec []Result
+		stats   comm.Stats
+	}
+	ref := obs{pac: make([]Result, p), ec: make([]Result, p)}
+	mach := comm.NewMachine(comm.DefaultConfig(p))
+	mach.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		ref.pac[r] = PAC(pe, keys[r], vals[r], params, xrand.NewPE(51, r))
+		ref.ec[r] = ECSum(pe, keys[r], vals[r], params, xrand.NewPE(53, r))
+	})
+	ref.stats = mach.Stats()
+
+	got := obs{pac: make([]Result, p), ec: make([]Result, p)}
+	mach2 := comm.NewMachine(comm.DefaultConfig(p))
+	mach2.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		r := pe.Rank()
+		return comm.SeqP(pe,
+			PACStep(pe, keys[r], vals[r], params, xrand.NewPE(51, r), func(v Result) { got.pac[r] = v }),
+			ECSumStep(pe, keys[r], vals[r], params, xrand.NewPE(53, r), func(v Result) { got.ec[r] = v }),
+		)
+	})
+	got.stats = mach2.Stats()
+
+	if !reflect.DeepEqual(got.pac, ref.pac) {
+		t.Errorf("PACStep diverged from blocking PAC")
+	}
+	if !reflect.DeepEqual(got.ec, ref.ec) {
+		t.Errorf("ECSumStep diverged from blocking ECSum")
+	}
+	if got.stats != ref.stats {
+		t.Errorf("stepper meters diverged: %+v vs %+v", got.stats, ref.stats)
+	}
+}

@@ -1,0 +1,268 @@
+package bnb
+
+import (
+	"math"
+
+	"commtopk/internal/bpq"
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+func addI64(a, b int64) int64 { return a + b }
+func minI64(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// nodeStore is the slice-backed replacement for the old map[uint64]N node
+// store. The seq stamp baked into a queue key by bpq.MakeUnique is the
+// node's slot index; slots of expanded nodes are recycled through a free
+// list, so memory is bounded by the peak number of live nodes and lookups
+// are a shift and an index — no hashing, no map iteration, no
+// nondeterministic expansion order anywhere on the path.
+//
+// Slot reuse is safe for key uniqueness: a slot is freed only when its
+// key has left the queue, and two live entries can never share a slot, so
+// (prio, slot·P + rank) collides only with already-deleted keys — which
+// the treap no longer contains.
+type nodeStore[N any] struct {
+	nodes []N
+	free  []uint32
+}
+
+func (s *nodeStore[N]) put(n N) uint32 {
+	if k := len(s.free); k > 0 {
+		slot := s.free[k-1]
+		s.free = s.free[:k-1]
+		s.nodes[slot] = n
+		return slot
+	}
+	s.nodes = append(s.nodes, n)
+	return uint32(len(s.nodes) - 1)
+}
+
+func (s *nodeStore[N]) take(slot uint32) N {
+	var zero N
+	n := s.nodes[slot]
+	s.nodes[slot] = zero
+	s.free = append(s.free, slot)
+	return n
+}
+
+func (s *nodeStore[N]) reset() {
+	clear(s.nodes)
+	s.nodes = s.nodes[:0]
+	s.free = s.free[:0]
+}
+
+// solveStep phases.
+const (
+	sphLoop      = iota // start an iteration: global incumbent reduce
+	sphIncWait          // harvest incumbent; start the global peek
+	sphPeekWait         // harvest min; prune/stop test or start deleteMin*
+	sphBatchWait        // batch expanded in the callback; next iteration
+	sphObjWait          // harvest final objective; start holder election
+	sphHoldWait         // harvest holder; start expansion-count sum
+	sphExpWait          // harvest K; assemble the result
+	sphDone
+)
+
+// solveStep is the continuation form of Solve: the whole best-first
+// main loop as a pooled state machine over the queue's own steppers
+// (PeekMinStep, DeleteMinFlexibleStep) and scalar reductions. The
+// blocking Solve drives this very machine through comm.RunSteps — one
+// implementation, both execution modes, bit-identical results, RNG
+// consumption and metered schedule.
+type solveStep[N any] struct {
+	pe   *comm.PE
+	prob Problem[N]
+	cfg  Config
+	out  func(Result[N])
+	self bool
+
+	q     *bpq.Queue[uint64]
+	store nodeStore[N]
+
+	incumbent float64
+	best      N
+	found     bool
+	expanded  int64
+	iter      int
+
+	globalInc float64
+	minKey    uint64
+	minOK     bool
+	holder    int64
+	early     bool
+
+	res Result[N]
+
+	cur     comm.Stepper
+	onInc   func(float64)
+	onPeek  func(uint64, bool)
+	onBatch func([]uint64, uint64, int64)
+	onObj   func(float64)
+	onHold  func(int64)
+	onExp   func(int64)
+	phase   int
+}
+
+func newSolveStep[N any](pe *comm.PE, prob Problem[N], seed int64, cfg Config, out func(Result[N]), self bool) *solveStep[N] {
+	p := int64(pe.P())
+	if cfg.BatchMin <= 0 {
+		cfg.BatchMin = p
+	}
+	if cfg.BatchMax <= cfg.BatchMin {
+		cfg.BatchMax = 4 * cfg.BatchMin
+	}
+
+	s := comm.GetPooled[solveStep[N]](pe)
+	s.pe, s.prob, s.cfg, s.out, s.self = pe, prob, cfg, out, self
+	s.q = bpq.New[uint64](pe, seed)
+	s.incumbent = math.Inf(1)
+	var zero N
+	s.best = zero
+	s.found, s.expanded, s.iter = false, 0, 0
+	s.early = false
+	s.res = Result[N]{}
+	s.phase = sphLoop
+	s.cur = nil
+	if s.onInc == nil {
+		s.onInc = func(v float64) { s.globalInc = v }
+		s.onPeek = func(k uint64, ok bool) { s.minKey, s.minOK = k, ok }
+		s.onBatch = func(batch []uint64, _ uint64, _ int64) { s.consume(batch) }
+		s.onObj = func(v float64) { s.res.Objective = v }
+		s.onHold = func(v int64) { s.holder = v }
+		s.onExp = func(v int64) { s.res.Expanded = v }
+	}
+
+	if pe.Rank() == 0 {
+		root := prob.Root()
+		if v, ok := prob.Solution(root); ok {
+			s.res = Result[N]{Objective: v, Best: root, Found: true}
+			s.early = true
+		} else {
+			s.push(root, prob.Bound(root))
+		}
+	}
+	return s
+}
+
+// SolveStep is the continuation form of Solve: out (optional) receives
+// this PE's Result once the search terminates. Collective; interleaves
+// with unrelated steppers under comm.RunAsync.
+func SolveStep[N any](pe *comm.PE, prob Problem[N], seed int64, cfg Config, out func(Result[N])) comm.Stepper {
+	return newSolveStep(pe, prob, seed, cfg, out, true)
+}
+
+func (s *solveStep[N]) push(n N, bound float64) {
+	slot := s.store.put(n)
+	s.q.Insert(bpq.MakeUnique(PrioFromFloat(bound), slot, s.pe.Rank(), s.pe.P()))
+}
+
+// consume expands this PE's share of a deleteMin* batch: slot-decoded
+// node fetch, prune against the round's global incumbent, expansion and
+// local re-insertion of surviving children.
+func (s *solveStep[N]) consume(batch []uint64) {
+	p, rank := uint32(s.pe.P()), uint32(s.pe.Rank())
+	for _, key := range batch {
+		low := uint32(key)
+		if low%p != rank {
+			panic("bnb: batch key was not stamped by this PE")
+		}
+		n := s.store.take(low / p)
+		if FloatFromPrio(uint32(key>>32)) >= s.globalInc {
+			continue // pruned: bound can no longer beat the incumbent
+		}
+		s.expanded++
+		for _, c := range s.prob.Expand(n) {
+			if v, ok := s.prob.Solution(c); ok {
+				if v < s.incumbent {
+					s.incumbent, s.best, s.found = v, c, true
+				}
+				continue
+			}
+			if b := s.prob.Bound(c); b < s.incumbent {
+				s.push(c, b)
+			}
+		}
+	}
+}
+
+func (s *solveStep[N]) finish(pe *comm.PE) *comm.RecvHandle {
+	if !s.early {
+		s.res.Iterations = s.iter
+		if s.found && int64(pe.Rank()) == s.holder {
+			s.res.Best = s.best
+			s.res.Found = true
+		}
+	}
+	s.phase = sphDone
+	if s.self {
+		res, out := s.res, s.out
+		s.release(pe)
+		if out != nil {
+			out(res)
+		}
+	}
+	return nil
+}
+
+func (s *solveStep[N]) release(pe *comm.PE) {
+	var zero N
+	s.pe, s.prob, s.out, s.cur, s.q = nil, nil, nil, nil, nil
+	s.best, s.res.Best = zero, zero
+	s.store.reset()
+	comm.PutPooled(pe, s)
+}
+
+func (s *solveStep[N]) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case sphLoop:
+			if s.early {
+				return s.finish(pe)
+			}
+			s.iter++
+			s.cur = coll.AllReduceScalarStep(pe, s.incumbent, math.Min, s.onInc)
+			s.phase = sphIncWait
+		case sphIncWait:
+			s.cur = s.q.PeekMinStep(s.onPeek)
+			s.phase = sphPeekWait
+		case sphPeekWait:
+			// Downward-rounded priorities make this prune-or-stop test safe.
+			if !s.minOK || FloatFromPrio(uint32(s.minKey>>32)) >= s.globalInc {
+				s.cur = coll.AllReduceScalarStep(pe, s.incumbent, math.Min, s.onObj)
+				s.phase = sphObjWait
+				break
+			}
+			s.cur = s.q.DeleteMinFlexibleStep(s.cfg.BatchMin, s.cfg.BatchMax, s.onBatch)
+			s.phase = sphBatchWait
+		case sphBatchWait:
+			s.phase = sphLoop
+		case sphObjWait:
+			// Exactly one PE claims the optimum (lowest rank among holders).
+			h := int64(pe.P())
+			if s.found && s.incumbent == s.res.Objective {
+				h = int64(pe.Rank())
+			}
+			s.cur = coll.AllReduceScalarStep(pe, h, minI64, s.onHold)
+			s.phase = sphHoldWait
+		case sphHoldWait:
+			s.cur = coll.AllReduceScalarStep(pe, s.expanded, addI64, s.onExp)
+			s.phase = sphExpWait
+		case sphExpWait:
+			return s.finish(pe)
+		default:
+			return nil
+		}
+	}
+}

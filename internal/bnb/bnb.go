@@ -13,8 +13,6 @@ package bnb
 import (
 	"math"
 
-	"commtopk/internal/bpq"
-	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 )
 
@@ -81,87 +79,13 @@ func FloatFromPrio(u uint32) float64 {
 // Solve runs the distributed search. Collective: every PE must call it
 // with the same problem and seed. The returned Expanded/Objective/
 // Iterations agree on all PEs; Found is true on exactly one PE (if a
-// solution exists), whose Best holds the optimum.
+// solution exists), whose Best holds the optimum. Blocking driver over
+// the same state machine SolveStep exposes for comm.RunAsync.
 func Solve[N any](pe *comm.PE, prob Problem[N], seed int64, cfg Config) Result[N] {
-	p := int64(pe.P())
-	if cfg.BatchMin <= 0 {
-		cfg.BatchMin = p
-	}
-	if cfg.BatchMax <= cfg.BatchMin {
-		cfg.BatchMax = 4 * cfg.BatchMin
-	}
-
-	q := bpq.New[uint64](pe, seed)
-	store := make(map[uint64]N)
-	var seq uint32
-	push := func(n N, bound float64) {
-		key := bpq.MakeUnique(PrioFromFloat(bound), seq, pe.Rank(), pe.P())
-		seq++
-		store[key] = n
-		q.Insert(key)
-	}
-	if pe.Rank() == 0 {
-		root := prob.Root()
-		if v, ok := prob.Solution(root); ok {
-			return Result[N]{Objective: v, Best: root, Found: true}
-		}
-		push(root, prob.Bound(root))
-	}
-
-	incumbent := math.Inf(1)
-	var best N
-	found := false
-	var expanded int64
-	iter := 0
-	for {
-		iter++
-		globalInc := coll.MinAll(pe, incumbent)
-		minKey, ok := q.PeekMin()
-		if !ok {
-			break
-		}
-		// Downward-rounded priorities make this prune-or-stop test safe.
-		if FloatFromPrio(uint32(minKey>>32)) >= globalInc {
-			break
-		}
-		batch, _ := q.DeleteMinFlexible(cfg.BatchMin, cfg.BatchMax)
-		for _, key := range batch {
-			n := store[key]
-			delete(store, key)
-			if FloatFromPrio(uint32(key>>32)) >= globalInc {
-				continue // pruned: bound can no longer beat the incumbent
-			}
-			expanded++
-			for _, c := range prob.Expand(n) {
-				if v, ok := prob.Solution(c); ok {
-					if v < incumbent {
-						incumbent, best, found = v, c, true
-					}
-					continue
-				}
-				if b := prob.Bound(c); b < incumbent {
-					push(c, b)
-				}
-			}
-		}
-	}
-
-	objective := coll.MinAll(pe, incumbent)
-	// Exactly one PE claims the optimum (lowest rank among holders).
-	holder := pe.P()
-	if found && incumbent == objective {
-		holder = pe.Rank()
-	}
-	holder = coll.MinAll(pe, holder)
-	res := Result[N]{
-		Objective:  objective,
-		Expanded:   coll.SumAll(pe, expanded),
-		Iterations: iter,
-	}
-	if found && pe.Rank() == holder {
-		res.Best = best
-		res.Found = true
-	}
+	st := newSolveStep(pe, prob, seed, cfg, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
 	return res
 }
 

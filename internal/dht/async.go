@@ -1,0 +1,260 @@
+package dht
+
+import (
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/qsel"
+	"commtopk/internal/sel"
+	"commtopk/internal/xrand"
+)
+
+// Continuation forms of the DHT collectives, following the
+// sel.KthStep template: pooled per-PE state (comm.GetPooled), cached
+// result-delivery closures built once per pooled object, sub-steppers
+// driven to completion through the cur slot, and blocking forms that
+// drive the same engines through comm.RunSteps — one implementation,
+// both execution modes, bit-identical results and meters.
+
+// countKVStep — see CountKVStep.
+type countKVStep struct {
+	out func(*Table)
+	t   *Table
+	p   int
+	cur comm.Stepper
+
+	// Cached closures (built once per pooled object; they capture only s
+	// and read the live fields at call time).
+	visit   func(src int, part []KV)
+	destFn  func(kv KV) int
+	combine func(held []KV) []KV
+	onHeld  func(held []KV)
+}
+
+// CountKVStep is the continuation form of CountKV: out receives, on each
+// PE, the global counts of the keys it owns in a pooled Table the
+// receiver must Release. The routed batches are consumed borrowed (no
+// caller-owned clones); the metered schedule matches CountKV exactly —
+// the blocking form is this stepper driven with blocking waits.
+func CountKVStep(pe *comm.PE, items []KV, mode RouteMode, out func(*Table)) comm.Stepper {
+	s := comm.GetPooled[countKVStep](pe)
+	s.out = out
+	s.t = NewTable(len(items))
+	s.p = pe.P()
+	if s.visit == nil {
+		s.visit = func(src int, part []KV) {
+			for _, kv := range part {
+				s.t.Add(kv.Key, kv.Count)
+			}
+		}
+		s.destFn = func(kv KV) int { return Owner(kv.Key, s.p) }
+		s.combine = func(held []KV) []KV {
+			s.t.Reset()
+			for _, kv := range held {
+				s.t.Add(kv.Key, kv.Count)
+			}
+			// Overwriting held in place is safe: ownership of a routed batch
+			// moves with the message (see CountKV's rationale).
+			return s.t.AppendKVs(held[:0])
+		}
+		s.onHeld = func(held []KV) {
+			s.t.Reset()
+			for _, kv := range held {
+				s.t.Add(kv.Key, kv.Count)
+			}
+		}
+	}
+	switch mode {
+	case RouteDirect:
+		parts := make([][]KV, s.p)
+		for _, kv := range items {
+			d := Owner(kv.Key, s.p)
+			parts[d] = append(parts[d], kv)
+		}
+		s.cur = coll.AllToAllStep(pe, parts, s.visit)
+	case RouteHypercube:
+		s.cur = coll.RouteCombineStep(pe, items, s.destFn, s.combine, s.onHeld)
+	default:
+		panic("dht: unknown route mode")
+	}
+	return s
+}
+
+func (s *countKVStep) Step(pe *comm.PE) *comm.RecvHandle {
+	if h := s.cur.Step(pe); h != nil {
+		return h
+	}
+	out, t := s.out, s.t
+	s.out, s.t, s.cur = nil, nil, nil
+	comm.PutPooled(pe, s)
+	if out != nil {
+		out(t)
+	}
+	return nil
+}
+
+// selectTopKStep phases.
+const (
+	tphInit       = iota // start the global size sum
+	tphTotalWait         // harvest total; branch small-gather vs selection
+	tphSmallWait         // total ≤ k: harvest the full gather
+	tphKthWait           // harvest the threshold; band the local entries
+	tphNAboveWait        // harvest the strictly-above count; start the tie scan
+	tphPrevWait          // harvest the tie prefix; start the result gather
+	tphGatherWait        // harvest the selected entries
+	tphDone
+)
+
+// selectTopKStep — see SelectTopKTableStep.
+type selectTopKStep struct {
+	pe    *comm.PE
+	items []KV
+	k     int
+	rng   *xrand.RNG
+	out   func([]KV)
+	self  bool
+	res   []KV
+
+	ords  []uint64
+	i64   int64
+	thr   uint64
+	nSel  int
+	nTied int
+	nAb   int64
+
+	cur comm.Stepper
+
+	onI64 func(int64)
+	onThr func(uint64)
+	onAll func([]KV)
+
+	phase int
+}
+
+func newSelectTopKStep(pe *comm.PE, items []KV, k int, rng *xrand.RNG, out func([]KV), self bool) *selectTopKStep {
+	s := comm.GetPooled[selectTopKStep](pe)
+	s.pe = pe
+	s.items, s.k, s.rng, s.out, s.self = items, k, rng, out, self
+	s.phase = tphInit
+	s.cur = nil
+	if s.onI64 == nil {
+		s.onI64 = func(v int64) { s.i64 = v }
+		s.onThr = func(v uint64) { s.thr = v }
+		s.onAll = func(got []KV) {
+			// The gathered concatenation is a borrowed pooled buffer; the
+			// result is caller-owned (matching the blocking AllGatherConcat
+			// contract), so materialize a fresh copy.
+			r := make([]KV, len(got))
+			copy(r, got)
+			s.res = r
+		}
+	}
+	return s
+}
+
+// SelectTopKTableStep is the continuation form of SelectTopKTable: out
+// receives the k highest-count entries of the sharded count table on
+// every PE, caller-owned and sorted by SortKVDesc. The shard is read at
+// construction time (into per-PE scratch), so it may be released once
+// the factory returns. Semantics, RNG consumption and the metered
+// schedule match SelectTopKTable exactly.
+func SelectTopKTableStep(pe *comm.PE, shard *Table, k int, rng *xrand.RNG, out func([]KV)) comm.Stepper {
+	items := comm.ScratchSlice[KV](pe, "dht.topk.items", shard.Len())[:0]
+	return newSelectTopKStep(pe, shard.AppendKVs(items), k, rng, out, true)
+}
+
+func (s *selectTopKStep) release(pe *comm.PE) {
+	s.pe = nil
+	s.items, s.ords, s.res = nil, nil, nil
+	s.rng, s.out, s.cur = nil, nil, nil
+	comm.PutPooled(pe, s)
+}
+
+func (s *selectTopKStep) finish(pe *comm.PE, v []KV) *comm.RecvHandle {
+	s.res = v
+	s.phase = tphDone
+	if s.self {
+		out := s.out
+		s.release(pe)
+		if out != nil {
+			out(v)
+		}
+	}
+	return nil
+}
+
+func addI64(a, b int64) int64 { return a + b }
+
+func (s *selectTopKStep) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case tphInit:
+			ords := comm.ScratchSlice[uint64](pe, "dht.topk.ords", len(s.items))[:0]
+			for _, it := range s.items {
+				ords = append(ords, ^uint64(it.Count))
+			}
+			s.ords = ords
+			s.cur = coll.AllReduceScalarStep(pe, int64(len(s.items)), addI64, s.onI64)
+			s.phase = tphTotalWait
+		case tphTotalWait:
+			total := s.i64
+			if total == 0 {
+				return s.finish(pe, nil)
+			}
+			if total <= int64(s.k) {
+				s.cur = coll.AllGatherConcatStep(pe, s.items, s.onAll)
+				s.phase = tphSmallWait
+				continue
+			}
+			s.cur = sel.KthStep(pe, s.ords, int64(s.k), s.rng, s.onThr)
+			s.phase = tphKthWait
+		case tphSmallWait:
+			SortKVDesc(s.res)
+			return s.finish(pe, s.res)
+		case tphKthWait:
+			// Band the local entries around the selected threshold — see the
+			// compress rationale in the blocking selectTopKItems.
+			thrCount := int64(^s.thr)
+			nSel, nTied := qsel.Rank(s.ords, s.thr)
+			tiedTmp := comm.ScratchSlice[KV](pe, "dht.topk.tied", nTied)[:0]
+			items := s.items
+			w := 0
+			for _, it := range items {
+				if it.Count > thrCount {
+					items[w] = it
+					w++
+				} else if it.Count == thrCount {
+					tiedTmp = append(tiedTmp, it)
+				}
+			}
+			copy(items[nSel:], tiedTmp)
+			s.nSel, s.nTied = nSel, nTied
+			s.cur = coll.AllReduceScalarStep(pe, int64(nSel), addI64, s.onI64)
+			s.phase = tphNAboveWait
+		case tphNAboveWait:
+			s.nAb = s.i64
+			s.cur = coll.ExScanSumStep(pe, int64(s.nTied), s.onI64)
+			s.phase = tphPrevWait
+		case tphPrevWait:
+			prevTies := s.i64
+			needTies := int64(s.k) - s.nAb
+			take := min(max(needTies-prevTies, 0), int64(s.nTied))
+			tied := s.items[s.nSel : s.nSel+s.nTied]
+			sort.Slice(tied, func(i, j int) bool { return tied[i].Key < tied[j].Key })
+			s.cur = coll.AllGatherConcatStep(pe, s.items[:s.nSel+int(take)], s.onAll)
+			s.phase = tphGatherWait
+		case tphGatherWait:
+			SortKVDesc(s.res)
+			return s.finish(pe, s.res)
+		default:
+			return nil
+		}
+	}
+}

@@ -8,6 +8,8 @@
 package dht
 
 import (
+	"sort"
+
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 )
@@ -49,53 +51,10 @@ func Owner(key uint64, p int) int { return int(Mix(key) % uint64(p)) }
 // the in-place combine writes its output over the held buffer, so the
 // steady-state per-step cost is zero allocations. Collective.
 func CountKV(pe *comm.PE, items []KV, mode RouteMode) *Table {
-	p := pe.P()
-	out := NewTable(len(items))
-	switch mode {
-	case RouteDirect:
-		parts := make([][]KV, p)
-		for _, kv := range items {
-			d := Owner(kv.Key, p)
-			parts[d] = append(parts[d], kv)
-		}
-		recv := coll.AllToAll(pe, parts)
-		for _, part := range recv {
-			for _, kv := range part {
-				out.Add(kv.Key, kv.Count)
-			}
-		}
-		return out
-	case RouteHypercube:
-		// The destination is derivable from the key, so only the
-		// (key, count) pair travels; counts for equal keys merge at
-		// every routing step through the reused table.
-		destFn := func(kv KV) int { return Owner(kv.Key, p) }
-		combine := func(held []KV) []KV {
-			out.Reset()
-			for _, kv := range held {
-				out.Add(kv.Key, kv.Count)
-			}
-			// Overwriting held in place is safe because ownership of a
-			// routed batch moves with the message: on the low ranks held is
-			// an append-built local slice, and on a folded-out high rank it
-			// is the batch its partner sent and then abandoned (RouteCombine
-			// senders never touch a slice after Send).
-			return out.AppendKVs(held[:0])
-		}
-		// The stepper form lends the routed batch to the out hook for the
-		// duration of the call — the table rebuild consumes it element by
-		// element, so RouteCombine's defensive clone of the result would be
-		// pure allocation.
-		comm.RunSteps(pe, coll.RouteCombineStep(pe, items, destFn, combine, func(held []KV) {
-			out.Reset()
-			for _, kv := range held {
-				out.Add(kv.Key, kv.Count)
-			}
-		}))
-		return out
-	default:
-		panic("dht: unknown route mode")
-	}
+	st := CountKVStep(pe, items, mode, nil).(*countKVStep)
+	out := st.t
+	comm.RunSteps(pe, st)
+	return out
 }
 
 // CountKeys is CountKV for callers holding a Go map; it returns a map.
@@ -123,13 +82,32 @@ type HC struct {
 
 // SBF is a distributed single-shot Bloom filter over counted keys: each
 // PE holds the summed counts of the hash cells it owns, plus its local
-// per-key contributions for later resolution of collisions.
+// per-key contributions for later resolution of collisions. All state is
+// map-free (pooled Table + sorted slice), so repeated builds over the
+// same input are bit-identical — cell iteration order cannot leak into
+// downstream selection, RNG consumption, or meters.
 type SBF struct {
 	pe *comm.PE
-	// Cells maps owned 32-bit hash cells to their global summed counts.
-	Cells map[uint32]int64
-	// local is this PE's own contribution by cell, kept for Resolve.
-	local map[uint32][]KV
+	// Cells holds owned 32-bit hash cells (as uint64 keys) → global summed
+	// counts, in a pooled Table released by Release.
+	Cells *Table
+	// local is this PE's own contribution, sorted by (cell, key) so
+	// Resolve scans it in a deterministic order.
+	local []cellKV
+}
+
+// cellKV is one local (cell, key, count) contribution kept for Resolve.
+type cellKV struct {
+	cell uint32
+	kv   KV
+}
+
+// Release recycles the pooled cell table.
+func (s *SBF) Release() {
+	if s.Cells != nil {
+		s.Cells.Release()
+		s.Cells = nil
+	}
 }
 
 // cellOf hashes a key into the 32-bit cell space.
@@ -143,43 +121,59 @@ func cellOwner(cell uint32, p int) int { return int(uint64(cell) % uint64(p)) }
 // for sample counts). The table is only read. Collective.
 func BuildSBF(pe *comm.PE, local *Table) *SBF {
 	p := pe.P()
-	s := &SBF{pe: pe, Cells: map[uint32]int64{}, local: map[uint32][]KV{}}
-	cellAgg := make(map[uint32]int64)
+	s := &SBF{pe: pe, Cells: NewTable(local.Len()), local: make([]cellKV, 0, local.Len())}
+	cellAgg := NewTable(local.Len())
 	local.ForEach(func(k uint64, c int64) {
 		cell := cellOf(k)
-		s.local[cell] = append(s.local[cell], KV{k, c})
-		cellAgg[cell] += c
+		s.local = append(s.local, cellKV{cell, KV{k, c}})
+		cellAgg.Add(uint64(cell), c)
 	})
-	items := make([]HC, 0, len(cellAgg))
-	for cell, c := range cellAgg {
-		cc := c
-		if cc > 0xffffffff {
-			cc = 0xffffffff
+	// Sort contributions by (cell, key) and emit the routed cells in
+	// ascending cell order: the message content is order-insensitive (the
+	// router re-aggregates per destination), but a fixed order pins the
+	// in-flight batch layouts bit-identical across repeated runs.
+	sort.Slice(s.local, func(i, j int) bool {
+		if s.local[i].cell != s.local[j].cell {
+			return s.local[i].cell < s.local[j].cell
 		}
-		items = append(items, HC{cell, uint32(cc)})
+		return s.local[i].kv.Key < s.local[j].kv.Key
+	})
+	items := make([]HC, 0, cellAgg.Len())
+	for _, ck := range cellAgg.SortedKeys(nil) {
+		c, _ := cellAgg.Get(ck)
+		if c > 0xffffffff {
+			c = 0xffffffff
+		}
+		items = append(items, HC{uint32(ck), uint32(c)})
 	}
+	cellAgg.Release()
 	destFn := func(hc HC) int { return cellOwner(hc.Hash, p) }
+	agg := NewTable(len(items))
 	combine := func(held []HC) []HC {
-		agg := make(map[uint32]int64, len(held))
+		agg.Reset()
 		for _, hc := range held {
-			agg[hc.Hash] += int64(hc.Count)
+			agg.Add(uint64(hc.Hash), int64(hc.Count))
 		}
-		out := make([]HC, 0, len(agg))
-		for cell, c := range agg {
+		// Overwrite held in place (batch ownership moves with the message,
+		// see CountKV); slot order is deterministic given the deterministic
+		// insertion sequence above.
+		out := held[:0]
+		agg.ForEach(func(cell uint64, c int64) {
 			if c > 0xffffffff {
 				c = 0xffffffff
 			}
-			out = append(out, HC{cell, uint32(c)})
-		}
+			out = append(out, HC{uint32(cell), uint32(c)})
+		})
 		return out
 	}
-	// Borrowed-batch consumption: the cell map is folded straight out of
+	// Borrowed-batch consumption: the cell table is folded straight out of
 	// the router's held buffer, no caller-owned clone needed.
 	comm.RunSteps(pe, coll.RouteCombineStep(pe, items, destFn, combine, func(held []HC) {
 		for _, hc := range held {
-			s.Cells[hc.Hash] += int64(hc.Count)
+			s.Cells.Add(uint64(hc.Hash), int64(hc.Count))
 		}
 	}))
+	agg.Release()
 	return s
 }
 
@@ -196,19 +190,18 @@ func (s *SBF) Resolve(cells []uint32) []KV {
 		want[c] = true
 	}
 	var mine []KV
-	for cell, kvs := range s.local {
-		if want[cell] {
-			mine = append(mine, kvs...)
+	for _, ck := range s.local { // sorted by (cell, key): deterministic
+		if want[ck.cell] {
+			mine = append(mine, ck.kv)
 		}
 	}
 	all := coll.AllGatherConcat(s.pe, mine)
-	agg := make(map[uint64]int64, len(all))
+	agg := NewTable(len(all))
 	for _, kv := range all {
-		agg[kv.Key] += kv.Count
+		agg.Add(kv.Key, kv.Count)
 	}
-	out := make([]KV, 0, len(agg))
-	for k, c := range agg {
-		out = append(out, KV{k, c})
-	}
+	out := agg.AppendKVs(make([]KV, 0, agg.Len()))
+	agg.Release()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }

@@ -123,7 +123,10 @@ func TestSBFCountsMatch(t *testing.T) {
 			local := tableFromMap(localCountsFor(7, pe.Rank(), 300, 400))
 			s := BuildSBF(pe, local)
 			local.Release()
-			cellsByPE[pe.Rank()] = s.Cells
+			cells := map[uint32]int64{}
+			s.Cells.ForEach(func(cell uint64, c int64) { cells[uint32(cell)] = c })
+			s.Release()
+			cellsByPE[pe.Rank()] = cells
 		})
 		// Cell sums must equal the key-count sums grouped by cell
 		// (collisions merge, never lose).
@@ -166,6 +169,7 @@ func TestSBFResolveSplitsCollisions(t *testing.T) {
 			cells = append(cells, cellOf(k))
 		}
 		resolvedByPE[pe.Rank()] = s.Resolve(cells)
+		s.Release()
 	})
 	for r := 0; r < p; r++ {
 		got := map[uint64]int64{}

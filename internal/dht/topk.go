@@ -3,10 +3,7 @@ package dht
 import (
 	"sort"
 
-	"commtopk/internal/coll"
 	"commtopk/internal/comm"
-	"commtopk/internal/qsel"
-	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
 
@@ -44,53 +41,17 @@ func SelectTopK(pe *comm.PE, shard map[uint64]int64, k int, rng *xrand.RNG) []KV
 	return selectTopKItems(pe, items, k, rng)
 }
 
-// selectTopKItems is the shared selection core. items is consumed as
-// scratch (it may be reordered); the returned slice is freshly gathered
-// and caller-owned.
+// selectTopKItems is the shared selection core: the blocking driver of
+// selectTopKStep (see async.go for the algorithm — the rank of the
+// threshold in the complemented-count multiset splits the local entries
+// into a strictly-above band and a tie band compressed forward in one
+// pass, and a prefix sum splits the ties deterministically across PEs).
+// items is consumed as scratch (it may be reordered); the returned slice
+// is freshly gathered and caller-owned.
 func selectTopKItems(pe *comm.PE, items []KV, k int, rng *xrand.RNG) []KV {
-	ords := comm.ScratchSlice[uint64](pe, "dht.topk.ords", len(items))[:0]
-	for _, it := range items {
-		ords = append(ords, ^uint64(it.Count))
-	}
-	total := coll.SumAll(pe, int64(len(items)))
-	if total == 0 {
-		return nil
-	}
-	if total <= int64(k) {
-		all := coll.AllGatherConcat(pe, items)
-		SortKVDesc(all)
-		return all
-	}
-	thr := sel.Kth(pe, ords, int64(k), rng)
-	thrCount := int64(^thr)
-	// Rank the threshold in the complemented-count multiset first (ords may
-	// have been reordered by Kth's window, but rank is permutation-
-	// invariant): below ⇔ Count strictly above the threshold, equal ⇔ tied.
-	// Knowing the band sizes up front turns the extraction into a single
-	// forward compress — strictly-above entries slide to the front (the
-	// write cursor never passes the read cursor), ties stage through a
-	// scratch band copied in behind them. Both branches are rare once the
-	// threshold is selective, so the pass predicts well, mirroring the
-	// compress narrowing of qsel's bucket engine.
-	nSel, nTied := qsel.Rank(ords, thr)
-	tiedTmp := comm.ScratchSlice[KV](pe, "dht.topk.tied", nTied)[:0]
-	w := 0
-	for _, it := range items {
-		if it.Count > thrCount {
-			items[w] = it
-			w++
-		} else if it.Count == thrCount {
-			tiedTmp = append(tiedTmp, it)
-		}
-	}
-	copy(items[nSel:], tiedTmp)
-	tied := items[nSel : nSel+nTied]
-	nAbove := coll.SumAll(pe, int64(nSel))
-	needTies := int64(k) - nAbove
-	prevTies := coll.ExScanSum(pe, int64(nTied))
-	take := min(max(needTies-prevTies, 0), int64(nTied))
-	sort.Slice(tied, func(i, j int) bool { return tied[i].Key < tied[j].Key })
-	out := coll.AllGatherConcat(pe, items[:nSel+int(take)])
-	SortKVDesc(out)
-	return out
+	st := newSelectTopKStep(pe, items, k, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }

@@ -1,0 +1,17 @@
+package dht
+
+import (
+	"commtopk/internal/coll"
+)
+
+// RegisterWireCodecs registers every payload shape the DHT layer puts on
+// a cross-process frame: KV pairs (counting inserts, gathers of
+// selections and resolutions) and HC cells (the dSBF wire format), each
+// with the full collective carrier set (routed batches travel as pooled
+// *[]T copies, gathers as Bruck composites). Call once from the shared
+// registration package of every participating binary (see
+// internal/wire/wireprogs); idempotent.
+func RegisterWireCodecs() {
+	coll.RegisterWireCodecs[KV]("dht.KV")
+	coll.RegisterWireCodecs[HC]("dht.HC")
+}

@@ -9,7 +9,9 @@ import (
 	"commtopk/internal/bpq"
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/freq"
 	"commtopk/internal/gen"
+	"commtopk/internal/mtopk"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
@@ -73,6 +75,29 @@ func fuzzBpqKeys(pe *comm.PE, base, count int) []uint64 {
 		keys[i] = uint64((base+i)*pe.P() + pe.Rank())
 	}
 	return keys
+}
+
+// fuzzMtopkData builds a deterministic per-rank multicriteria instance:
+// object count, criteria count and the global k all vary with prm; IDs
+// are globally unique by rank-disjoint offsets.
+func fuzzMtopkData(pe *comm.PE, prm int64) (*mtopk.Data, int) {
+	n := 8 + int(prm%8)
+	m := 2 + int(prm%3)
+	objs := mtopk.GenObjects(xrand.NewPE(prm, pe.Rank()), n, m, 1+uint64(pe.Rank())*64)
+	return mtopk.NewData(objs, m), 1 + int(prm%8)
+}
+
+// fuzzFreqStream builds a deterministic skewed per-rank key stream
+// (small keys dominate) plus randomized heavy-hitter parameters.
+func fuzzFreqStream(pe *comm.PE, prm int64) ([]uint64, freq.Params) {
+	rng := xrand.NewPE(prm, pe.Rank())
+	uni := uint64(8 + prm%24)
+	local := make([]uint64, 48+int(prm%32))
+	for i := range local {
+		u := rng.Uint64() % uni
+		local[i] = rng.Uint64() % (u + 1)
+	}
+	return local, freq.Params{K: 1 + int(prm%6), Eps: 0.05, Delta: 0.01}
 }
 
 // fuzzBpqResult is the BpqChurn op's per-PE observable: every batch key
@@ -371,6 +396,30 @@ func fuzzOps() []fuzzOp {
 					}),
 					comm.StepFunc(func(pe *comm.PE) *comm.RecvHandle { *out = res; return nil }),
 				)
+			},
+		},
+		{
+			name: "MtopkDTA",
+			block: func(pe *comm.PE, prm int64) any {
+				d, k := fuzzMtopkData(pe, prm)
+				return mtopk.DTA(pe, d, mtopk.SumScore, k, xrand.NewPE(prm+11, pe.Rank()))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				d, k := fuzzMtopkData(pe, prm)
+				return mtopk.DTAStep(pe, d, mtopk.SumScore, k, xrand.NewPE(prm+11, pe.Rank()),
+					func(v mtopk.DTAResult) { *out = v })
+			},
+		},
+		{
+			name: "FreqPAC",
+			block: func(pe *comm.PE, prm int64) any {
+				local, pr := fuzzFreqStream(pe, prm)
+				return freq.PAC(pe, local, pr, xrand.NewPE(prm+13, pe.Rank()))
+			},
+			step: func(pe *comm.PE, prm int64, out *any) comm.Stepper {
+				local, pr := fuzzFreqStream(pe, prm)
+				return freq.PACStep(pe, local, pr, xrand.NewPE(prm+13, pe.Rank()),
+					func(v freq.Result) { *out = v })
 			},
 		},
 		{

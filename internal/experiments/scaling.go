@@ -7,7 +7,9 @@ import (
 
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/freq"
 	"commtopk/internal/gen"
+	"commtopk/internal/mtopk"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
@@ -300,6 +302,8 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 	gatherName := fmt.Sprintf("Scaling/GatherChunked/p=%d/%s", p, backend)
 	stridedName := fmt.Sprintf("Scaling/GatherStrided/p=%d/%s", p, backend)
 	selName := fmt.Sprintf("Scaling/Table1Selection/p=%d/%s", p, backend)
+	mtopkName := fmt.Sprintf("Scaling/MtopkDTA/p=%d/%s", p, backend)
+	freqName := fmt.Sprintf("Scaling/FreqPAC/p=%d/%s", p, backend)
 	res := func(name string) BenchResult {
 		return BenchResult{Name: name, P: p, Backend: backend.String(), Workers: comm.SchedWorkers(cfg)}
 	}
@@ -323,7 +327,7 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 		for _, smp := range scalingStridedSweep {
 			out = append(out, skip(stridedNames[smp], reason))
 		}
-		return append(out, skip(selName, reason))
+		return append(out, skip(selName, reason), skip(mtopkName, reason), skip(freqName, reason))
 	}
 
 	baseline := runtime.NumGoroutine()
@@ -482,6 +486,63 @@ func scalingRun(p int, backend comm.Backend, budget int64, quick bool) []BenchRe
 		r := fill(res(selName), ns, s)
 		r.Note = selNote
 		out = append(out, r)
+	}
+
+	// Multicriteria threshold algorithm and sampling heavy hitters: the
+	// PR 10 stepper ports measured at scale, tiny per-PE instances (the
+	// axis of interest is the collective critical path over p, not local
+	// scan work). Same mailbox-primary/"/blocking"-twin discipline.
+	datas := make([]*mtopk.Data, p)
+	freqLocals := make([][]uint64, p)
+	for r := 0; r < p; r++ {
+		datas[r] = mtopk.NewData(mtopk.GenObjects(xrand.NewPE(7, r), 4, 2, 1+uint64(r)*4), 2)
+		rng := xrand.NewPE(11, r)
+		sh := make([]uint64, 16)
+		for i := range sh {
+			u := rng.Uint64() % 16
+			sh[i] = rng.Uint64() % (u + 1)
+		}
+		freqLocals[r] = sh
+	}
+	freqParams := freq.Params{K: 8, Eps: 0.05, Delta: 0.01}
+	mtopkBlocking := func(pe *comm.PE) {
+		mtopk.DTA(pe, datas[pe.Rank()], mtopk.SumScore, 8, xrand.NewPE(23, pe.Rank()))
+	}
+	freqBlocking := func(pe *comm.PE) {
+		freq.PAC(pe, freqLocals[pe.Rank()], freqParams, xrand.NewPE(29, pe.Rank()))
+	}
+	if backend == comm.BackendMailbox {
+		ns, s := measureScalingAsync(m, scalingRunIters(3, quick), func(pe *comm.PE) comm.Stepper {
+			return mtopk.DTAStep(pe, datas[pe.Rank()], mtopk.SumScore, 8, xrand.NewPE(23, pe.Rank()), nil)
+		})
+		r := fill(res(mtopkName), ns, s)
+		r.Note = "n/p=4, m=2, k=8; continuation-scheduled (comm.RunAsync)"
+		out = append(out, r)
+		ns, s = measureScalingAsync(m, scalingRunIters(3, quick), func(pe *comm.PE) comm.Stepper {
+			return freq.PACStep(pe, freqLocals[pe.Rank()], freqParams, xrand.NewPE(29, pe.Rank()), nil)
+		})
+		r = fill(res(freqName), ns, s)
+		r.Note = "n/p=16, k=8; continuation-scheduled (comm.RunAsync)"
+		out = append(out, r)
+		if !quick {
+			blockIters := 3
+			if p >= 1<<16 {
+				blockIters = 1
+			}
+			ns, s = measureScaling(m, blockIters, mtopkBlocking)
+			rb := fill(res(mtopkName+"/blocking"), ns, s)
+			rb.Note = "park-churn A/B reference (blocking bodies)"
+			out = append(out, rb)
+			ns, s = measureScaling(m, blockIters, freqBlocking)
+			rb = fill(res(freqName+"/blocking"), ns, s)
+			rb.Note = "park-churn A/B reference (blocking bodies)"
+			out = append(out, rb)
+		}
+	} else {
+		ns, s := measureScaling(m, scalingRunIters(3, quick), mtopkBlocking)
+		out = append(out, fill(res(mtopkName), ns, s))
+		ns, s = measureScaling(m, scalingRunIters(3, quick), freqBlocking)
+		out = append(out, fill(res(freqName), ns, s))
 	}
 	return out
 }

@@ -8,7 +8,9 @@ import (
 	"commtopk/internal/bpq"
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/freq"
 	"commtopk/internal/gen"
+	"commtopk/internal/mtopk"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
@@ -64,11 +66,14 @@ func TestScaling65536WithinBudgets(t *testing.T) {
 // *resident* machine (parked bodies retired between runs); this asserts
 // the bound *while p = 16384 collectives are in flight*. The sampled
 // window now covers the scalar collectives op, the strided and chunked
-// gather workloads, the full stepper-form selection (sel.KthStep), and
-// the bulk-priority-queue DeleteMinStep against per-rank resident
-// queues — thousands of PEs are simultaneously waiting mid-collective
-// at any sampled instant, and none of them may hold a goroutine.
-// Skipped under -short; CI runs it explicitly.
+// gather workloads, the full stepper-form selection (sel.KthStep), the
+// bulk-priority-queue DeleteMinStep against per-rank resident queues,
+// the multicriteria threshold algorithm (mtopk.DTAStep — nested AMS
+// selections plus scalar reductions), and the sampling heavy-hitter
+// pipeline (freq.PACStep — DHT routing plus shard top-k selection) —
+// thousands of PEs are simultaneously waiting mid-collective at any
+// sampled instant, and none of them may hold a goroutine. Skipped
+// under -short; CI runs it explicitly.
 func TestMidRunGoroutineResidency16384(t *testing.T) {
 	if testing.Short() {
 		t.Skip("p=16384 mid-run guard skipped in -short mode")
@@ -99,6 +104,21 @@ func TestMidRunGoroutineResidency16384(t *testing.T) {
 		q.InsertBulk(keys)
 		qs[pe.Rank()] = q
 	})
+	// Per-rank multicriteria instances and skewed key streams for the
+	// mtopk/freq stepper workloads, built host-side (no PE needed).
+	datas := make([]*mtopk.Data, p)
+	freqLocals := make([][]uint64, p)
+	for r := 0; r < p; r++ {
+		objs := mtopk.GenObjects(xrand.NewPE(7, r), 4, 2, 1+uint64(r)*4)
+		datas[r] = mtopk.NewData(objs, 2)
+		rng := xrand.NewPE(11, r)
+		sh := make([]uint64, 16)
+		for i := range sh {
+			u := rng.Uint64() % 16
+			sh[i] = rng.Uint64() % (u + 1)
+		}
+		freqLocals[r] = sh
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -113,6 +133,15 @@ func TestMidRunGoroutineResidency16384(t *testing.T) {
 		})
 		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
 			return qs[pe.Rank()].DeleteMinStep(int64(p*selPerPE/4), nil)
+		})
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+			return mtopk.DTAStep(pe, datas[pe.Rank()], mtopk.SumScore, 8,
+				xrand.NewPE(23, pe.Rank()), nil)
+		})
+		m.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+			return freq.PACStep(pe, freqLocals[pe.Rank()],
+				freq.Params{K: 8, Eps: 0.05, Delta: 0.01},
+				xrand.NewPE(29, pe.Rank()), nil)
 		})
 	}()
 	var maxMid, samples int64

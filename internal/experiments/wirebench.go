@@ -43,6 +43,8 @@ func wireCases(p int) []struct {
 		{"collectives", []uint64{42, 16}},
 		{"kth", []uint64{7, 1 << 12, uint64(p) * (1 << 12) / 2}},
 		{"deletemin", []uint64{11, 1 << 10, uint64(64 * p), 4}},
+		{"mtopk", []uint64{13, 256, 4, 16}},
+		{"freq", []uint64{17, 1 << 12, 256, 16}},
 	}
 }
 

@@ -1,0 +1,292 @@
+package freq
+
+import (
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+	"commtopk/internal/dht"
+	"commtopk/internal/stats"
+	"commtopk/internal/xrand"
+)
+
+func addI64(a, b int64) int64 { return a + b }
+
+// pacStep phases.
+const (
+	fphInit      = iota // start the global input-size sum
+	fphNWait            // harvest n; sample locally, start sample-size sum
+	fphSizeWait         // harvest sample size; start DHT routing
+	fphShardWait        // harvest owned shard; start top-k selection
+	fphTopWait          // harvest top-k; scale, sort, finish
+	fphDone
+)
+
+// pacStep is the continuation form of PAC — Bernoulli sampling,
+// distributed hashing and unsorted selection on sample counts as a
+// pooled state machine over the dht steppers. The blocking PAC drives
+// this machine through comm.RunSteps: one implementation, both
+// execution modes, bit-identical results, RNG consumption and meters.
+type pacStep struct {
+	local []uint64
+	p     Params
+	rng   *xrand.RNG
+	out   func(Result)
+	self  bool
+
+	n     int64
+	agg   *dht.Table
+	shard *dht.Table
+	res   Result
+
+	cur     comm.Stepper
+	onN     func(int64)
+	onSize  func(int64)
+	onShard func(*dht.Table)
+	onTop   func([]dht.KV)
+	phase   int
+}
+
+func newPACStep(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG, out func(Result), self bool) *pacStep {
+	p.validate()
+	s := comm.GetPooled[pacStep](pe)
+	s.local, s.p, s.rng, s.out, s.self = local, p, rng, out, self
+	s.res = Result{}
+	s.phase = fphInit
+	s.cur = nil
+	if s.onN == nil {
+		s.onN = func(v int64) { s.n = v }
+		s.onSize = func(v int64) { s.res.SampleSize = v }
+		s.onShard = func(t *dht.Table) { s.shard = t }
+		s.onTop = func(top []dht.KV) { s.res.Items = top }
+	}
+	return s
+}
+
+// PACStep is the continuation form of PAC: out (optional) receives the
+// (ε, δ)-approximate top-k. Collective; interleaves with unrelated
+// steppers under comm.RunAsync.
+func PACStep(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG, out func(Result)) comm.Stepper {
+	return newPACStep(pe, local, p, rng, out, true)
+}
+
+func (s *pacStep) finish(pe *comm.PE) *comm.RecvHandle {
+	s.phase = fphDone
+	if s.self {
+		res, out := s.res, s.out
+		s.release(pe)
+		if out != nil {
+			out(res)
+		}
+	}
+	return nil
+}
+
+func (s *pacStep) release(pe *comm.PE) {
+	s.local, s.rng, s.out, s.cur = nil, nil, nil, nil
+	s.agg, s.shard = nil, nil
+	s.res = Result{}
+	comm.PutPooled(pe, s)
+}
+
+func (s *pacStep) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case fphInit:
+			s.cur = coll.AllReduceScalarStep(pe, int64(len(s.local)), addI64, s.onN)
+			s.phase = fphNWait
+		case fphNWait:
+			s.res.Rho = min(1, stats.PACSampleSize(s.n, s.p.K, s.p.Eps, s.p.Delta)/float64(s.n))
+			s.agg = sampleCounts(s.local, s.res.Rho, s.rng)
+			s.cur = coll.AllReduceScalarStep(pe, s.agg.Total(), addI64, s.onSize)
+			s.phase = fphSizeWait
+		case fphSizeWait:
+			items := comm.ScratchSlice[dht.KV](pe, "freq.count.items", s.agg.Len())[:0]
+			s.cur = dht.CountKVStep(pe, s.agg.AppendKVs(items), s.p.Route, s.onShard)
+			s.phase = fphShardWait
+		case fphShardWait:
+			s.agg.Release()
+			s.agg = nil
+			s.cur = dht.SelectTopKTableStep(pe, s.shard, s.p.K, s.rng, s.onTop)
+			s.phase = fphTopWait
+		case fphTopWait:
+			s.shard.Release()
+			s.shard = nil
+			for i := range s.res.Items {
+				s.res.Items[i].Count = int64(float64(s.res.Items[i].Count)/s.res.Rho + 0.5)
+			}
+			dht.SortKVDesc(s.res.Items)
+			s.res.Exact = s.res.Rho >= 1
+			return s.finish(pe)
+		default:
+			return nil
+		}
+	}
+}
+
+// ecStep phases.
+const (
+	ephInit      = iota // start the global input-size sum (skipped when rho given)
+	ephNWait            // harvest n; choose k*, rho
+	ephSample           // sample locally, start sample-size sum
+	ephSizeWait         // harvest sample size; start DHT routing
+	ephShardWait        // harvest owned shard; start candidate selection
+	ephCandWait         // harvest candidates; local exact count, start reduction
+	ephExactWait        // harvest global counts; sort, truncate, finish
+	ephDone
+)
+
+// ecStep is the continuation form of EC / ecCore: sample at ρ, select
+// the k* most sampled, count them exactly with a vector reduction.
+type ecStep struct {
+	local []uint64
+	p     Params
+	rng   *xrand.RNG
+	out   func(Result)
+	self  bool
+
+	// haveParams: kStar/rho were fixed by the caller (the ecCore entry
+	// used by PECZipf); otherwise they are derived from the global n.
+	haveParams bool
+
+	n      int64
+	agg    *dht.Table
+	shard  *dht.Table
+	cands  []dht.KV
+	keys   []uint64
+	counts []int64
+	res    Result
+
+	cur      comm.Stepper
+	onN      func(int64)
+	onSize   func(int64)
+	onShard  func(*dht.Table)
+	onCands  func([]dht.KV)
+	onGlobal func([]int64)
+	phase    int
+}
+
+func newECStep(pe *comm.PE, local []uint64, p Params, kStar int, rho float64, haveParams bool, rng *xrand.RNG, out func(Result), self bool) *ecStep {
+	p.validate()
+	s := comm.GetPooled[ecStep](pe)
+	s.local, s.p, s.rng, s.out, s.self = local, p, rng, out, self
+	s.haveParams = haveParams
+	s.res = Result{KStar: kStar, Rho: rho}
+	s.phase = ephInit
+	if haveParams {
+		s.phase = ephSample
+	}
+	s.cur = nil
+	if s.onN == nil {
+		s.onN = func(v int64) { s.n = v }
+		s.onSize = func(v int64) { s.res.SampleSize = v }
+		s.onShard = func(t *dht.Table) { s.shard = t }
+		s.onCands = func(c []dht.KV) { s.cands = c }
+		s.onGlobal = func(g []int64) { s.counts = append(s.counts[:0], g...) }
+	}
+	return s
+}
+
+// ECStep is the continuation form of EC: out (optional) receives the
+// exactly counted top-k. Collective; interleaves with unrelated
+// steppers under comm.RunAsync.
+func ECStep(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG, out func(Result)) comm.Stepper {
+	return newECStep(pe, local, p, 0, 0, false, rng, out, true)
+}
+
+func (s *ecStep) finish(pe *comm.PE) *comm.RecvHandle {
+	s.phase = ephDone
+	if s.self {
+		res, out := s.res, s.out
+		s.release(pe)
+		if out != nil {
+			out(res)
+		}
+	}
+	return nil
+}
+
+func (s *ecStep) release(pe *comm.PE) {
+	s.local, s.rng, s.out, s.cur = nil, nil, nil, nil
+	s.agg, s.shard, s.cands, s.keys = nil, nil, nil, nil
+	s.counts = s.counts[:0]
+	s.res = Result{}
+	comm.PutPooled(pe, s)
+}
+
+func (s *ecStep) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case ephInit:
+			s.cur = coll.AllReduceScalarStep(pe, int64(len(s.local)), addI64, s.onN)
+			s.phase = ephNWait
+		case ephNWait:
+			kStar := s.p.KStarOverride
+			if kStar <= 0 {
+				kStar = stats.OptimalKStar(s.n, s.p.K, pe.P(), s.p.Eps, s.p.Delta)
+			}
+			s.res.KStar = kStar
+			s.res.Rho = min(1, stats.ECSampleSize(s.n, kStar, s.p.Eps, s.p.Delta)/float64(s.n))
+			s.phase = ephSample
+		case ephSample:
+			s.agg = sampleCounts(s.local, s.res.Rho, s.rng)
+			s.cur = coll.AllReduceScalarStep(pe, s.agg.Total(), addI64, s.onSize)
+			s.phase = ephSizeWait
+		case ephSizeWait:
+			items := comm.ScratchSlice[dht.KV](pe, "freq.count.items", s.agg.Len())[:0]
+			s.cur = dht.CountKVStep(pe, s.agg.AppendKVs(items), s.p.Route, s.onShard)
+			s.phase = ephShardWait
+		case ephShardWait:
+			s.agg.Release()
+			s.agg = nil
+			s.cur = dht.SelectTopKTableStep(pe, s.shard, s.res.KStar, s.rng, s.onCands)
+			s.phase = ephCandWait
+		case ephCandWait:
+			s.shard.Release()
+			s.shard = nil
+			s.keys = candidateKeys(s.cands)
+			s.res.Exact = true
+			if len(s.keys) == 0 {
+				s.res.Items = nil
+				return s.finish(pe)
+			}
+			// Local exact counting pass over the candidate index.
+			index := dht.NewTable(len(s.keys))
+			for i, k := range s.keys {
+				index.Set(k, int64(i))
+			}
+			counts := make([]int64, len(s.keys))
+			for _, x := range s.local {
+				if i, ok := index.Get(x); ok {
+					counts[i]++
+				}
+			}
+			index.Release()
+			s.cur = coll.AllReduceStep(pe, counts, addI64, s.onGlobal)
+			s.phase = ephExactWait
+		case ephExactWait:
+			exact := make([]dht.KV, len(s.keys))
+			for i, k := range s.keys {
+				exact[i] = dht.KV{Key: k, Count: s.counts[i]}
+			}
+			dht.SortKVDesc(exact)
+			if len(exact) > s.p.K {
+				exact = exact[:s.p.K]
+			}
+			s.res.Items = exact
+			return s.finish(pe)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package freq
+
+import (
+	"reflect"
+	"testing"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
+)
+
+// TestFreqSteppersMatchBlocking pins the tentpole contract for freq:
+// PACStep/ECStep under RunAsync produce bit-identical results and
+// meters to the blocking PAC/EC (which drive the same machines through
+// RunSteps).
+func TestFreqSteppersMatchBlocking(t *testing.T) {
+	const p = 5
+	locals, _ := zipfWorkload(29, p, 3000, 1<<11)
+	params := Params{K: 8, Eps: 0.02, Delta: 0.01}
+
+	type obs struct {
+		pac, ec []Result
+		stats   comm.Stats
+	}
+	ref := obs{pac: make([]Result, p), ec: make([]Result, p)}
+	mach := comm.NewMachine(comm.DefaultConfig(p))
+	mach.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		ref.pac[r] = PAC(pe, locals[r], params, xrand.NewPE(31, r))
+		ref.ec[r] = EC(pe, locals[r], params, xrand.NewPE(33, r))
+	})
+	ref.stats = mach.Stats()
+
+	got := obs{pac: make([]Result, p), ec: make([]Result, p)}
+	mach2 := comm.NewMachine(comm.DefaultConfig(p))
+	mach2.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		r := pe.Rank()
+		return comm.SeqP(pe,
+			PACStep(pe, locals[r], params, xrand.NewPE(31, r), func(v Result) { got.pac[r] = v }),
+			ECStep(pe, locals[r], params, xrand.NewPE(33, r), func(v Result) { got.ec[r] = v }),
+		)
+	})
+	got.stats = mach2.Stats()
+
+	if !reflect.DeepEqual(got.pac, ref.pac) {
+		t.Errorf("PACStep diverged from blocking PAC")
+	}
+	if !reflect.DeepEqual(got.ec, ref.ec) {
+		t.Errorf("ECStep diverged from blocking EC")
+	}
+	if got.stats != ref.stats {
+		t.Errorf("stepper meters diverged: %+v vs %+v", got.stats, ref.stats)
+	}
+}
+
+// TestFreqRepeatedRunsBitIdentical: no map iteration or interleaving
+// artifact anywhere on the PAC/EC paths — repeated runs over identical
+// inputs must be bit-identical in results AND meters.
+func TestFreqRepeatedRunsBitIdentical(t *testing.T) {
+	const p = 5
+	params := Params{K: 8, Eps: 0.02, Delta: 0.01}
+	run := func() ([]Result, []Result, comm.Stats) {
+		locals, _ := zipfWorkload(37, p, 2500, 1<<11)
+		pac := make([]Result, p)
+		ec := make([]Result, p)
+		mach := comm.NewMachine(comm.DefaultConfig(p))
+		mach.MustRun(func(pe *comm.PE) {
+			r := pe.Rank()
+			pac[r] = PAC(pe, locals[r], params, xrand.NewPE(41, r))
+			ec[r] = EC(pe, locals[r], params, xrand.NewPE(43, r))
+		})
+		return pac, ec, mach.Stats()
+	}
+	refPAC, refEC, refStats := run()
+	for rep := 0; rep < 3; rep++ {
+		pac, ec, stats := run()
+		if !reflect.DeepEqual(pac, refPAC) || !reflect.DeepEqual(ec, refEC) {
+			t.Fatalf("rep %d: results diverged", rep)
+		}
+		if stats != refStats {
+			t.Fatalf("rep %d: meters diverged", rep)
+		}
+	}
+}

@@ -99,54 +99,37 @@ func countShard(pe *comm.PE, agg *dht.Table, route dht.RouteMode) *dht.Table {
 
 // PAC computes an (ε, δ)-approximation of the top-k most frequent objects
 // (Section 7.1). Expected time O(n/p·ρ + β·(log p/(pε²))·log(k/δ) + α log n).
-// Collective.
+// Collective. Blocking driver over the same state machine PACStep
+// exposes for comm.RunAsync.
 func PAC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
-	p.validate()
-	n := coll.SumAll(pe, int64(len(local)))
-	rho := min(1, stats.PACSampleSize(n, p.K, p.Eps, p.Delta)/float64(n))
-	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, agg.Total())
-	shard := countShard(pe, agg, p.Route)
-	agg.Release()
-	top := dht.SelectTopKTable(pe, shard, p.K, rng)
-	shard.Release()
-	for i := range top {
-		top[i].Count = int64(float64(top[i].Count)/rho + 0.5)
-	}
-	dht.SortKVDesc(top)
-	return Result{Items: top, SampleSize: sampleSize, Rho: rho, Exact: rho >= 1}
+	st := newPACStep(pe, local, p, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 // EC computes an (ε, δ)-approximation using exact counting of the k* most
 // frequently sampled objects (Section 7.2, Theorem 11): smaller sample
 // (linear in 1/ε), two extra all-gather/reduction rounds, local counting
-// pass. Collective.
+// pass. Collective. Blocking driver over the ECStep state machine.
 func EC(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
-	p.validate()
-	n := coll.SumAll(pe, int64(len(local)))
-	kStar := p.KStarOverride
-	if kStar <= 0 {
-		kStar = stats.OptimalKStar(n, p.K, pe.P(), p.Eps, p.Delta)
-	}
-	rho := min(1, stats.ECSampleSize(n, kStar, p.Eps, p.Delta)/float64(n))
-	return ecCore(pe, local, p, kStar, rho, rng)
+	st := newECStep(pe, local, p, 0, 0, false, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
-// ecCore is the shared EC machinery: sample at rho, select the kStar most
-// sampled, count them exactly, return the exact top-k among them.
+// ecCore is the shared EC machinery with caller-fixed k* and ρ: sample
+// at rho, select the kStar most sampled, count them exactly, return the
+// exact top-k among them.
 func ecCore(pe *comm.PE, local []uint64, p Params, kStar int, rho float64, rng *xrand.RNG) Result {
-	agg := sampleCounts(local, rho, rng)
-	sampleSize := coll.SumAll(pe, agg.Total())
-	shard := countShard(pe, agg, p.Route)
-	agg.Release()
-	candidates := dht.SelectTopKTable(pe, shard, kStar, rng)
-	shard.Release()
-
-	exact := countExactly(pe, local, candidateKeys(candidates))
-	if len(exact) > p.K {
-		exact = exact[:p.K]
-	}
-	return Result{Items: exact, SampleSize: sampleSize, Rho: rho, KStar: kStar, Exact: true}
+	st := newECStep(pe, local, p, kStar, rho, true, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 func candidateKeys(items []dht.KV) []uint64 {

@@ -29,6 +29,7 @@ func ECSBF(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 	agg := sampleCounts(local, rho, rng)
 	sampleSize := coll.SumAll(pe, agg.Total())
 	sbf := dht.BuildSBF(pe, agg)
+	defer sbf.Release()
 	agg.Release()
 
 	kappa := kStar/2 + 8
@@ -59,19 +60,19 @@ func ECSBF(pe *comm.PE, local []uint64, p Params, rng *xrand.RNG) Result {
 }
 
 // selectTopCells picks the m cells with the highest counts from the
-// distributed cell table (all PEs receive the same cell list). Collective.
-func selectTopCells(pe *comm.PE, cells map[uint32]int64, m int, rng *xrand.RNG) []uint32 {
-	asKeys := dht.NewTable(len(cells))
-	for cell, c := range cells {
-		asKeys.Add(uint64(cell), c)
-	}
+// distributed cell table (all PEs receive the same cell list). The cell
+// table already keys cells as uint64, so selection runs directly on it —
+// no staging copy, and no map iteration anywhere on the path: the
+// table's slot order is fixed by its (deterministic) insertion sequence,
+// so the selection's pivot sampling draws the same RNG stream on every
+// run and under any serve interleaving. Collective.
+func selectTopCells(pe *comm.PE, cells *dht.Table, m int, rng *xrand.RNG) []uint32 {
 	// Selection hashes by dht.Owner; ownership differs from cellOwner but
 	// correctness only needs *some* consistent sharding, which re-sharding
 	// through CountKeys would provide — yet the counts here are already
 	// global (each cell lives on exactly one PE), so selection can run
 	// directly on the local tables.
-	top := dht.SelectTopKTable(pe, asKeys, m, rng)
-	asKeys.Release()
+	top := dht.SelectTopKTable(pe, cells, m, rng)
 	out := make([]uint32, len(top))
 	for i, kv := range top {
 		out[i] = uint32(kv.Key)

@@ -1,0 +1,94 @@
+package mtopk
+
+import (
+	"reflect"
+	"testing"
+
+	"commtopk/internal/comm"
+	"commtopk/internal/xrand"
+)
+
+// runOnce executes one full battery (DTA, RDTA, TopK) on a fresh machine
+// and returns everything observable: per-PE results and the machine
+// meters.
+type mtopkObs struct {
+	dta   []DTAResult
+	rdta  [][]Hit
+	topk  [][]Hit
+	stats comm.Stats
+}
+
+func runBattery(p int, datas []*Data) mtopkObs {
+	o := mtopkObs{dta: make([]DTAResult, p), rdta: make([][]Hit, p), topk: make([][]Hit, p)}
+	mach := comm.NewMachine(comm.DefaultConfig(p))
+	mach.MustRun(func(pe *comm.PE) {
+		r := pe.Rank()
+		o.dta[r] = DTA(pe, datas[r], SumScore, 9, xrand.NewPE(101, r))
+		o.rdta[r] = RDTA(pe, datas[r], SumScore, 9, xrand.NewPE(103, r))
+		o.topk[r], _ = TopK(pe, datas[r], SumScore, 9, xrand.NewPE(105, r))
+	})
+	o.stats = mach.Stats()
+	return o
+}
+
+// TestMtopkRepeatedRunsBitIdentical pins the map-order satellite: with
+// slice/Table-backed data structures there is no map iteration anywhere
+// on the DTA/RDTA/TopK paths, so repeated runs over identical inputs
+// must produce bit-identical results AND meters. Run with -count=5 in CI
+// for the repeated-process variant.
+func TestMtopkRepeatedRunsBitIdentical(t *testing.T) {
+	const p = 6
+	datas, _ := buildDistributed(41, p, 250, 3)
+	ref := runBattery(p, datas)
+	for rep := 0; rep < 4; rep++ {
+		// Rebuild the data too: NewData itself must be deterministic.
+		datas2, _ := buildDistributed(41, p, 250, 3)
+		got := runBattery(p, datas2)
+		if !reflect.DeepEqual(got.dta, ref.dta) {
+			t.Fatalf("rep %d: DTA results diverged", rep)
+		}
+		if !reflect.DeepEqual(got.rdta, ref.rdta) {
+			t.Fatalf("rep %d: RDTA results diverged", rep)
+		}
+		if !reflect.DeepEqual(got.topk, ref.topk) {
+			t.Fatalf("rep %d: TopK results diverged", rep)
+		}
+		if got.stats != ref.stats {
+			t.Fatalf("rep %d: meters diverged: %+v vs %+v", rep, got.stats, ref.stats)
+		}
+	}
+}
+
+// TestMtopkSteppersMatchBlocking pins the tentpole contract: the stepper
+// forms under RunAsync produce bit-identical results and meters to the
+// blocking forms (which drive the same engines through RunSteps).
+func TestMtopkSteppersMatchBlocking(t *testing.T) {
+	const p = 6
+	datas, _ := buildDistributed(43, p, 250, 3)
+	ref := runBattery(p, datas)
+
+	got := mtopkObs{dta: make([]DTAResult, p), rdta: make([][]Hit, p), topk: make([][]Hit, p)}
+	mach := comm.NewMachine(comm.DefaultConfig(p))
+	mach.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		r := pe.Rank()
+		return comm.SeqP(pe,
+			DTAStep(pe, datas[r], SumScore, 9, xrand.NewPE(101, r), func(v DTAResult) { got.dta[r] = v }),
+			RDTAStep(pe, datas[r], SumScore, 9, xrand.NewPE(103, r), func(v []Hit) { got.rdta[r] = v }),
+			TopKStep(pe, datas[r], SumScore, 9, xrand.NewPE(105, r), func(v []Hit, _ DTAResult) { got.topk[r] = v }),
+		)
+	})
+	got.stats = mach.Stats()
+
+	if !reflect.DeepEqual(got.dta, ref.dta) {
+		t.Errorf("DTAStep diverged from blocking DTA")
+	}
+	if !reflect.DeepEqual(got.rdta, ref.rdta) {
+		t.Errorf("RDTAStep diverged from blocking RDTA")
+	}
+	if !reflect.DeepEqual(got.topk, ref.topk) {
+		t.Errorf("TopKStep diverged from blocking TopK")
+	}
+	if got.stats != ref.stats {
+		t.Errorf("stepper meters diverged: %+v vs %+v", got.stats, ref.stats)
+	}
+}

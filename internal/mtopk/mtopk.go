@@ -15,9 +15,8 @@ import (
 	"math"
 	"sort"
 
-	"commtopk/internal/coll"
 	"commtopk/internal/comm"
-	"commtopk/internal/sel"
+	"commtopk/internal/dht"
 	"commtopk/internal/xrand"
 )
 
@@ -53,32 +52,44 @@ type listEntry struct {
 }
 
 // Data is one PE's share of the dataset: objects plus m local rankings.
+// All indexes are map-free (slices in insertion order plus pooled
+// dht.Table id→position tables), so every scan over the data — the
+// sequential TA, the hit collection, the brute-force reference — visits
+// objects in a fixed order and repeated runs are bit-identical: no Go
+// map iteration order anywhere (the class of nondeterminism that
+// produced the agg ECSum flake fixed in PR 2).
 type Data struct {
-	m       int
-	objects map[uint64][]float64
-	lists   [][]listEntry    // per criterion, sorted by score descending
-	ranks   []map[uint64]int // per criterion: id → local rank (0-based)
-	ords    [][]uint64       // per criterion: ascending OrdDesc keys for selection
+	m      int
+	ids    []uint64    // insertion order
+	scores [][]float64 // aligned with ids
+	index  *dht.Table  // id → position in ids/scores
+	lists  [][]listEntry // per criterion, sorted by score descending
+	ranks  []*dht.Table  // per criterion: id → local rank (0-based)
+	ords   [][]uint64    // per criterion: ascending OrdDesc keys for selection
 }
 
 // NewData indexes a PE's local objects. Every object must carry exactly m
 // scores; IDs must be globally unique (they identify objects across PEs).
 func NewData(objects []Object, m int) *Data {
 	d := &Data{
-		m:       m,
-		objects: make(map[uint64][]float64, len(objects)),
-		lists:   make([][]listEntry, m),
-		ranks:   make([]map[uint64]int, m),
-		ords:    make([][]uint64, m),
+		m:      m,
+		ids:    make([]uint64, 0, len(objects)),
+		scores: make([][]float64, 0, len(objects)),
+		index:  dht.NewTable(len(objects)),
+		lists:  make([][]listEntry, m),
+		ranks:  make([]*dht.Table, m),
+		ords:   make([][]uint64, m),
 	}
 	for _, o := range objects {
 		if len(o.Scores) != m {
 			panic(fmt.Sprintf("mtopk: object %d has %d scores, want %d", o.ID, len(o.Scores), m))
 		}
-		if _, dup := d.objects[o.ID]; dup {
+		if _, dup := d.index.Get(o.ID); dup {
 			panic(fmt.Sprintf("mtopk: duplicate object id %d", o.ID))
 		}
-		d.objects[o.ID] = o.Scores
+		d.index.Set(o.ID, int64(len(d.ids)))
+		d.ids = append(d.ids, o.ID)
+		d.scores = append(d.scores, o.Scores)
 	}
 	for i := 0; i < m; i++ {
 		list := make([]listEntry, 0, len(objects))
@@ -92,10 +103,10 @@ func NewData(objects []Object, m int) *Data {
 			return list[a].id < list[b].id
 		})
 		d.lists[i] = list
-		d.ranks[i] = make(map[uint64]int, len(list))
+		d.ranks[i] = dht.NewTable(len(list))
 		d.ords[i] = make([]uint64, len(list))
 		for r, e := range list {
-			d.ranks[i][e.id] = r
+			d.ranks[i].Set(e.id, int64(r))
 			d.ords[i][r] = OrdDesc(e.score)
 		}
 	}
@@ -103,18 +114,18 @@ func NewData(objects []Object, m int) *Data {
 }
 
 // NumObjects returns the local object count.
-func (d *Data) NumObjects() int { return len(d.objects) }
+func (d *Data) NumObjects() int { return len(d.ids) }
 
 // M returns the number of criteria.
 func (d *Data) M() int { return d.m }
 
 // Score evaluates t on an object's local score vector ("random access").
 func (d *Data) Score(id uint64, t ScoreFunc) (float64, bool) {
-	s, ok := d.objects[id]
+	pos, ok := d.index.Get(id)
 	if !ok {
 		return 0, false
 	}
-	return t(s), true
+	return t(d.scores[pos]), true
 }
 
 // OrdDesc maps a float score to a uint64 whose ascending order equals
@@ -151,7 +162,8 @@ func FromOrdDesc(u uint64) float64 {
 // last scanned scores. Returns the top-k hits (best first) and K, the
 // number of scanned list rows.
 func SequentialTA(d *Data, t ScoreFunc, k int) ([]Hit, int) {
-	seen := map[uint64]float64{}
+	seen := dht.NewSumTable(k)
+	defer seen.Release()
 	K := 0
 	n := 0
 	for i := 0; i < d.m; i++ {
@@ -168,11 +180,12 @@ func SequentialTA(d *Data, t ScoreFunc, k int) ([]Hit, int) {
 			}
 			e := d.lists[i][row]
 			xs[i] = e.score
-			if _, ok := seen[e.id]; !ok {
-				seen[e.id], _ = d.Score(e.id, t)
+			if _, ok := seen.Get(e.id); !ok {
+				sc, _ := d.Score(e.id, t)
+				seen.Set(e.id, sc)
 			}
 		}
-		if len(seen) >= k {
+		if seen.Len() >= k {
 			tau := t(xs)
 			if kthBest(seen, k) >= tau {
 				break
@@ -182,11 +195,9 @@ func SequentialTA(d *Data, t ScoreFunc, k int) ([]Hit, int) {
 	return topHits(seen, k), K
 }
 
-func kthBest(seen map[uint64]float64, k int) float64 {
-	scores := make([]float64, 0, len(seen))
-	for _, s := range seen {
-		scores = append(scores, s)
-	}
+func kthBest(seen *dht.SumTable, k int) float64 {
+	scores := make([]float64, 0, seen.Len())
+	seen.ForEach(func(_ uint64, s float64) { scores = append(scores, s) })
 	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
 	if k > len(scores) {
 		k = len(scores)
@@ -194,11 +205,9 @@ func kthBest(seen map[uint64]float64, k int) float64 {
 	return scores[k-1]
 }
 
-func topHits(seen map[uint64]float64, k int) []Hit {
-	hits := make([]Hit, 0, len(seen))
-	for id, s := range seen {
-		hits = append(hits, Hit{ID: id, Score: s})
-	}
+func topHits(seen *dht.SumTable, k int) []Hit {
+	hits := make([]Hit, 0, seen.Len())
+	seen.ForEach(func(id uint64, s float64) { hits = append(hits, Hit{ID: id, Score: s}) })
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].Score != hits[b].Score {
 			return hits[a].Score > hits[b].Score
@@ -213,9 +222,10 @@ func topHits(seen map[uint64]float64, k int) []Hit {
 
 // BruteForceTopK scores every object — exact ground truth for tests.
 func BruteForceTopK(d *Data, t ScoreFunc, k int) []Hit {
-	seen := make(map[uint64]float64, len(d.objects))
-	for id, scores := range d.objects {
-		seen[id] = t(scores)
+	seen := dht.NewSumTable(len(d.ids))
+	defer seen.Release()
+	for pos, id := range d.ids {
+		seen.Set(id, t(d.scores[pos]))
 	}
 	return topHits(seen, k)
 }
@@ -257,103 +267,15 @@ func DTA(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) DTAResult {
 // and jumps directly to the smallest depth whose hit estimate suffices,
 // cutting the number of exponential-search rounds by the probe factor at
 // the cost of O(probes) extra selections of small prefixes per round.
-// probes = 1 is plain DTA. Collective.
+// probes = 1 is plain DTA. The blocking form drives the dtaStep state
+// machine of async.go through comm.RunSteps — one implementation, both
+// execution modes. Collective.
 func DTAProbed(pe *comm.PE, d *Data, t ScoreFunc, k int, probes int, rng *xrand.RNG) DTAResult {
-	if k < 1 {
-		panic("mtopk: k must be positive")
-	}
-	if probes < 1 {
-		panic("mtopk: probes must be positive")
-	}
-	m := d.m
-	nGlobal := coll.SumAll(pe, int64(d.NumObjects()))
-	if nGlobal == 0 {
-		return DTAResult{PrefixLens: make([]int, m)}
-	}
-	K := int64(k)/(int64(m)*int64(pe.P())) + 1
-
-	res := DTAResult{}
-	for {
-		res.Rounds++
-		// Probe depths K, 4K, 16K, ... in this round.
-		probe := K
-		var lastProbe int64
-		found := false
-		for j := 0; j < probes && !found; j++ {
-			lens, xs, est := dtaRound(pe, d, t, probe, nGlobal, rng)
-			res.PrefixLens = lens
-			res.Threshold = t(xs)
-			res.EstimatedHits = est
-			res.K = probe
-			lastProbe = probe
-			if est >= 2*float64(k) || probe >= nGlobal {
-				found = true
-			}
-			probe *= 4
-		}
-		if found {
-			break
-		}
-		K = lastProbe * 2 // continue the exponential search past the probes
-	}
-	res.Hits = d.collectHits(t, res.Threshold, res.PrefixLens)
+	st := newDTAStep(pe, d, t, k, probes, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
 	return res
-}
-
-// dtaRound performs one scan-depth evaluation: approximate the K-th
-// largest score of every list, form the threshold, and estimate the hit
-// count by prefix sampling with duplicate rejection. Collective.
-func dtaRound(pe *comm.PE, d *Data, t ScoreFunc, K, nGlobal int64, rng *xrand.RNG) ([]int, []float64, float64) {
-	m := d.m
-	lens := make([]int, m)
-	xs := make([]float64, m)
-	for i := 0; i < m; i++ {
-		if K >= nGlobal {
-			lens[i] = len(d.ords[i])
-			xs[i] = minListScore(pe, d, i)
-			continue
-		}
-		r := sel.AMSSelect[uint64](pe, sel.SliceSeq[uint64](d.ords[i]), K, 2*K, rng)
-		lens[i] = min(r.LocalLen, len(d.lists[i]))
-		xs[i] = FromOrdDesc(r.Threshold)
-	}
-	thr := t(xs)
-
-	// Estimate the number of hits by sampling each prefix (rejecting
-	// objects already present in an earlier list's prefix to avoid
-	// double counting).
-	y := 4 * int(math.Log2(float64(K)+2))
-	var localEst float64
-	for i := 0; i < m; i++ {
-		pl := lens[i]
-		if pl == 0 {
-			continue
-		}
-		var rejected, hits int
-		for s := 0; s < y; s++ {
-			e := d.lists[i][rng.Intn(pl)]
-			if d.inEarlierPrefix(e.id, i, lens) {
-				rejected++
-				continue
-			}
-			if sc, _ := d.Score(e.id, t); sc >= thr {
-				hits++
-			}
-		}
-		localEst += float64(pl) * (1 - float64(rejected)/float64(y)) * (float64(hits) / float64(y))
-	}
-	est := coll.AllReduceScalar(pe, localEst, func(a, b float64) float64 { return a + b })
-	return lens, xs, est
-}
-
-// minListScore returns the global minimum score of list i (prefix = whole
-// list). Collective.
-func minListScore(pe *comm.PE, d *Data, i int) float64 {
-	v := math.Inf(1)
-	if n := len(d.lists[i]); n > 0 {
-		v = d.lists[i][n-1].score
-	}
-	return coll.AllReduceScalar(pe, v, math.Min)
 }
 
 // inEarlierPrefix reports whether the object also appears in the prefix of
@@ -361,7 +283,7 @@ func minListScore(pe *comm.PE, d *Data, i int) float64 {
 // live on its home PE.
 func (d *Data) inEarlierPrefix(id uint64, i int, prefixLens []int) bool {
 	for j := 0; j < i; j++ {
-		if r, ok := d.ranks[j][id]; ok && r < prefixLens[j] {
+		if r, ok := d.ranks[j].Get(id); ok && int(r) < prefixLens[j] {
 			return true
 		}
 	}
@@ -369,17 +291,20 @@ func (d *Data) inEarlierPrefix(id uint64, i int, prefixLens []int) bool {
 }
 
 // collectHits scans the local prefixes and returns deduplicated objects
-// with overall score at least thr.
+// with overall score at least thr. The scan order (list-major, rank
+// ascending) plus table-backed dedup makes the hit order deterministic
+// before the final sort even sees it.
 func (d *Data) collectHits(t ScoreFunc, thr float64, prefixLens []int) []Hit {
-	seen := map[uint64]bool{}
+	seen := dht.NewTable(0)
+	defer seen.Release()
 	var hits []Hit
 	for i := 0; i < d.m; i++ {
 		for r := 0; r < prefixLens[i] && r < len(d.lists[i]); r++ {
 			id := d.lists[i][r].id
-			if seen[id] {
+			if _, dup := seen.Get(id); dup {
 				continue
 			}
-			seen[id] = true
+			seen.Set(id, 1)
 			if sc, _ := d.Score(id, t); sc >= thr {
 				hits = append(hits, Hit{ID: id, Score: sc})
 			}
@@ -394,34 +319,38 @@ func (d *Data) collectHits(t ScoreFunc, thr float64, prefixLens []int) []Hit {
 	return hits
 }
 
+// grantHits maps SmallestK's selected ord keys back to local hits: ords
+// may contain duplicates across PEs only for exactly equal scores, and
+// SmallestK has already split those fairly — keep as many local hits per
+// ord value as it granted us. Table-backed, so the grant bookkeeping
+// cannot reorder anything.
+func grantHits(hits []Hit, selected []uint64) []Hit {
+	grant := dht.NewTable(len(selected))
+	defer grant.Release()
+	for _, o := range selected {
+		grant.Add(o, 1)
+	}
+	var out []Hit
+	for _, h := range hits {
+		o := OrdDesc(h.Score)
+		if g, _ := grant.Get(o); g > 0 {
+			grant.Add(o, -1)
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // TopK completes DTA into an exact top-k query: it collects the DTA hits
 // and runs the unsorted selection of Section 4.1 on their scores to
 // identify the k most relevant; ties at the boundary are split by a
 // prefix sum. Returns this PE's share of the top-k. Collective.
 func TopK(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) ([]Hit, DTAResult) {
-	res := DTA(pe, d, t, k, rng)
-	ords := make([]uint64, len(res.Hits))
-	for i, h := range res.Hits {
-		ords[i] = OrdDesc(h.Score)
-	}
-	selected := sel.SmallestK(pe, ords, min(int64(k), coll.SumAll(pe, int64(len(ords)))), rng)
-	// Map the selected ord keys back to local hits (ords may contain
-	// duplicates across PEs only for exactly equal scores; SmallestK has
-	// already split those fairly — keep as many local hits per ord value
-	// as SmallestK granted us).
-	grant := map[uint64]int{}
-	for _, o := range selected {
-		grant[o]++
-	}
-	var out []Hit
-	for _, h := range res.Hits {
-		o := OrdDesc(h.Score)
-		if grant[o] > 0 {
-			grant[o]--
-			out = append(out, h)
-		}
-	}
-	return out, res
+	st := newTopKStep(pe, d, t, k, rng, nil, false)
+	comm.RunSteps(pe, st)
+	hits, res := st.res, st.dta
+	st.release(pe)
+	return hits, res
 }
 
 // ---------------------------------------------------------------------------
@@ -432,58 +361,14 @@ func TopK(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) ([]Hit, DTAR
 // locally for k̂ = c·(k/p + log p) results, the global threshold is the
 // max of the local thresholds, and the candidate count above it is
 // verified; on failure k̂ doubles (Section 6, "Random Data Distribution").
-// Returns this PE's share of the top-k. Collective.
+// Returns this PE's share of the top-k. The blocking form drives the
+// rdtaStep state machine of async.go. Collective.
 func RDTA(pe *comm.PE, d *Data, t ScoreFunc, k int, rng *xrand.RNG) []Hit {
-	p := pe.P()
-	kHat := k/p + 2*bitLen(p) + 1
-	nLocal := d.NumObjects()
-	for {
-		if kHat > nLocal {
-			kHat = nLocal
-		}
-		localHits, _ := SequentialTA(d, t, max(kHat, 1))
-		// Local threshold: worst score this PE can still vouch for.
-		tau := math.Inf(-1)
-		if len(localHits) == kHat && kHat > 0 {
-			tau = localHits[len(localHits)-1].Score
-		} else if nLocal > 0 {
-			// Entire local set scanned: local threshold is -inf (we have
-			// everything), which never constrains the global threshold.
-			tau = math.Inf(-1)
-		}
-		globalTau := coll.AllReduceScalar(pe, tau, math.Max)
-
-		var above int64
-		for _, h := range localHits {
-			if h.Score >= globalTau {
-				above++
-			}
-		}
-		total := coll.SumAll(pe, above)
-		if total >= int64(k) || int64(nLocal*p) <= int64(k) || kHat >= nLocal {
-			// Verified (or exhausted): select the top-k among candidates.
-			ords := make([]uint64, 0, len(localHits))
-			for _, h := range localHits {
-				ords = append(ords, OrdDesc(h.Score))
-			}
-			take := min(int64(k), coll.SumAll(pe, int64(len(ords))))
-			selected := sel.SmallestK(pe, ords, take, rng)
-			grant := map[uint64]int{}
-			for _, o := range selected {
-				grant[o]++
-			}
-			var out []Hit
-			for _, h := range localHits {
-				o := OrdDesc(h.Score)
-				if grant[o] > 0 {
-					grant[o]--
-					out = append(out, h)
-				}
-			}
-			return out
-		}
-		kHat *= 2
-	}
+	st := newRDTAStep(pe, d, t, k, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 func bitLen(x int) int {

@@ -1,0 +1,351 @@
+package redist
+
+import (
+	"fmt"
+	"sort"
+
+	"commtopk/internal/coll"
+	"commtopk/internal/comm"
+)
+
+func addI64(a, b int64) int64 { return a + b }
+
+// boundary is one PE's run in the surplus/deficit enumeration: the global
+// index of its first moved element (or open slot) and the run length.
+type boundary struct {
+	rank  int
+	start int64
+	count int64
+}
+
+// buildPlanStep phases.
+const (
+	bpphInit     = iota // start the global count sum
+	bpphNWait           // harvest n; trivial shortcut or start surplus scan
+	bpphSPfxWait        // harvest surplus prefix; start deficit scan
+	bpphDPfxWait        // harvest deficit prefix; start total-surplus sum
+	bpphTotWait         // harvest total surplus; start send-run gather
+	bpphSendWait        // harvest send runs; start recv-run gather
+	bpphRecvWait        // harvest recv runs; intersect and finish
+	bpphDone
+)
+
+// buildPlanStep is the continuation form of BuildPlan — the five
+// sequential collectives of the plan construction (sum, two prefix
+// scans, surplus total, two boundary gathers) as a pooled state machine.
+// The blocking BuildPlan drives this machine through comm.RunSteps: one
+// implementation, both execution modes, identical plans and meters.
+type buildPlanStep struct {
+	localCount int64
+	out        func(Plan)
+	self       bool
+
+	n, nBar      int64
+	surplus      int64
+	deficit      int64
+	sPrefix      int64
+	dPrefix      int64
+	totalSurplus int64
+	bArr         [1]boundary
+	sendRuns     []boundary
+	recvRuns     []boundary
+	plan         Plan
+
+	cur    comm.Stepper
+	onI64  func(int64) // n / sPrefix / dPrefix / totalSurplus by phase
+	onSend func([][]boundary)
+	onRecv func([][]boundary)
+	phase  int
+}
+
+func newBuildPlanStep(pe *comm.PE, localCount int64, out func(Plan), self bool) *buildPlanStep {
+	if localCount < 0 {
+		panic("redist: negative local count")
+	}
+	s := comm.GetPooled[buildPlanStep](pe)
+	s.localCount, s.out, s.self = localCount, out, self
+	s.plan = Plan{}
+	s.phase = bpphInit
+	s.cur = nil
+	if s.onI64 == nil {
+		s.onI64 = func(v int64) {
+			switch s.phase {
+			case bpphNWait:
+				s.n = v
+			case bpphSPfxWait:
+				s.sPrefix = v
+			case bpphDPfxWait:
+				s.dPrefix = v
+			default:
+				s.totalSurplus = v
+			}
+		}
+		s.onSend = func(runs [][]boundary) {
+			s.sendRuns = s.sendRuns[:0]
+			for _, r := range runs {
+				s.sendRuns = append(s.sendRuns, r[0])
+			}
+		}
+		s.onRecv = func(runs [][]boundary) {
+			s.recvRuns = s.recvRuns[:0]
+			for _, r := range runs {
+				s.recvRuns = append(s.recvRuns, r[0])
+			}
+		}
+	}
+	return s
+}
+
+// BuildPlanStep is the continuation form of BuildPlan: out (optional)
+// receives this PE's transfer plan. Collective; interleaves with
+// unrelated steppers under comm.RunAsync.
+func BuildPlanStep(pe *comm.PE, localCount int64, out func(Plan)) comm.Stepper {
+	return newBuildPlanStep(pe, localCount, out, true)
+}
+
+func (s *buildPlanStep) finish(pe *comm.PE) *comm.RecvHandle {
+	s.phase = bpphDone
+	if s.self {
+		plan, out := s.plan, s.out
+		s.release(pe)
+		if out != nil {
+			out(plan)
+		}
+	}
+	return nil
+}
+
+func (s *buildPlanStep) release(pe *comm.PE) {
+	s.out, s.cur = nil, nil
+	s.plan = Plan{}
+	s.sendRuns = s.sendRuns[:0]
+	s.recvRuns = s.recvRuns[:0]
+	comm.PutPooled(pe, s)
+}
+
+// intersect pairs this PE's run with the opposite side's runs, exactly
+// as in the paper's merge of the two prefix-sum enumerations.
+func (s *buildPlanStep) intersect(pe *comm.PE) {
+	if s.surplus > 0 {
+		myLo, myHi := s.sPrefix, s.sPrefix+s.surplus
+		for _, r := range s.recvRuns {
+			if r.count == 0 {
+				continue
+			}
+			lo, hi := r.start, r.start+r.count
+			if hi > s.totalSurplus {
+				hi = s.totalSurplus
+			}
+			olo, ohi := max(lo, myLo), min(hi, myHi)
+			if olo < ohi {
+				s.plan.Sends = append(s.plan.Sends, Transfer{Peer: r.rank, Count: ohi - olo})
+			}
+		}
+		sort.Slice(s.plan.Sends, func(i, j int) bool { return s.plan.Sends[i].Peer < s.plan.Sends[j].Peer })
+	}
+	if s.deficit > 0 {
+		myLo := s.dPrefix
+		myHi := min(s.dPrefix+s.deficit, s.totalSurplus)
+		for _, r := range s.sendRuns {
+			if r.count == 0 {
+				continue
+			}
+			lo, hi := r.start, r.start+r.count
+			olo, ohi := max(lo, myLo), min(hi, myHi)
+			if olo < ohi {
+				s.plan.Recvs = append(s.plan.Recvs, Transfer{Peer: r.rank, Count: ohi - olo})
+			}
+		}
+		sort.Slice(s.plan.Recvs, func(i, j int) bool { return s.plan.Recvs[i].Peer < s.plan.Recvs[j].Peer })
+	}
+}
+
+func (s *buildPlanStep) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case bpphInit:
+			s.cur = coll.AllReduceScalarStep(pe, s.localCount, addI64, s.onI64)
+			s.phase = bpphNWait
+		case bpphNWait:
+			p := int64(pe.P())
+			s.nBar = (s.n + p - 1) / p
+			s.plan.NBar = s.nBar
+			if s.n == 0 {
+				return s.finish(pe)
+			}
+			s.surplus = max(s.localCount-s.nBar, 0)
+			s.deficit = max(s.nBar-s.localCount, 0)
+			s.cur = coll.ExScanSumStep(pe, s.surplus, s.onI64)
+			s.phase = bpphSPfxWait
+		case bpphSPfxWait:
+			s.cur = coll.ExScanSumStep(pe, s.deficit, s.onI64)
+			s.phase = bpphDPfxWait
+		case bpphDPfxWait:
+			s.cur = coll.AllReduceScalarStep(pe, s.surplus, addI64, s.onI64)
+			s.phase = bpphTotWait
+		case bpphTotWait:
+			s.bArr[0] = boundary{rank: pe.Rank(), start: s.sPrefix, count: s.surplus}
+			s.cur = coll.AllGathervStep(pe, s.bArr[:1], s.onSend)
+			s.phase = bpphSendWait
+		case bpphSendWait:
+			s.bArr[0] = boundary{rank: pe.Rank(), start: s.dPrefix, count: s.deficit}
+			s.cur = coll.AllGathervStep(pe, s.bArr[:1], s.onRecv)
+			s.phase = bpphRecvWait
+		case bpphRecvWait:
+			s.intersect(pe)
+			return s.finish(pe)
+		default:
+			return nil
+		}
+	}
+}
+
+// executeStep phases.
+const (
+	xphInit     = iota // validate, ship all surplus segments
+	xphRecvLoop        // post the next receive (or finish)
+	xphRecvWait        // append the received segment
+	xphDone
+)
+
+// executeStep is the continuation form of Apply: surplus segments are
+// shipped eagerly (sends never block), then the receive loop yields on
+// each pending segment so unrelated steppers can interleave.
+type executeStep[T any] struct {
+	local []T
+	plan  Plan
+	out   func([]T)
+	self  bool
+
+	tag     comm.Tag
+	res     []T
+	recvIdx int
+	h       *comm.RecvHandle
+	phase   int
+}
+
+func newExecuteStep[T any](pe *comm.PE, local []T, plan Plan, out func([]T), self bool) *executeStep[T] {
+	s := comm.GetPooled[executeStep[T]](pe)
+	*s = executeStep[T]{local: local, plan: plan, out: out, self: self}
+	return s
+}
+
+// ExecuteStep is the continuation form of Apply: out (optional) receives
+// the balanced local slice. Collective with respect to the plan's peers;
+// interleaves with unrelated steppers under comm.RunAsync.
+func ExecuteStep[T any](pe *comm.PE, local []T, plan Plan, out func([]T)) comm.Stepper {
+	return newExecuteStep(pe, local, plan, out, true)
+}
+
+func (s *executeStep[T]) release(pe *comm.PE) {
+	*s = executeStep[T]{}
+	comm.PutPooled(pe, s)
+}
+
+func (s *executeStep[T]) finish(pe *comm.PE) *comm.RecvHandle {
+	s.phase = xphDone
+	if s.self {
+		res, out := s.res, s.out
+		s.release(pe)
+		if out != nil {
+			out(res)
+		}
+	}
+	return nil
+}
+
+func (s *executeStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		switch s.phase {
+		case xphInit:
+			sendTotal := s.plan.TotalSent()
+			if sendTotal > int64(len(s.local)) {
+				panic(fmt.Sprintf("redist: plan sends %d of %d local objects", sendTotal, len(s.local)))
+			}
+			s.tag = pe.NextCollTag()
+			keep := int64(len(s.local)) - sendTotal
+			cursor := keep
+			for _, seg := range s.plan.Sends {
+				chunk := s.local[cursor : cursor+seg.Count]
+				pe.Send(seg.Peer, s.tag, chunk, int64(len(chunk))*coll.WordsOf[T]())
+				cursor += seg.Count
+			}
+			s.res = s.local[:keep:keep]
+			s.recvIdx = 0
+			s.phase = xphRecvLoop
+		case xphRecvLoop:
+			if s.recvIdx >= len(s.plan.Recvs) {
+				return s.finish(pe)
+			}
+			s.h = pe.IRecv(s.plan.Recvs[s.recvIdx].Peer, s.tag)
+			s.phase = xphRecvWait
+			if !s.h.Test() {
+				return s.h
+			}
+		case xphRecvWait:
+			rxAny, _ := s.h.Wait()
+			s.h = nil
+			chunk := rxAny.([]T)
+			seg := s.plan.Recvs[s.recvIdx]
+			if int64(len(chunk)) != seg.Count {
+				panic(fmt.Sprintf("redist: expected %d objects from %d, got %d", seg.Count, seg.Peer, len(chunk)))
+			}
+			s.res = append(s.res, chunk...)
+			s.recvIdx++
+			s.phase = xphRecvLoop
+		default:
+			return nil
+		}
+	}
+}
+
+// balanceStep chains BuildPlanStep into ExecuteStep (the plan is only
+// known once the first sub-stepper completes, so the composition cannot
+// be a static sequence).
+type balanceStep[T any] struct {
+	local []T
+	out   func([]T)
+	plan  Plan
+	cur   comm.Stepper
+	phase int
+}
+
+// BalanceStep is the continuation form of Balance: plan and apply in one
+// stepper. Collective.
+func BalanceStep[T any](pe *comm.PE, local []T, out func([]T)) comm.Stepper {
+	s := comm.GetPooled[balanceStep[T]](pe)
+	*s = balanceStep[T]{local: local, out: out}
+	return s
+}
+
+func (s *balanceStep[T]) Step(pe *comm.PE) *comm.RecvHandle {
+	for {
+		if s.cur != nil {
+			if h := s.cur.Step(pe); h != nil {
+				return h
+			}
+			s.cur = nil
+		}
+		switch s.phase {
+		case 0:
+			s.cur = BuildPlanStep(pe, int64(len(s.local)), func(pl Plan) { s.plan = pl })
+			s.phase = 1
+		case 1:
+			s.cur = ExecuteStep(pe, s.local, s.plan, s.out)
+			s.phase = 2
+		case 2:
+			// ExecuteStep already delivered out; just recycle.
+			*s = balanceStep[T]{}
+			comm.PutPooled(pe, s)
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package redist
+
+import (
+	"reflect"
+	"testing"
+
+	"commtopk/internal/comm"
+)
+
+// TestBalanceStepMatchesBlocking pins the tentpole contract for redist:
+// BuildPlanStep→ExecuteStep under RunAsync produce bit-identical
+// balanced slices and meters to the blocking Balance (which drives the
+// same machines through RunSteps).
+func TestBalanceStepMatchesBlocking(t *testing.T) {
+	const p = 7
+	mk := func() [][]uint64 {
+		// Heavily skewed: PE i holds i*37 objects.
+		data := make([][]uint64, p)
+		for i := 0; i < p; i++ {
+			for j := 0; j < i*37; j++ {
+				data[i] = append(data[i], uint64(i)<<32|uint64(j))
+			}
+		}
+		return data
+	}
+
+	ref := make([][]uint64, p)
+	mach := comm.NewMachine(comm.DefaultConfig(p))
+	in := mk()
+	mach.MustRun(func(pe *comm.PE) {
+		ref[pe.Rank()] = Balance(pe, in[pe.Rank()])
+	})
+	refStats := mach.Stats()
+
+	got := make([][]uint64, p)
+	mach2 := comm.NewMachine(comm.DefaultConfig(p))
+	in2 := mk()
+	mach2.MustRunAsync(func(pe *comm.PE) comm.Stepper {
+		r := pe.Rank()
+		return BalanceStep(pe, in2[r], func(v []uint64) { got[r] = v })
+	})
+
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("BalanceStep diverged from blocking Balance")
+	}
+	if s := mach2.Stats(); s != refStats {
+		t.Errorf("stepper meters diverged: %+v vs %+v", s, refStats)
+	}
+}
+
+// TestBuildPlanStepRepeatedRunsBitIdentical: the plan construction has
+// no map iteration or RNG anywhere, so repeated runs must be
+// bit-identical in both plans and meters.
+func TestBuildPlanStepRepeatedRunsBitIdentical(t *testing.T) {
+	const p = 5
+	counts := []int64{190, 3, 77, 0, 41}
+	run := func() ([]Plan, comm.Stats) {
+		plans := make([]Plan, p)
+		mach := comm.NewMachine(comm.DefaultConfig(p))
+		mach.MustRun(func(pe *comm.PE) {
+			plans[pe.Rank()] = BuildPlan(pe, counts[pe.Rank()])
+		})
+		return plans, mach.Stats()
+	}
+	refPlans, refStats := run()
+	for rep := 0; rep < 3; rep++ {
+		plans, stats := run()
+		if !reflect.DeepEqual(plans, refPlans) {
+			t.Fatalf("rep %d: plans diverged", rep)
+		}
+		if stats != refStats {
+			t.Fatalf("rep %d: meters diverged", rep)
+		}
+	}
+}

@@ -17,9 +17,6 @@
 package redist
 
 import (
-	"fmt"
-	"sort"
-
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
 	"commtopk/internal/xrand"
@@ -62,106 +59,25 @@ func (pl *Plan) TotalReceived() int64 {
 }
 
 // BuildPlan computes the transfer plan for the current distribution.
-// Collective: all PEs pass their local object count.
+// Collective: all PEs pass their local object count. Blocking driver
+// over the same state machine BuildPlanStep exposes for comm.RunAsync.
 func BuildPlan(pe *comm.PE, localCount int64) Plan {
-	if localCount < 0 {
-		panic("redist: negative local count")
-	}
-	p := pe.P()
-	n := coll.SumAll(pe, localCount)
-	nBar := (n + int64(p) - 1) / int64(p)
-	plan := Plan{NBar: nBar}
-	if n == 0 {
-		return plan
-	}
-
-	surplus := max(localCount-nBar, 0)
-	deficit := max(nBar-localCount, 0)
-
-	// Prefix sums enumerate moved elements (s) and open slots (d).
-	sPrefix := coll.ExScanSum(pe, surplus)
-	dPrefix := coll.ExScanSum(pe, deficit)
-	totalSurplus := coll.SumAll(pe, surplus)
-
-	// Only the first totalSurplus slots are filled (Σ deficit ≥ Σ surplus
-	// because n̄ rounds up).
-	type boundary struct {
-		rank  int
-		start int64 // global index of this PE's first element/slot
-		count int64
-	}
-	var sendB, recvB boundary
-	sendB = boundary{rank: pe.Rank(), start: sPrefix, count: surplus}
-	recvB = boundary{rank: pe.Rank(), start: dPrefix, count: deficit}
-
-	// The merge of the two enumerations: every PE learns all run
-	// boundaries (2 words each per PE) and intersects its own run with
-	// the opposite side's runs.
-	sendRuns := coll.AllGatherv(pe, []boundary{sendB})
-	recvRuns := coll.AllGatherv(pe, []boundary{recvB})
-
-	if surplus > 0 {
-		myLo, myHi := sendB.start, sendB.start+sendB.count
-		for _, runs := range recvRuns {
-			r := runs[0]
-			if r.count == 0 {
-				continue
-			}
-			lo, hi := r.start, r.start+r.count
-			if hi > totalSurplus {
-				hi = totalSurplus
-			}
-			olo, ohi := max(lo, myLo), min(hi, myHi)
-			if olo < ohi {
-				plan.Sends = append(plan.Sends, Transfer{Peer: r.rank, Count: ohi - olo})
-			}
-		}
-		sort.Slice(plan.Sends, func(i, j int) bool { return plan.Sends[i].Peer < plan.Sends[j].Peer })
-	}
-	if deficit > 0 {
-		myLo := recvB.start
-		myHi := min(recvB.start+recvB.count, totalSurplus)
-		for _, runs := range sendRuns {
-			s := runs[0]
-			if s.count == 0 {
-				continue
-			}
-			lo, hi := s.start, s.start+s.count
-			olo, ohi := max(lo, myLo), min(hi, myHi)
-			if olo < ohi {
-				plan.Recvs = append(plan.Recvs, Transfer{Peer: s.rank, Count: ohi - olo})
-			}
-		}
-		sort.Slice(plan.Recvs, func(i, j int) bool { return plan.Recvs[i].Peer < plan.Recvs[j].Peer })
-	}
+	st := newBuildPlanStep(pe, localCount, nil, false)
+	comm.RunSteps(pe, st)
+	plan := st.plan
+	st.release(pe)
 	return plan
 }
 
 // Apply executes a plan: surplus objects are taken from the tail of the
 // local slice and shipped to the plan's receivers; received objects are
-// appended. Returns the balanced local slice. Collective.
+// appended. Returns the balanced local slice. Collective. Blocking
+// driver over the ExecuteStep state machine.
 func Apply[T any](pe *comm.PE, local []T, plan Plan) []T {
-	sendTotal := plan.TotalSent()
-	if sendTotal > int64(len(local)) {
-		panic(fmt.Sprintf("redist: plan sends %d of %d local objects", sendTotal, len(local)))
-	}
-	tag := pe.NextCollTag()
-	keep := int64(len(local)) - sendTotal
-	cursor := keep
-	for _, s := range plan.Sends {
-		chunk := local[cursor : cursor+s.Count]
-		pe.Send(s.Peer, tag, chunk, int64(len(chunk))*coll.WordsOf[T]())
-		cursor += s.Count
-	}
-	out := local[:keep:keep]
-	for _, r := range plan.Recvs {
-		rx, _ := pe.Recv(r.Peer, tag)
-		chunk := rx.([]T)
-		if int64(len(chunk)) != r.Count {
-			panic(fmt.Sprintf("redist: expected %d objects from %d, got %d", r.Count, r.Peer, len(chunk)))
-		}
-		out = append(out, chunk...)
-	}
+	st := newExecuteStep(pe, local, plan, nil, false)
+	comm.RunSteps(pe, st)
+	out := st.res
+	st.release(pe)
 	return out
 }
 

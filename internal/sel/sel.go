@@ -155,35 +155,11 @@ func gatherSolve[K cmp.Ordered](pe *comm.PE, s []K, k int64) K {
 // (exactly k in total across PEs, duplicates split by a prefix sum over
 // ranks). The order of the returned slice is unspecified.
 func SmallestK[K cmp.Ordered](pe *comm.PE, local []K, k int64, rng *xrand.RNG) []K {
-	n := coll.SumAll(pe, int64(len(local)))
-	if k < 0 || k > n {
-		panic(fmt.Sprintf("sel: k %d out of range 0..%d", k, n))
-	}
-	if k == 0 {
-		return nil
-	}
-	if k == n {
-		return slices.Clone(local)
-	}
-	v := Kth(pe, local, k, rng)
-	belowI, equalI := qsel.Rank(local, v)
-	below, equal := int64(belowI), int64(equalI)
-	globBelow := coll.SumAll(pe, below)
-	needEqual := k - globBelow // how many copies of v belong to the result
-	prevEqual := coll.ExScanSum(pe, equal)
-	takeEqual := clamp(needEqual-prevEqual, 0, equal)
-
-	out := make([]K, 0, below+takeEqual)
-	for _, e := range local {
-		switch {
-		case e < v:
-			out = append(out, e)
-		case e == v && takeEqual > 0:
-			out = append(out, e)
-			takeEqual--
-		}
-	}
-	return out
+	st := newSmallestKStep(pe, local, k, rng, nil, false)
+	comm.RunSteps(pe, st)
+	res := st.res
+	st.release(pe)
+	return res
 }
 
 // KthRandomized is the pre-paper baseline ([31], Table 1 "old"): it first

@@ -5,6 +5,8 @@ import (
 
 	"commtopk/internal/bpq"
 	"commtopk/internal/comm"
+	"commtopk/internal/dht"
+	"commtopk/internal/freq"
 	"commtopk/internal/sel"
 	"commtopk/internal/xrand"
 )
@@ -23,7 +25,8 @@ type slot[K cmp.Ordered] struct {
 	step    comm.Stepper
 	pending *comm.RecvHandle
 	res     K
-	resN    int64 // realized batch size (DeleteMin slots only)
+	resN    int64    // realized batch size (DeleteMin slots only)
+	items   []dht.KV // heavy hitters (TopKFreq slots only)
 }
 
 // mux is the per-PE tenant multiplexer: one long-lived stepper that
@@ -170,6 +173,11 @@ func (x *mux[K]) addSlot(pe *comm.PE, q *query[K]) {
 		}
 		sl.step = x.pq.DeleteMinStep(q.k, func(_ []K, v K, n int64) { sl.res, sl.resN = v, n })
 		x.pqQ = append(x.pqQ, sl)
+	case kindFreq:
+		p := freq.Params{K: int(q.k), Eps: x.srv.cfg.FreqEps, Delta: x.srv.cfg.FreqDelta}
+		sl.step = freq.PACStep(pe, x.srv.freqShards[pe.Rank()], p, xrand.NewPE(q.seed, pe.Rank()),
+			func(r freq.Result) { sl.items = r.Items })
+		x.slots = append(x.slots, sl)
 	default:
 		sl.step = sel.KthStep(pe, x.shard, q.k, xrand.NewPE(q.seed, pe.Rank()), func(v K) { sl.res = v })
 		x.slots = append(x.slots, sl)
@@ -199,6 +207,7 @@ func (x *mux[K]) stepSlot(pe *comm.PE, sl *slot[K]) (done bool) {
 	if pe.Rank() == 0 {
 		sl.q.t.res = sl.res
 		sl.q.t.n = sl.resN
+		sl.q.t.items = sl.items
 	}
 	if sl.q.peLeft.Add(-1) == 0 {
 		x.srv.finishQuery(sl.q)

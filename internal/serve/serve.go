@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"commtopk/internal/comm"
+	"commtopk/internal/dht"
 )
 
 var (
@@ -81,6 +82,11 @@ type Config struct {
 	// PE via xrand.NewPE), making every query's pivot walk — and with it
 	// its meter — reproducible independent of interleaving.
 	Seed int64
+	// FreqEps/FreqDelta are the (ε, δ) guarantees TopKFreq queries run
+	// under (defaults 0.02 and 0.01). Per-server, not per-query: the
+	// sampling rate they imply is a property of the resident data set.
+	FreqEps   float64
+	FreqDelta float64
 }
 
 func (c Config) withDefaults() Config {
@@ -93,15 +99,23 @@ func (c Config) withDefaults() Config {
 	if c.BatchMax <= 0 {
 		c.BatchMax = 8
 	}
+	if c.FreqEps <= 0 {
+		c.FreqEps = 0.02
+	}
+	if c.FreqDelta <= 0 {
+		c.FreqDelta = 0.01
+	}
 	return c
 }
 
-// Query kinds. Kth selections run against the immutable shards and may
-// interleave freely; bulk-PQ operations mutate the resident queue and
-// are serialized per mux in dispatch order (see mux.pqQ).
+// Query kinds. Kth selections and TopKFreq heavy-hitter queries run
+// against the immutable shards and may interleave freely; bulk-PQ
+// operations mutate the resident queue and are serialized per mux in
+// dispatch order (see mux.pqQ).
 const (
 	kindKth = iota
 	kindPQ
+	kindFreq
 )
 
 // query is the shared per-query record all p mux slots work on.
@@ -127,6 +141,7 @@ type Ticket[K cmp.Ordered] struct {
 	q        *query[K]
 	res      K
 	n        int64
+	items    []dht.KV
 	err      error
 	done     chan struct{}
 	canceled atomic.Bool
@@ -171,6 +186,12 @@ func (t *Ticket[K]) Cancel() bool {
 // Valid after Wait returns nil error.
 func (t *Ticket[K]) BatchLen() int64 { return t.n }
 
+// Items returns a TopKFreq query's heavy hitters, most frequent first
+// (counts are 1/ρ-scaled estimates under the server's (ε, δ) config;
+// identical on all PEs). Nil for Kth/DeleteMin queries. Valid after
+// Wait returns nil error.
+func (t *Ticket[K]) Items() []dht.KV { return t.items }
+
 // Meters returns the query's attributed communication: words sent and
 // messages sent, summed over all PEs, exactly the traffic its stepper
 // performed. Valid after Wait returns nil error. The virtual clock is
@@ -188,6 +209,10 @@ type Server[K cmp.Ordered] struct {
 	shards [][]K
 	n      int64 // total elements across shards
 	cfg    Config
+	// freqShards is the uint64 view of shards (non-nil iff K is uint64);
+	// the heavy-hitter query kind counts object identifiers, so it is
+	// only available on servers whose resident keys are identifiers.
+	freqShards [][]uint64
 
 	mu      sync.RWMutex // guards subQ against Submit/Close races
 	subQ    chan *query[K]
@@ -220,6 +245,9 @@ func NewServer[K cmp.Ordered](m *comm.Machine, shards [][]K, cfg Config) (*Serve
 	}
 	for _, sh := range shards {
 		s.n += int64(len(sh))
+	}
+	if fs, ok := any(s.shards).([][]uint64); ok {
+		s.freqShards = fs
 	}
 	s.subQ = make(chan *query[K], s.cfg.QueueDepth)
 	s.sem = make(chan struct{}, s.cfg.MaxInflight)
@@ -285,6 +313,32 @@ func (s *Server[K]) DeleteMinDeadline(k int64, deadline time.Time) (*Ticket[K], 
 		return nil, fmt.Errorf("serve: batch size %d must be at least 1", k)
 	}
 	return s.submit(kindPQ, k, deadline)
+}
+
+// TopKFreq submits a heavy-hitter query: the k most frequent keys among
+// the union of all shards, computed by the Section 7.1 PAC pipeline
+// under the server's (FreqEps, FreqDelta) guarantee — the third query
+// kind. Like Kth it serves the immutable shards, so it interleaves
+// freely with every other query under its own context lease, with the
+// same meter attribution; the per-query RNG seed pins its sampling and
+// pivot walks independent of interleaving. Results arrive via
+// Ticket.Items (identical on all PEs). Only available when K is uint64
+// (the shard elements are the counted identifiers). Non-blocking
+// admission, like Kth.
+func (s *Server[K]) TopKFreq(k int) (*Ticket[K], error) {
+	return s.TopKFreqDeadline(k, time.Time{})
+}
+
+// TopKFreqDeadline is TopKFreq with an admission deadline — the same
+// shedding contract as KthDeadline.
+func (s *Server[K]) TopKFreqDeadline(k int, deadline time.Time) (*Ticket[K], error) {
+	if s.freqShards == nil {
+		return nil, errors.New("serve: TopKFreq requires uint64 shards")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("serve: top-k %d must be at least 1", k)
+	}
+	return s.submit(kindFreq, int64(k), deadline)
 }
 
 // submit builds the ticket and runs non-blocking admission.

@@ -43,6 +43,8 @@ func progArgs(p int) map[string][]uint64 {
 		"collectives": {42, uint64(8 + p%5)},
 		"kth":         {7, 96, uint64(int64(p) * 96 / 3)},
 		"deletemin":   {11, 64, uint64(4 * p), 3},
+		"mtopk":       {13, 48, 3, 6},
+		"freq":        {17, 256, 48, 8},
 	}
 }
 

@@ -13,9 +13,13 @@
 package wireprogs
 
 import (
+	"math"
+
 	"commtopk/internal/bpq"
 	"commtopk/internal/coll"
 	"commtopk/internal/comm"
+	"commtopk/internal/freq"
+	"commtopk/internal/mtopk"
 	"commtopk/internal/sel"
 	"commtopk/internal/wire"
 	"commtopk/internal/xrand"
@@ -24,12 +28,16 @@ import (
 func init() {
 	bpq.RegisterWireCodecs[uint64]("u64")
 	bpq.RegisterWireCodecs[int64]("i64")
+	mtopk.RegisterWireCodecs()
+	freq.RegisterWireCodecs()
 	wire.RegisterPOD[int]("int")
 	wire.RegisterPOD[[2]int64]("i64x2")
 
 	wire.RegisterProg("collectives", progCollectives)
 	wire.RegisterProg("kth", progKth)
 	wire.RegisterProg("deletemin", progDeleteMin)
+	wire.RegisterProg("mtopk", progMtopk)
+	wire.RegisterProg("freq", progFreq)
 }
 
 // mix folds a word into a running FNV-1a-style checksum; the programs
@@ -144,5 +152,70 @@ func progDeleteMin(pe *comm.PE, args []uint64) uint64 {
 		h = mix(h, v)
 	}
 	h = mix(h, uint64(q.GlobalLen()))
+	return h
+}
+
+// progMtopk runs the multicriteria layer over pseudo-random score lists:
+// the distributed threshold algorithm (threshold, scan depths, local
+// candidate hits) followed by the exact refinement, folding every field
+// of both results into the checksum. IDs are globally unique by
+// rank-disjoint offsets. args: [seed, n, m, k] with n objects and m
+// criteria per PE.
+func progMtopk(pe *comm.PE, args []uint64) uint64 {
+	seed, n, m, k := int64(args[0]), int(args[1]), int(args[2]), int(args[3])
+	rank := pe.Rank()
+	objs := mtopk.GenObjects(xrand.NewPE(seed, rank), n, m, 1+uint64(rank)*uint64(n))
+	d := mtopk.NewData(objs, m)
+	h := uint64(14695981039346656037)
+
+	res := mtopk.DTA(pe, d, mtopk.SumScore, k, xrand.NewPE(seed+1, rank))
+	h = mix(h, math.Float64bits(res.Threshold))
+	h = mix(h, uint64(res.K))
+	h = mix(h, uint64(res.Rounds))
+	for _, pl := range res.PrefixLens {
+		h = mix(h, uint64(pl))
+	}
+	for _, hit := range res.Hits {
+		h = mix(h, hit.ID)
+		h = mix(h, math.Float64bits(hit.Score))
+	}
+	for _, hit := range mtopk.RDTA(pe, d, mtopk.SumScore, k, xrand.NewPE(seed+2, rank)) {
+		h = mix(h, hit.ID)
+		h = mix(h, math.Float64bits(hit.Score))
+	}
+	return h
+}
+
+// progFreq runs the heavy-hitter layer over skewed pseudo-random
+// streams (small keys dominate, so the top-k counts are nontrivial):
+// the sampling-based PAC estimate followed by the exact-counting
+// refinement, folding item lists, sample sizes and the realized
+// sampling probability into the checksum. args: [seed, n, universe, k].
+func progFreq(pe *comm.PE, args []uint64) uint64 {
+	seed, n, uni, k := int64(args[0]), int(args[1]), args[2], int(args[3])
+	rank := pe.Rank()
+	rng := xrand.NewPE(seed, rank)
+	local := make([]uint64, n)
+	for i := range local {
+		u := rng.Uint64() % uni
+		local[i] = rng.Uint64() % (u + 1)
+	}
+	pr := freq.Params{K: k, Eps: 0.05, Delta: 0.01}
+	h := uint64(14695981039346656037)
+
+	res := freq.PAC(pe, local, pr, xrand.NewPE(seed+1, rank))
+	h = mix(h, uint64(res.SampleSize))
+	h = mix(h, math.Float64bits(res.Rho))
+	for _, kv := range res.Items {
+		h = mix(h, kv.Key)
+		h = mix(h, uint64(kv.Count))
+	}
+	res = freq.EC(pe, local, pr, xrand.NewPE(seed+2, rank))
+	h = mix(h, uint64(res.SampleSize))
+	h = mix(h, uint64(res.KStar))
+	for _, kv := range res.Items {
+		h = mix(h, kv.Key)
+		h = mix(h, uint64(kv.Count))
+	}
 	return h
 }
